@@ -1,0 +1,58 @@
+//! Criterion ablations of the design choices DESIGN.md calls out:
+//! min-hash vs exact edge correlation inside the detector, and hysteresis
+//! on/off.  (The incremental-vs-global clustering ablation lives in
+//! `cluster_maintenance.rs`.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dengraph_bench::{build_trace, TraceKind};
+use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_stream::generator::profiles::ProfileScale;
+
+fn run(trace: &dengraph_stream::Trace, config: DetectorConfig) -> usize {
+    let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+    detector.run(&trace.messages).len()
+}
+
+fn bench_edge_correlation_ablation(c: &mut Criterion) {
+    let trace = build_trace(TraceKind::TimeWindow, ProfileScale::Small);
+    let mut group = c.benchmark_group("ablation/edge_correlation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.messages.len() as u64));
+    let variants = [
+        ("minhash", DetectorConfig::nominal().with_window_quanta(20)),
+        (
+            "exact_jaccard",
+            DetectorConfig { exact_edge_correlation: true, ..DetectorConfig::nominal().with_window_quanta(20) },
+        ),
+    ];
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| black_box(run(&trace, config.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hysteresis_ablation(c: &mut Criterion) {
+    let trace = build_trace(TraceKind::EventSpecific, ProfileScale::Small);
+    let mut group = c.benchmark_group("ablation/hysteresis");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.messages.len() as u64));
+    let variants = [
+        ("hysteresis_on", DetectorConfig::nominal().with_window_quanta(20)),
+        (
+            "hysteresis_off",
+            DetectorConfig { hysteresis: false, ..DetectorConfig::nominal().with_window_quanta(20) },
+        ),
+    ];
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| black_box(run(&trace, config.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_correlation_ablation, bench_hysteresis_ablation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks for the incremental cluster-maintenance algorithms of
+//! Section 5: node/edge addition and deletion against the global
+//! recomputation they replace.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use dengraph_core::baseline::offline_scp::offline_scp_clusters;
+use dengraph_core::cluster::{edge_addition, edge_deletion, ClusterRegistry};
+use dengraph_graph::{DynamicGraph, NodeId};
+
+/// Builds a clustered graph: `groups` small communities of 6 nodes each,
+/// densely connected inside, sparsely connected outside — the shape of an
+/// AKG carrying several simultaneous events.
+fn clustered_graph(groups: u32, seed: u64) -> DynamicGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = DynamicGraph::new();
+    for c in 0..groups {
+        let base = c * 6;
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                if rng.gen_bool(0.7) {
+                    g.add_edge(NodeId(base + i), NodeId(base + j), rng.gen_range(0.2..1.0));
+                }
+            }
+        }
+    }
+    g
+}
+
+fn registry_for(g: &DynamicGraph) -> ClusterRegistry {
+    let mut r = ClusterRegistry::new();
+    let mut edges: Vec<_> = g.edges().map(|(k, _)| k).collect();
+    edges.sort();
+    for e in edges {
+        edge_addition(g, &mut r, e.0, e.1, 0);
+    }
+    r
+}
+
+fn bench_incremental_vs_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/incremental_vs_global");
+    for &groups in &[10u32, 50, 200] {
+        let g = clustered_graph(groups, 3);
+        // One incremental edge addition + deletion on an existing registry …
+        group.bench_with_input(BenchmarkId::new("incremental_add_remove", groups), &g, |b, g| {
+            let registry = registry_for(g);
+            let a = NodeId(0);
+            let bnode = NodeId(7); // connects community 0 and community 1
+            b.iter_batched(
+                || (g.clone(), clone_registry(&registry, g)),
+                |(mut graph, mut reg)| {
+                    graph.add_edge(a, bnode, 0.5);
+                    edge_addition(&graph, &mut reg, a, bnode, 1);
+                    graph.remove_edge(a, bnode);
+                    edge_deletion(&mut reg, a, bnode, 1);
+                    black_box(reg.len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        // … versus recomputing every cluster from scratch.
+        group.bench_with_input(BenchmarkId::new("global_recompute", groups), &g, |b, g| {
+            b.iter(|| black_box(offline_scp_clusters(g).len()))
+        });
+    }
+    group.finish();
+}
+
+/// Registries are not `Clone`; rebuild one cheaply for the batched setup.
+fn clone_registry(_template: &ClusterRegistry, g: &DynamicGraph) -> ClusterRegistry {
+    registry_for(g)
+}
+
+fn bench_edge_addition_throughput(c: &mut Criterion) {
+    let g = clustered_graph(100, 17);
+    let mut edges: Vec<_> = g.edges().map(|(k, _)| k).collect();
+    edges.sort();
+    c.bench_function("cluster/replay_600_edges", |b| {
+        b.iter(|| {
+            let mut r = ClusterRegistry::new();
+            for e in &edges {
+                edge_addition(&g, &mut r, e.0, e.1, 0);
+            }
+            black_box(r.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_incremental_vs_global, bench_edge_addition_throughput);
+criterion_main!(benches);

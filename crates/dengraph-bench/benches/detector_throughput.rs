@@ -1,0 +1,46 @@
+//! End-to-end detector throughput (the criterion companion to Table 4):
+//! messages/second over small TW and ES traces at the nominal quantum size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dengraph_bench::{build_trace, TraceKind};
+use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_stream::generator::profiles::ProfileScale;
+
+fn bench_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector/throughput");
+    group.sample_size(10);
+    for kind in [TraceKind::TimeWindow, TraceKind::EventSpecific] {
+        let trace = build_trace(kind, ProfileScale::Small);
+        group.throughput(Throughput::Elements(trace.messages.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &trace, |b, trace| {
+            b.iter(|| {
+                let config = DetectorConfig::nominal().with_window_quanta(20);
+                let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+                let summaries = detector.run(&trace.messages);
+                black_box(summaries.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantum_sizes(c: &mut Criterion) {
+    let trace = build_trace(TraceKind::TimeWindow, ProfileScale::Small);
+    let mut group = c.benchmark_group("detector/quantum_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.messages.len() as u64));
+    for &delta in &[120usize, 160, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            b.iter(|| {
+                let config = DetectorConfig::nominal().with_quantum_size(delta).with_window_quanta(20);
+                let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+                black_box(detector.run(&trace.messages).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector, bench_quantum_sizes);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks for the dynamic-graph substrate: the operations the AKG
+//! performs on every quantum (edge insertion/removal, common-neighbour
+//! queries, biconnected decomposition, global SCP decomposition).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use dengraph_graph::{biconnected_components, scp_clusters_global, DynamicGraph, NodeId};
+
+/// Builds a random graph with `nodes` nodes and roughly `edges` edges.
+fn random_graph(nodes: u32, edges: usize, seed: u64) -> DynamicGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = DynamicGraph::new();
+    for n in 0..nodes {
+        g.add_node(NodeId(n));
+    }
+    let mut added = 0;
+    while added < edges {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if a != b && g.add_edge(NodeId(a), NodeId(b), rng.gen()) {
+            added += 1;
+        }
+    }
+    g
+}
+
+fn bench_edge_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/edge_churn");
+    for &size in &[100u32, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let base = random_graph(size, size as usize * 3, 7);
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            b.iter(|| {
+                let mut g = base.clone();
+                for _ in 0..100 {
+                    let a = NodeId(rng.gen_range(0..size));
+                    let bnode = NodeId(rng.gen_range(0..size));
+                    if a != bnode {
+                        g.add_edge(a, bnode, 0.5);
+                        g.remove_edge(a, bnode);
+                    }
+                }
+                black_box(g.edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_common_neighbors(c: &mut Criterion) {
+    let g = random_graph(1_000, 6_000, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    c.bench_function("graph/common_neighbors", |b| {
+        b.iter(|| {
+            let a = NodeId(rng.gen_range(0..1_000));
+            let x = NodeId(rng.gen_range(0..1_000));
+            black_box(g.common_neighbors(a, x).len())
+        })
+    });
+}
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/decomposition");
+    for &size in &[200u32, 800] {
+        let g = random_graph(size, size as usize * 2, 13);
+        group.bench_with_input(BenchmarkId::new("biconnected", size), &g, |b, g| {
+            b.iter(|| black_box(biconnected_components(g).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("scp_global", size), &g, |b, g| {
+            b.iter(|| black_box(scp_clusters_global(g).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_churn, bench_common_neighbors, bench_decompositions);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks for the min-hash edge-correlation substrate
+//! (Section 3.2.2): sketch construction, the shared-minimum admission gate
+//! and estimation, against exact Jaccard computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use dengraph_minhash::{exact_jaccard_sorted, MinHashSketch, UserHasher};
+
+fn user_sets(overlap: f64, size: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let shared = (size as f64 * overlap) as usize;
+    let mut a: Vec<u64> = (0..shared as u64).collect();
+    let mut b = a.clone();
+    a.extend((0..(size - shared)).map(|_| rng.gen_range(1_000_000..2_000_000u64)));
+    b.extend((0..(size - shared)).map(|_| rng.gen_range(2_000_000..3_000_000u64)));
+    a.sort_unstable();
+    b.sort_unstable();
+    (a, b)
+}
+
+fn bench_sketch_build(c: &mut Criterion) {
+    let hasher = UserHasher::new(42);
+    let mut group = c.benchmark_group("minhash/build");
+    for &n in &[100usize, 1_000, 10_000] {
+        let ids: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ids, |b, ids| {
+            b.iter(|| black_box(MinHashSketch::from_ids(16, &hasher, ids.iter().copied())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate_vs_exact(c: &mut Criterion) {
+    let hasher = UserHasher::new(42);
+    let mut group = c.benchmark_group("minhash/ec");
+    for &n in &[200usize, 2_000] {
+        let (a, b) = user_sets(0.4, n, 9);
+        let sa = MinHashSketch::from_ids(16, &hasher, a.iter().copied());
+        let sb = MinHashSketch::from_ids(16, &hasher, b.iter().copied());
+        group.bench_with_input(BenchmarkId::new("sketch_estimate", n), &n, |bench, _| {
+            bench.iter(|| black_box(sa.estimate_jaccard(&sb)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_jaccard", n), &n, |bench, _| {
+            bench.iter(|| black_box(exact_jaccard_sorted(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_build, bench_estimate_vs_exact);
+criterion_main!(benches);

@@ -1,0 +1,413 @@
+//! Active-CKG (AKG) maintenance — Section 3 of the paper.
+//!
+//! The AKG is the small, slowly changing subgraph of the CKG on which
+//! clusters are actually discovered.  Per quantum the maintainer
+//!
+//! 1. removes *stale* keywords (not seen in any quantum of the window),
+//! 2. promotes keywords that are *bursty* this quantum (≥ σ distinct users)
+//!    into the high state and hence into the AKG,
+//! 3. computes edge correlations for exactly the two candidate sets of
+//!    Section 3.2.1 — (1) pairwise among this quantum's bursty keywords and
+//!    (2) between AKG keywords occurring this quantum and their existing
+//!    neighbours — adding, re-weighting or removing edges against the
+//!    threshold τ, and
+//! 4. lazily demotes AKG keywords that lost all their edges and are no
+//!    longer bursty (the hysteresis rule keeps cluster members alive even
+//!    when their frequency dips).
+//!
+//! Every change is reported as a [`GraphDelta`] so the cluster maintainer
+//! (Section 5) can update clusters locally.
+
+use dengraph_graph::{DynamicGraph, NodeId};
+use dengraph_text::KeywordId;
+
+use crate::config::DetectorConfig;
+use crate::keyword_state::{KeywordState, KeywordStateMachine, QuantumRecord, WindowState};
+
+/// Converts a keyword id into the graph-node id used by the AKG.
+#[inline]
+pub fn node_of(keyword: KeywordId) -> NodeId {
+    NodeId(keyword.0)
+}
+
+/// Converts a graph-node id back into a keyword id.
+#[inline]
+pub fn keyword_of(node: NodeId) -> KeywordId {
+    KeywordId(node.0)
+}
+
+/// One structural change applied to the AKG during a quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphDelta {
+    /// A keyword entered the AKG.
+    NodeAdded { node: NodeId },
+    /// A new edge was admitted (correlation ≥ τ).
+    EdgeAdded { a: NodeId, b: NodeId, weight: f64 },
+    /// An existing edge's correlation was re-estimated and stays ≥ τ.
+    EdgeWeightUpdated { a: NodeId, b: NodeId, weight: f64 },
+    /// An existing edge's correlation dropped below τ.
+    EdgeRemoved { a: NodeId, b: NodeId },
+    /// A keyword left the AKG (stale or lazily demoted); all its incident
+    /// edges are reported as [`GraphDelta::EdgeRemoved`] first.
+    NodeRemoved { node: NodeId },
+}
+
+/// Per-quantum summary statistics of the AKG maintenance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AkgQuantumStats {
+    /// Keywords that were bursty this quantum.
+    pub bursty_keywords: usize,
+    /// Candidate pairs whose correlation was evaluated.
+    pub pairs_evaluated: usize,
+    /// Edges added this quantum.
+    pub edges_added: usize,
+    /// Edges removed this quantum.
+    pub edges_removed: usize,
+    /// Nodes added this quantum.
+    pub nodes_added: usize,
+    /// Nodes removed this quantum.
+    pub nodes_removed: usize,
+}
+
+/// Maintains the AKG across quanta.
+#[derive(Debug)]
+pub struct AkgMaintainer {
+    config: DetectorConfig,
+    graph: DynamicGraph,
+    states: KeywordStateMachine,
+    last_stats: AkgQuantumStats,
+}
+
+impl AkgMaintainer {
+    /// Creates an empty AKG maintainer.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self { config, graph: DynamicGraph::new(), states: KeywordStateMachine::new(), last_stats: AkgQuantumStats::default() }
+    }
+
+    /// The current AKG.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Statistics of the most recently processed quantum.
+    pub fn last_stats(&self) -> AkgQuantumStats {
+        self.last_stats
+    }
+
+    /// Current state of a keyword.
+    pub fn keyword_state(&self, keyword: KeywordId) -> KeywordState {
+        self.states.state(keyword)
+    }
+
+    /// Edge correlation between two keywords over the window, using either
+    /// the min-hash estimate or the exact Jaccard depending on the config.
+    fn edge_correlation(&self, window: &WindowState, a: KeywordId, b: KeywordId) -> f64 {
+        if self.config.exact_edge_correlation {
+            window.exact_edge_correlation(a, b)
+        } else {
+            window.estimated_edge_correlation(a, b)
+        }
+    }
+
+    /// Processes one quantum.  `window` must already contain `record` as its
+    /// most recent entry.  `cluster_members` answers "is this keyword
+    /// currently part of any cluster?" — the hysteresis rule keeps such
+    /// keywords in the AKG even when they stop being bursty.
+    pub fn process_quantum<F>(
+        &mut self,
+        record: &QuantumRecord,
+        window: &WindowState,
+        cluster_members: F,
+    ) -> Vec<GraphDelta>
+    where
+        F: Fn(KeywordId) -> bool,
+    {
+        let mut deltas = Vec::new();
+        let mut stats = AkgQuantumStats::default();
+        let sigma = self.config.high_state_threshold;
+        let tau = self.config.edge_correlation_threshold;
+
+        // --- 1. stale removal -------------------------------------------------
+        let stale: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&n| window.is_stale(keyword_of(n)))
+            .collect();
+        for node in stale {
+            self.remove_node(node, &mut deltas, &mut stats);
+        }
+
+        // --- 2. burstiness / node admission -----------------------------------
+        let mut set1: Vec<KeywordId> = Vec::new();
+        // set(2): keywords already in the AKG that occur in this quantum.
+        let mut set2: Vec<KeywordId> = Vec::new();
+        for keyword in record.keywords() {
+            let count = record.user_count(keyword);
+            let already_in_akg = self.graph.contains_node(node_of(keyword));
+            let (_, new_state) = self.states.observe(keyword, count, sigma);
+            if count >= sigma as usize {
+                set1.push(keyword);
+                if !already_in_akg {
+                    self.graph.add_node(node_of(keyword));
+                    deltas.push(GraphDelta::NodeAdded { node: node_of(keyword) });
+                    stats.nodes_added += 1;
+                }
+            }
+            if already_in_akg {
+                set2.push(keyword);
+            }
+            let _ = new_state;
+        }
+        stats.bursty_keywords = set1.len();
+
+        // --- 3a. candidate pairs among this quantum's bursty keywords ---------
+        set1.sort_unstable();
+        for i in 0..set1.len() {
+            for j in (i + 1)..set1.len() {
+                let (a, b) = (set1[i], set1[j]);
+                stats.pairs_evaluated += 1;
+                let ec = self.edge_correlation(window, a, b);
+                let (na, nb) = (node_of(a), node_of(b));
+                if ec >= tau {
+                    if self.graph.contains_edge(na, nb) {
+                        self.graph.set_edge_weight(na, nb, ec);
+                        deltas.push(GraphDelta::EdgeWeightUpdated { a: na, b: nb, weight: ec });
+                    } else {
+                        self.graph.add_edge(na, nb, ec);
+                        deltas.push(GraphDelta::EdgeAdded { a: na, b: nb, weight: ec });
+                        stats.edges_added += 1;
+                    }
+                }
+            }
+        }
+
+        // --- 3b. refresh correlations of AKG keywords seen this quantum -------
+        let set1_lookup: std::collections::HashSet<KeywordId> = set1.iter().copied().collect();
+        for &keyword in &set2 {
+            let node = node_of(keyword);
+            let neighbors: Vec<NodeId> = self.graph.neighbors(node).collect();
+            for other in neighbors {
+                let other_kw = keyword_of(other);
+                // Pairs already handled in the set-1 loop are skipped so each
+                // pair is evaluated at most once per quantum.
+                if set1_lookup.contains(&keyword) && set1_lookup.contains(&other_kw) {
+                    continue;
+                }
+                stats.pairs_evaluated += 1;
+                let ec = self.edge_correlation(window, keyword, other_kw);
+                if ec >= tau {
+                    self.graph.set_edge_weight(node, other, ec);
+                    deltas.push(GraphDelta::EdgeWeightUpdated { a: node, b: other, weight: ec });
+                } else {
+                    self.graph.remove_edge(node, other);
+                    deltas.push(GraphDelta::EdgeRemoved { a: node, b: other });
+                    stats.edges_removed += 1;
+                }
+            }
+        }
+
+        // --- 4. lazy demotion --------------------------------------------------
+        let bursty_now = set1_lookup;
+        let candidates: Vec<NodeId> = self.graph.nodes().filter(|&n| self.graph.degree(n) == 0).collect();
+        for node in candidates {
+            let keyword = keyword_of(node);
+            if bursty_now.contains(&keyword) {
+                continue;
+            }
+            let keep = self.config.hysteresis && cluster_members(keyword);
+            if !keep {
+                self.remove_node(node, &mut deltas, &mut stats);
+            }
+        }
+
+        self.last_stats = stats;
+        deltas
+    }
+
+    /// Removes a node (and its incident edges) from the AKG, recording the
+    /// corresponding deltas.
+    fn remove_node(&mut self, node: NodeId, deltas: &mut Vec<GraphDelta>, stats: &mut AkgQuantumStats) {
+        let removed_edges = self.graph.remove_node(node);
+        for (edge, _) in removed_edges {
+            deltas.push(GraphDelta::EdgeRemoved { a: edge.0, b: edge.1 });
+            stats.edges_removed += 1;
+        }
+        deltas.push(GraphDelta::NodeRemoved { node });
+        stats.nodes_removed += 1;
+        self.states.demote(keyword_of(node));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dengraph_minhash::UserHasher;
+    use dengraph_stream::{Message, UserId};
+
+    fn config() -> DetectorConfig {
+        DetectorConfig { high_state_threshold: 3, edge_correlation_threshold: 0.3, window_quanta: 3, ..Default::default() }
+    }
+
+    fn k(i: u32) -> KeywordId {
+        KeywordId(i)
+    }
+
+    fn msg(user: u64, kws: &[u32]) -> Message {
+        Message::new(UserId(user), 0, kws.iter().map(|&i| KeywordId(i)).collect())
+    }
+
+    /// Pushes a quantum of messages through a window + maintainer pair.
+    fn step(
+        akg: &mut AkgMaintainer,
+        window: &mut WindowState,
+        index: u64,
+        messages: &[Message],
+    ) -> Vec<GraphDelta> {
+        let record = QuantumRecord::from_messages(index, messages);
+        window.push(record.clone());
+        akg.process_quantum(&record, window, |_| false)
+    }
+
+    fn window_for(cfg: &DetectorConfig) -> WindowState {
+        WindowState::new(cfg.window_quanta, cfg.sketch_size(), UserHasher::new(1))
+    }
+
+    /// Messages where three users all mention keywords 1 and 2 together.
+    fn correlated_burst() -> Vec<Message> {
+        vec![msg(1, &[1, 2]), msg(2, &[1, 2]), msg(3, &[1, 2]), msg(4, &[50]), msg(5, &[51])]
+    }
+
+    #[test]
+    fn bursty_correlated_keywords_get_nodes_and_an_edge() {
+        let cfg = config();
+        let mut akg = AkgMaintainer::new(cfg.clone());
+        let mut window = window_for(&cfg);
+        let deltas = step(&mut akg, &mut window, 0, &correlated_burst());
+        assert!(akg.graph().contains_node(node_of(k(1))));
+        assert!(akg.graph().contains_node(node_of(k(2))));
+        assert!(akg.graph().contains_edge(node_of(k(1)), node_of(k(2))));
+        assert!(deltas.iter().any(|d| matches!(d, GraphDelta::EdgeAdded { .. })));
+        // Non-bursty keywords stay out of the AKG.
+        assert!(!akg.graph().contains_node(node_of(k(50))));
+        assert_eq!(akg.keyword_state(k(1)), KeywordState::High);
+        assert_eq!(akg.keyword_state(k(50)), KeywordState::Low);
+    }
+
+    #[test]
+    fn uncorrelated_bursty_keywords_get_no_edge() {
+        let cfg = config();
+        let mut akg = AkgMaintainer::new(cfg.clone());
+        let mut window = window_for(&cfg);
+        // Keywords 1 and 2 are each bursty but never used by the same user.
+        let messages = vec![
+            msg(1, &[1]),
+            msg(2, &[1]),
+            msg(3, &[1]),
+            msg(4, &[2]),
+            msg(5, &[2]),
+            msg(6, &[2]),
+        ];
+        step(&mut akg, &mut window, 0, &messages);
+        assert!(akg.graph().contains_node(node_of(k(1))));
+        assert!(akg.graph().contains_node(node_of(k(2))));
+        assert!(!akg.graph().contains_edge(node_of(k(1)), node_of(k(2))));
+    }
+
+    #[test]
+    fn stale_keywords_are_removed_after_the_window_passes() {
+        let cfg = config();
+        let mut akg = AkgMaintainer::new(cfg.clone());
+        let mut window = window_for(&cfg);
+        step(&mut akg, &mut window, 0, &correlated_burst());
+        assert!(akg.graph().contains_node(node_of(k(1))));
+        // Three quanta of unrelated traffic push the burst out of the window.
+        for q in 1..=3 {
+            step(&mut akg, &mut window, q, &[msg(9, &[90]), msg(10, &[91])]);
+        }
+        assert!(!akg.graph().contains_node(node_of(k(1))));
+        assert!(!akg.graph().contains_node(node_of(k(2))));
+        assert_eq!(akg.keyword_state(k(1)), KeywordState::Low);
+    }
+
+    #[test]
+    fn edge_is_dropped_when_correlation_decays() {
+        let cfg = config();
+        let mut akg = AkgMaintainer::new(cfg.clone());
+        let mut window = window_for(&cfg);
+        step(&mut akg, &mut window, 0, &correlated_burst());
+        assert!(akg.graph().contains_edge(node_of(k(1)), node_of(k(2))));
+        // Subsequent quanta: keyword 1 is used by many users *without*
+        // keyword 2, so the window Jaccard drops below tau; keyword 1 keeps
+        // occurring so set(2) refreshes the edge.
+        for q in 1..=2 {
+            let messages: Vec<Message> =
+                (0..12).map(|u| msg(100 + u + q * 50, &[1])).collect();
+            step(&mut akg, &mut window, q, &messages);
+        }
+        assert!(!akg.graph().contains_edge(node_of(k(1)), node_of(k(2))));
+    }
+
+    #[test]
+    fn isolated_non_bursty_nodes_are_lazily_demoted() {
+        let cfg = config();
+        let mut akg = AkgMaintainer::new(cfg.clone());
+        let mut window = window_for(&cfg);
+        // Keyword 1 bursts alone (no correlated partner): node added, no edges.
+        let messages = vec![msg(1, &[1]), msg(2, &[1]), msg(3, &[1])];
+        step(&mut akg, &mut window, 0, &messages);
+        assert!(akg.graph().contains_node(node_of(k(1))));
+        // Next quantum it appears once (not bursty): with no cluster
+        // membership, the lazy update removes it.
+        step(&mut akg, &mut window, 1, &[msg(4, &[1])]);
+        assert!(!akg.graph().contains_node(node_of(k(1))));
+    }
+
+    #[test]
+    fn cluster_membership_keeps_nodes_via_hysteresis() {
+        let cfg = config();
+        let mut akg = AkgMaintainer::new(cfg.clone());
+        let mut window = window_for(&cfg);
+        let messages = vec![msg(1, &[1]), msg(2, &[1]), msg(3, &[1])];
+        let record = QuantumRecord::from_messages(0, &messages);
+        window.push(record.clone());
+        akg.process_quantum(&record, &window, |_| false);
+        assert!(akg.graph().contains_node(node_of(k(1))));
+        // Keyword 1 stops being bursty but is claimed by a cluster.
+        let record = QuantumRecord::from_messages(1, &[msg(4, &[1])]);
+        window.push(record.clone());
+        akg.process_quantum(&record, &window, |kw| kw == k(1));
+        assert!(akg.graph().contains_node(node_of(k(1))), "cluster membership must keep the node");
+    }
+
+    #[test]
+    fn stats_reflect_the_quantum() {
+        let cfg = config();
+        let mut akg = AkgMaintainer::new(cfg.clone());
+        let mut window = window_for(&cfg);
+        step(&mut akg, &mut window, 0, &correlated_burst());
+        let stats = akg.last_stats();
+        assert_eq!(stats.bursty_keywords, 2);
+        assert_eq!(stats.nodes_added, 2);
+        assert_eq!(stats.edges_added, 1);
+        assert!(stats.pairs_evaluated >= 1);
+    }
+
+    #[test]
+    fn exact_and_minhash_agree_on_strong_correlation() {
+        for exact in [false, true] {
+            let cfg = DetectorConfig { exact_edge_correlation: exact, ..config() };
+            let mut akg = AkgMaintainer::new(cfg.clone());
+            let mut window = window_for(&cfg);
+            step(&mut akg, &mut window, 0, &correlated_burst());
+            assert!(
+                akg.graph().contains_edge(node_of(k(1)), node_of(k(2))),
+                "edge must exist with exact_edge_correlation={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_conversion_round_trips() {
+        assert_eq!(keyword_of(node_of(k(17))), k(17));
+    }
+}

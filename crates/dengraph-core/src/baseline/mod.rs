@@ -1,0 +1,18 @@
+//! Baseline clustering schemes used by the evaluation (Section 7.3).
+//!
+//! * [`offline_bc`] — the offline biconnected-component clustering of
+//!   Bansal et al. (VLDB 2007) as the paper describes it: after every
+//!   quantum the biconnected components of the entire AKG are recomputed
+//!   from scratch; edges outside any component are optionally reported as
+//!   clusters of size 2.
+//! * [`offline_scp`] — global recomputation of the SCP clusters every
+//!   quantum (same cluster definition as the incremental detector, without
+//!   the local maintenance).  This is the ablation baseline that isolates
+//!   the benefit of incremental maintenance, and doubles as the correctness
+//!   oracle for property P3.
+
+pub mod offline_bc;
+pub mod offline_scp;
+
+pub use offline_bc::{OfflineBcDetector, OfflineClusterScheme};
+pub use offline_scp::OfflineScpDetector;

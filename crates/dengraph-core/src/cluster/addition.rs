@@ -1,0 +1,304 @@
+//! Node- and edge-addition algorithms (Sections 5.1 and 5.2).
+//!
+//! Both algorithms follow the same scheme rooted in the short-cycle
+//! property: enumerate every cycle of length ≤ 4 that the new node/edge
+//! participates in, turn each such cycle into a small candidate cluster,
+//! and then merge candidates with each other and with existing clusters
+//! wherever an edge is shared (Lemma 6).
+//!
+//! Only the immediate neighbourhood of the change is examined — never the
+//! rest of the graph — which is what makes the maintenance *local*.
+
+use dengraph_graph::dynamic_graph::EdgeKey;
+use dengraph_graph::fxhash::FxHashSet;
+use dengraph_graph::{DynamicGraph, NodeId};
+
+use super::registry::ClusterRegistry;
+use super::ClusterId;
+
+/// One candidate cluster: the nodes and edges of a single short cycle.
+type Candidate = (FxHashSet<NodeId>, FxHashSet<EdgeKey>);
+
+/// Builds the candidate for a triangle `a–b–c`.
+fn triangle_candidate(a: NodeId, b: NodeId, c: NodeId) -> Candidate {
+    let nodes = [a, b, c].into_iter().collect();
+    let edges = [EdgeKey::new(a, b), EdgeKey::new(b, c), EdgeKey::new(a, c)].into_iter().collect();
+    (nodes, edges)
+}
+
+/// Builds the candidate for a 4-cycle `a–b–c–d–a`.
+fn square_candidate(a: NodeId, b: NodeId, c: NodeId, d: NodeId) -> Candidate {
+    let nodes = [a, b, c, d].into_iter().collect();
+    let edges = [
+        EdgeKey::new(a, b),
+        EdgeKey::new(b, c),
+        EdgeKey::new(c, d),
+        EdgeKey::new(d, a),
+    ]
+    .into_iter()
+    .collect();
+    (nodes, edges)
+}
+
+/// `EdgeAddition` (Section 5.2): the edge `(n1, n2)` has just been added to
+/// `graph` (the caller must have inserted it already).  Finds every short
+/// cycle through the new edge, forms candidate clusters, merges them with
+/// existing clusters sharing an edge, and returns the id of the resulting
+/// cluster (or `None` when the edge closes no short cycle).
+pub fn edge_addition(
+    graph: &DynamicGraph,
+    registry: &mut ClusterRegistry,
+    n1: NodeId,
+    n2: NodeId,
+    quantum: u64,
+) -> Option<ClusterId> {
+    debug_assert!(graph.contains_edge(n1, n2), "edge must be inserted into the graph before EdgeAddition");
+    let mut candidates: Vec<Candidate> = Vec::new();
+    // Phase 1: enumerate short cycles through (n1, n2).
+    let n1_neighbors: Vec<NodeId> = graph.neighbors(n1).filter(|&x| x != n2).collect();
+    let n2_neighbors: FxHashSet<NodeId> = graph.neighbors(n2).filter(|&x| x != n1).collect();
+    for &n3 in &n1_neighbors {
+        // Triangle n1–n2–n3.
+        if n2_neighbors.contains(&n3) {
+            candidates.push(triangle_candidate(n1, n2, n3));
+        }
+        // 4-cycles n1–n2–n4–n3–n1.
+        for &n4 in &n2_neighbors {
+            if n4 != n3 && graph.contains_edge(n3, n4) {
+                candidates.push(square_candidate(n2, n1, n3, n4));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    // Phase 2: merge.  Every candidate contains the new edge, so they all
+    // collapse into a single cluster together with any existing cluster
+    // sharing one of the candidate edges.
+    let mut result = None;
+    for (nodes, edges) in candidates {
+        result = Some(registry.absorb(nodes, edges, quantum));
+    }
+    result
+}
+
+/// `NodeAddition` (Section 5.1): node `n` has just been added to `graph`
+/// together with its incident edges (the caller must have inserted them).
+/// For every pair of `n`'s neighbours that is joined by an edge (rule R2)
+/// or by a common neighbour (rule R1), a candidate cluster is formed and
+/// merged into the registry.  Returns the ids of the clusters `n` ended up
+/// in (usually zero or one).
+pub fn node_addition(
+    graph: &DynamicGraph,
+    registry: &mut ClusterRegistry,
+    n: NodeId,
+    quantum: u64,
+) -> Vec<ClusterId> {
+    let neighbors: Vec<NodeId> = graph.neighbors(n).collect();
+    if neighbors.len() < 2 {
+        // "If the incoming node shows correlation with zero or one node, we
+        // simply add that node (and edge) in G and do nothing."
+        return Vec::new();
+    }
+    let mut result_ids: FxHashSet<ClusterId> = FxHashSet::default();
+    for i in 0..neighbors.len() {
+        for j in (i + 1)..neighbors.len() {
+            let (n2, n3) = (neighbors[i], neighbors[j]);
+            // Rule R2: the two neighbours are adjacent — triangle n, n2, n3.
+            if graph.contains_edge(n2, n3) {
+                let (nodes, edges) = triangle_candidate(n, n2, n3);
+                result_ids.insert(registry.absorb(nodes, edges, quantum));
+            }
+            // Rule R1: the two neighbours share another common neighbour n4
+            // — 4-cycle n, n2, n4, n3.
+            for n4 in graph.common_neighbors(n2, n3) {
+                if n4 == n {
+                    continue;
+                }
+                let (nodes, edges) = square_candidate(n, n2, n4, n3);
+                result_ids.insert(registry.absorb(nodes, edges, quantum));
+            }
+        }
+    }
+    // The absorb calls may have merged earlier results away; keep only ids
+    // that still exist.
+    let mut out: Vec<ClusterId> = result_ids.into_iter().filter(|id| registry.get(*id).is_some()).collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn graph(pairs: &[(u32, u32)]) -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for &(a, b) in pairs {
+            g.add_edge(n(a), n(b), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn edge_addition_with_no_cycle_creates_nothing() {
+        let g = graph(&[(1, 2), (2, 3)]);
+        let mut r = ClusterRegistry::new();
+        assert_eq!(edge_addition(&g, &mut r, n(2), n(3), 0), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn edge_addition_closing_a_triangle_creates_a_cluster() {
+        let g = graph(&[(1, 2), (2, 3), (1, 3)]);
+        let mut r = ClusterRegistry::new();
+        let id = edge_addition(&g, &mut r, n(1), n(3), 0).unwrap();
+        let c = r.get(id).unwrap();
+        assert_eq!(c.sorted_nodes(), vec![n(1), n(2), n(3)]);
+        assert_eq!(c.edge_count(), 3);
+        assert!(c.satisfies_scp());
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn edge_addition_closing_a_square_creates_a_cluster() {
+        let g = graph(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        let mut r = ClusterRegistry::new();
+        let id = edge_addition(&g, &mut r, n(4), n(1), 0).unwrap();
+        let c = r.get(id).unwrap();
+        assert_eq!(c.sorted_nodes(), vec![n(1), n(2), n(3), n(4)]);
+        assert_eq!(c.edge_count(), 4);
+        assert!(c.satisfies_scp());
+    }
+
+    #[test]
+    fn figure5a_edge_addition_merges_phase1_candidates() {
+        // Figure 5(a): nodes 1..5; existing edges form two triangles hanging
+        // off node 4 plus node 5; the new edge (1,2) creates clusters
+        // (1,2,4), (1,2,4,5)... which all merge into one cluster C3.
+        let g = graph(&[(1, 4), (2, 4), (1, 5), (2, 5), (3, 1), (3, 4), (1, 2)]);
+        let mut r = ClusterRegistry::new();
+        let id = edge_addition(&g, &mut r, n(1), n(2), 0).unwrap();
+        assert_eq!(r.len(), 1);
+        let c = r.get(id).unwrap();
+        assert_eq!(c.sorted_nodes(), vec![n(1), n(2), n(3), n(4), n(5)]);
+        assert!(c.satisfies_scp());
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn node_addition_with_fewer_than_two_edges_does_nothing() {
+        let g = graph(&[(1, 2), (2, 3), (9, 1)]);
+        let mut r = ClusterRegistry::new();
+        assert!(node_addition(&g, &mut r, n(9), 0).is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn node_addition_rule_r2_forms_triangle() {
+        // Figure 2(b): incoming n adjacent to n1, n2 which share an edge.
+        let g = graph(&[(1, 2), (0, 1), (0, 2)]);
+        let mut r = ClusterRegistry::new();
+        let ids = node_addition(&g, &mut r, n(0), 0);
+        assert_eq!(ids.len(), 1);
+        let c = r.get(ids[0]).unwrap();
+        assert_eq!(c.sorted_nodes(), vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn node_addition_rule_r1_forms_square() {
+        // Figure 2(a): incoming n adjacent to n1, n2 which share neighbour nc.
+        let g = graph(&[(1, 3), (2, 3), (0, 1), (0, 2)]);
+        let mut r = ClusterRegistry::new();
+        let ids = node_addition(&g, &mut r, n(0), 0);
+        assert_eq!(ids.len(), 1);
+        let c = r.get(ids[0]).unwrap();
+        assert_eq!(c.sorted_nodes(), vec![n(0), n(1), n(2), n(3)]);
+        assert!(c.satisfies_scp());
+    }
+
+    #[test]
+    fn figure5b_node_addition_merges_with_existing_clusters() {
+        // Figure 5(b): clusters C1 = (1,3,4) and C2 = (2,4,5) already exist;
+        // node n (=9) arrives with edges to 1 and 2, whose common neighbour
+        // is 4; everything merges into one cluster C4.
+        let g_before = graph(&[(1, 3), (3, 4), (1, 4), (2, 4), (4, 5), (2, 5)]);
+        let mut r = ClusterRegistry::new();
+        // Seed the registry with the two existing clusters via EdgeAddition.
+        for (a, b) in [(1, 4), (2, 5)] {
+            edge_addition(&g_before, &mut r, n(a), n(b), 0);
+        }
+        assert_eq!(r.len(), 2);
+        // Now node 9 arrives with edges to 1 and 2.
+        let mut g = g_before.clone();
+        g.add_edge(n(9), n(1), 1.0);
+        g.add_edge(n(9), n(2), 1.0);
+        let ids = node_addition(&g, &mut r, n(9), 1);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(r.len(), 1);
+        let c = r.get(ids[0]).unwrap();
+        assert_eq!(c.sorted_nodes(), vec![n(1), n(2), n(3), n(4), n(5), n(9)]);
+        assert!(c.satisfies_scp());
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn node_addition_and_edge_by_edge_addition_agree() {
+        // Property P3 in miniature: adding a node via NodeAddition or via
+        // EdgeAddition for each incident edge yields the same clustering.
+        let base = graph(&[(1, 2), (2, 3), (3, 1), (4, 5)]);
+        // New node 0 with edges to 1, 3 and 4.
+        let mut g = base.clone();
+        g.add_edge(n(0), n(1), 1.0);
+        g.add_edge(n(0), n(3), 1.0);
+        g.add_edge(n(0), n(4), 1.0);
+
+        let mut via_node = ClusterRegistry::new();
+        edge_addition(&g, &mut via_node, n(3), n(1), 0); // pre-existing triangle
+        node_addition(&g, &mut via_node, n(0), 1);
+
+        let mut via_edges = ClusterRegistry::new();
+        edge_addition(&g, &mut via_edges, n(3), n(1), 0);
+        for b in [1, 3, 4] {
+            edge_addition(&g, &mut via_edges, n(0), n(b), 1);
+        }
+
+        let mut a: Vec<Vec<NodeId>> = via_node.clusters().map(|c| c.sorted_nodes()).collect();
+        let mut b: Vec<Vec<NodeId>> = via_edges.clusters().map(|c| c.sorted_nodes()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merging_two_clusters_via_a_bridging_edge() {
+        // Example 2 / Figure 3(b): two separate clusters; new edges between
+        // them form a short cycle, merging them into one.
+        let mut g = graph(&[
+            (1, 2),
+            (2, 3),
+            (3, 1), // cluster 1
+            (10, 11),
+            (11, 12),
+            (12, 10), // cluster 2
+        ]);
+        let mut r = ClusterRegistry::new();
+        edge_addition(&g, &mut r, n(3), n(1), 0);
+        edge_addition(&g, &mut r, n(12), n(10), 0);
+        assert_eq!(r.len(), 2);
+        // First bridging edge alone closes no short cycle yet.
+        g.add_edge(n(1), n(10), 1.0);
+        assert_eq!(edge_addition(&g, &mut r, n(1), n(10), 1), None);
+        assert_eq!(r.len(), 2);
+        // The second bridging edge forms the 4-cycle 1-10-11-2-1 and merges
+        // the two clusters (Example 2 of the paper).
+        g.add_edge(n(2), n(11), 1.0);
+        let merged = edge_addition(&g, &mut r, n(2), n(11), 1).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(merged).unwrap().size(), 6);
+        assert!(r.check_invariants().is_ok());
+    }
+}

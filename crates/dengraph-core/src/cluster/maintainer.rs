@@ -1,0 +1,239 @@
+//! Driving cluster maintenance from AKG deltas.
+//!
+//! The AKG maintainer (Section 3) reports every structural change it makes
+//! as a [`GraphDelta`]; [`ClusterMaintainer`] applies the corresponding
+//! Section-5 algorithm for each delta, keeping the cluster registry in sync
+//! with the graph at the end of every quantum.
+
+use dengraph_graph::DynamicGraph;
+
+use crate::akg::GraphDelta;
+
+use super::addition::edge_addition;
+use super::deletion::{edge_deletion, node_deletion};
+use super::registry::ClusterRegistry;
+use super::{Cluster, ClusterId};
+
+/// Per-quantum summary of cluster maintenance work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Edge-addition operations processed.
+    pub edge_additions: usize,
+    /// Edge-deletion operations processed.
+    pub edge_deletions: usize,
+    /// Node-removal operations processed.
+    pub node_removals: usize,
+    /// Clusters that were created or merged into during the quantum.
+    pub clusters_touched: usize,
+}
+
+/// Applies AKG deltas to the cluster registry.
+#[derive(Debug, Default)]
+pub struct ClusterMaintainer {
+    registry: ClusterRegistry,
+    last_stats: MaintenanceStats,
+}
+
+impl ClusterMaintainer {
+    /// Creates a maintainer with an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the registry.
+    pub fn registry(&self) -> &ClusterRegistry {
+        &self.registry
+    }
+
+    /// Statistics of the most recent [`Self::apply_deltas`] call.
+    pub fn last_stats(&self) -> MaintenanceStats {
+        self.last_stats
+    }
+
+    /// Iterates over all live clusters.
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        self.registry.clusters()
+    }
+
+    /// Number of live clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Looks up a cluster.
+    pub fn get(&self, id: ClusterId) -> Option<&Cluster> {
+        self.registry.get(id)
+    }
+
+    /// Applies one quantum's worth of AKG deltas.  `graph` must be the AKG
+    /// *after* all deltas have been applied to it (which is how the AKG
+    /// maintainer hands it over); Lemma 5 guarantees the per-delta
+    /// processing order does not change the final clustering.
+    pub fn apply_deltas(&mut self, graph: &DynamicGraph, deltas: &[GraphDelta], quantum: u64) {
+        let mut stats = MaintenanceStats::default();
+        for delta in deltas {
+            match *delta {
+                GraphDelta::NodeAdded { .. } => {
+                    // A node with no edges cannot be in any cluster; its
+                    // edges (if any) arrive as EdgeAdded deltas.
+                }
+                GraphDelta::EdgeAdded { a, b, .. } => {
+                    stats.edge_additions += 1;
+                    if edge_addition(graph, &mut self.registry, a, b, quantum).is_some() {
+                        stats.clusters_touched += 1;
+                    }
+                }
+                GraphDelta::EdgeWeightUpdated { .. } => {
+                    // Weight changes do not affect cluster structure; the
+                    // ranking function reads weights straight from the graph.
+                }
+                GraphDelta::EdgeRemoved { a, b } => {
+                    stats.edge_deletions += 1;
+                    edge_deletion(&mut self.registry, a, b, quantum);
+                }
+                GraphDelta::NodeRemoved { node } => {
+                    stats.node_removals += 1;
+                    // Incident edges have already been reported as
+                    // EdgeRemoved, so normally nothing is left; this call
+                    // covers direct API use where a node is dropped in one go.
+                    node_deletion(&mut self.registry, node, quantum);
+                }
+            }
+        }
+        self.last_stats = stats;
+        debug_assert!(self.registry.check_invariants().is_ok(), "{:?}", self.registry.check_invariants());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dengraph_graph::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Helper that mirrors what the AKG maintainer does: apply the change to
+    /// the graph, then report the delta.
+    struct Sim {
+        graph: DynamicGraph,
+        maintainer: ClusterMaintainer,
+        quantum: u64,
+    }
+
+    impl Sim {
+        fn new() -> Self {
+            Self { graph: DynamicGraph::new(), maintainer: ClusterMaintainer::new(), quantum: 0 }
+        }
+
+        fn add_edge(&mut self, a: u32, b: u32) {
+            self.graph.add_edge(n(a), n(b), 1.0);
+            self.maintainer.apply_deltas(
+                &self.graph.clone(),
+                &[GraphDelta::EdgeAdded { a: n(a), b: n(b), weight: 1.0 }],
+                self.quantum,
+            );
+        }
+
+        fn remove_edge(&mut self, a: u32, b: u32) {
+            self.graph.remove_edge(n(a), n(b));
+            self.maintainer.apply_deltas(
+                &self.graph.clone(),
+                &[GraphDelta::EdgeRemoved { a: n(a), b: n(b) }],
+                self.quantum,
+            );
+        }
+
+        fn remove_node(&mut self, a: u32) {
+            let removed = self.graph.remove_node(n(a));
+            let mut deltas: Vec<GraphDelta> =
+                removed.iter().map(|(e, _)| GraphDelta::EdgeRemoved { a: e.0, b: e.1 }).collect();
+            deltas.push(GraphDelta::NodeRemoved { node: n(a) });
+            self.maintainer.apply_deltas(&self.graph.clone(), &deltas, self.quantum);
+        }
+    }
+
+    #[test]
+    fn building_a_triangle_creates_one_cluster() {
+        let mut sim = Sim::new();
+        sim.add_edge(1, 2);
+        sim.add_edge(2, 3);
+        assert_eq!(sim.maintainer.cluster_count(), 0);
+        sim.add_edge(1, 3);
+        assert_eq!(sim.maintainer.cluster_count(), 1);
+        let c = sim.maintainer.clusters().next().unwrap();
+        assert_eq!(c.sorted_nodes(), vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn growing_and_shrinking_a_cluster() {
+        let mut sim = Sim::new();
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (3, 4), (4, 1)] {
+            sim.add_edge(a, b);
+        }
+        assert_eq!(sim.maintainer.cluster_count(), 1);
+        assert_eq!(sim.maintainer.clusters().next().unwrap().size(), 4);
+        // Removing the chord keeps the 4-cycle alive...
+        sim.remove_edge(1, 3);
+        assert_eq!(sim.maintainer.cluster_count(), 1);
+        assert_eq!(sim.maintainer.clusters().next().unwrap().size(), 4);
+        // ...but removing a cycle edge dissolves it.
+        sim.remove_edge(3, 4);
+        assert_eq!(sim.maintainer.cluster_count(), 0);
+    }
+
+    #[test]
+    fn node_removal_via_deltas_matches_direct_node_deletion() {
+        let edges = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5), (1, 4)];
+        // Path A: remove node 3 edge by edge (what the AKG emits).
+        let mut sim = Sim::new();
+        for (a, b) in edges {
+            sim.add_edge(a, b);
+        }
+        sim.remove_node(3);
+        // Path B: same construction, then direct NodeDeletion call.
+        let mut graph = DynamicGraph::new();
+        let mut registry = ClusterRegistry::new();
+        for (a, b) in edges {
+            graph.add_edge(n(a), n(b), 1.0);
+            edge_addition(&graph, &mut registry, n(a), n(b), 0);
+        }
+        graph.remove_node(n(3));
+        node_deletion(&mut registry, n(3), 0);
+
+        let mut a: Vec<Vec<NodeId>> = sim.maintainer.clusters().map(|c| c.sorted_nodes()).collect();
+        let mut b: Vec<Vec<NodeId>> = registry.clusters().map(|c| c.sorted_nodes()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_are_tracked() {
+        let mut sim = Sim::new();
+        sim.add_edge(1, 2);
+        sim.add_edge(2, 3);
+        sim.add_edge(1, 3);
+        assert_eq!(sim.maintainer.last_stats().edge_additions, 1);
+        assert_eq!(sim.maintainer.last_stats().clusters_touched, 1);
+        sim.remove_edge(1, 3);
+        assert_eq!(sim.maintainer.last_stats().edge_deletions, 1);
+    }
+
+    #[test]
+    fn weight_updates_do_not_change_structure() {
+        let mut sim = Sim::new();
+        sim.add_edge(1, 2);
+        sim.add_edge(2, 3);
+        sim.add_edge(1, 3);
+        let before: Vec<_> = sim.maintainer.clusters().map(|c| c.sorted_nodes()).collect();
+        sim.maintainer.apply_deltas(
+            &sim.graph.clone(),
+            &[GraphDelta::EdgeWeightUpdated { a: n(1), b: n(2), weight: 0.9 }],
+            1,
+        );
+        let after: Vec<_> = sim.maintainer.clusters().map(|c| c.sorted_nodes()).collect();
+        assert_eq!(before, after);
+    }
+}

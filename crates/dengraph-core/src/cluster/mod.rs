@@ -1,0 +1,227 @@
+//! Cluster discovery and maintenance — Sections 4 and 5 of the paper.
+//!
+//! A *cluster* is an approximate majority quasi-clique (aMQC): a subgraph of
+//! the AKG in which every edge lies on a cycle of length at most 4 (the
+//! short-cycle property).  Clusters are discovered and maintained *locally*:
+//! whenever a node or edge is added to or removed from the AKG, only the
+//! neighbourhood of that change and the clusters touching it are processed.
+//!
+//! Module layout:
+//!
+//! * [`cluster`](self) — the [`Cluster`] value type and [`ClusterId`].
+//! * [`registry`] — the [`ClusterRegistry`]: cluster storage plus the
+//!   edge→cluster and node→clusters indexes and the shared-edge merge rule
+//!   (Lemma 6).
+//! * [`addition`] — the `NodeAddition` and `EdgeAddition` algorithms of
+//!   Sections 5.1 and 5.2.
+//! * [`deletion`] — the `NodeDeletion` and `EdgeDeletion` algorithms of
+//!   Sections 5.3 and 5.4 (cycle check, articulation check, cluster
+//!   splitting).
+//! * [`maintainer`] — [`ClusterMaintainer`], which drives the above from the
+//!   stream of [`GraphDelta`](crate::akg::GraphDelta)s produced by the AKG.
+
+pub mod addition;
+pub mod deletion;
+pub mod maintainer;
+pub mod registry;
+
+use dengraph_graph::dynamic_graph::EdgeKey;
+use dengraph_graph::fxhash::FxHashSet;
+use dengraph_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+pub use addition::{edge_addition, node_addition};
+pub use deletion::{edge_deletion, node_deletion};
+pub use maintainer::ClusterMaintainer;
+pub use registry::ClusterRegistry;
+
+/// Identifier of a cluster.  Ids are never reused within one registry, so
+/// downstream event tracking can rely on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClusterId(pub u64);
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One discovered cluster: a set of AKG nodes plus the set of AKG edges that
+/// hold it together.
+///
+/// The edge set is explicit (rather than "all induced edges") because the
+/// short-cycle property is a property of *edges*: an AKG edge between two
+/// cluster nodes that does not participate in any short cycle within the
+/// cluster is not part of the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// The cluster's id.
+    pub id: ClusterId,
+    /// The member nodes (always the endpoints of [`Self::edges`]).
+    pub nodes: FxHashSet<NodeId>,
+    /// The member edges.
+    pub edges: FxHashSet<EdgeKey>,
+    /// Quantum in which the cluster was first created.
+    pub born_quantum: u64,
+    /// Quantum in which the cluster last changed (grew, shrank or merged).
+    pub updated_quantum: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster from explicit node and edge sets.
+    pub fn new(id: ClusterId, nodes: FxHashSet<NodeId>, edges: FxHashSet<EdgeKey>, quantum: u64) -> Self {
+        Self { id, nodes, edges, born_quantum: quantum, updated_quantum: quantum }
+    }
+
+    /// Number of member nodes.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of member edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Does the cluster contain this node?
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Does the cluster contain this edge?
+    pub fn contains_edge(&self, e: EdgeKey) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Member nodes, sorted (useful for deterministic output and tests).
+    pub fn sorted_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Recomputes the node set from the edge set (useful when constructing
+    /// a cluster from edges alone, or after manually editing the edge set).
+    pub fn sync_nodes_to_edges(&mut self) {
+        self.nodes.clear();
+        for e in &self.edges {
+            self.nodes.insert(e.0);
+            self.nodes.insert(e.1);
+        }
+    }
+
+    /// Neighbours of `n` along cluster edges.
+    pub fn cluster_neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.edges.iter().filter_map(|e| e.other(n)).collect()
+    }
+
+    /// Does the cluster's own edge set provide a path of length at most
+    /// `max_len` between `a` and `b` that does not use the direct edge
+    /// `(a, b)`?  This is the cluster-local short-cycle check used by the
+    /// deletion algorithms.
+    pub fn has_alternate_path(&self, a: NodeId, b: NodeId, max_len: usize) -> bool {
+        let direct = EdgeKey::new(a, b);
+        let mut frontier = vec![a];
+        let mut visited: FxHashSet<NodeId> = FxHashSet::default();
+        visited.insert(a);
+        for _depth in 1..=max_len {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for e in &self.edges {
+                    // Never traverse the direct edge itself.
+                    if *e == direct {
+                        continue;
+                    }
+                    let Some(v) = e.other(u) else { continue };
+                    if v == b {
+                        return true;
+                    }
+                    if visited.insert(v) {
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Does every edge of the cluster lie on a short cycle (length ≤ 4)
+    /// within the cluster?  This is the defining invariant (property P1).
+    pub fn satisfies_scp(&self) -> bool {
+        self.edges.iter().all(|e| self.has_alternate_path(e.0, e.1, 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn cluster_from(edges: &[(u32, u32)]) -> Cluster {
+        let edge_set: FxHashSet<EdgeKey> = edges.iter().map(|&(a, b)| EdgeKey::new(n(a), n(b))).collect();
+        let mut c = Cluster::new(ClusterId(1), FxHashSet::default(), edge_set, 0);
+        c.sync_nodes_to_edges();
+        c
+    }
+
+    #[test]
+    fn triangle_cluster_satisfies_scp() {
+        let c = cluster_from(&[(1, 2), (2, 3), (1, 3)]);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.edge_count(), 3);
+        assert!(c.satisfies_scp());
+        assert!(c.has_alternate_path(n(1), n(2), 3));
+        assert!(!c.has_alternate_path(n(1), n(2), 1));
+    }
+
+    #[test]
+    fn four_cycle_cluster_satisfies_scp() {
+        let c = cluster_from(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        assert!(c.satisfies_scp());
+    }
+
+    #[test]
+    fn five_cycle_cluster_violates_scp() {
+        let c = cluster_from(&[(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]);
+        assert!(!c.satisfies_scp());
+    }
+
+    #[test]
+    fn pendant_edge_breaks_scp() {
+        let c = cluster_from(&[(1, 2), (2, 3), (1, 3), (3, 4)]);
+        assert!(!c.satisfies_scp());
+    }
+
+    #[test]
+    fn cluster_neighbors_and_membership() {
+        let c = cluster_from(&[(1, 2), (2, 3), (1, 3)]);
+        let mut nbrs = c.cluster_neighbors(n(1));
+        nbrs.sort();
+        assert_eq!(nbrs, vec![n(2), n(3)]);
+        assert!(c.contains_node(n(1)));
+        assert!(!c.contains_node(n(9)));
+        assert!(c.contains_edge(EdgeKey::new(n(2), n(1))));
+        assert_eq!(c.sorted_nodes(), vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn sync_nodes_follows_edges() {
+        let mut c = cluster_from(&[(1, 2), (2, 3), (1, 3)]);
+        c.edges.remove(&EdgeKey::new(n(1), n(3)));
+        c.edges.remove(&EdgeKey::new(n(2), n(3)));
+        c.sync_nodes_to_edges();
+        assert_eq!(c.sorted_nodes(), vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(ClusterId(4).to_string(), "c4");
+    }
+}

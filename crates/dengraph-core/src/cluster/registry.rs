@@ -1,0 +1,379 @@
+//! Cluster storage and indexes.
+//!
+//! The registry owns all live clusters and maintains two indexes:
+//!
+//! * `edge → cluster` — an AKG edge belongs to at most one cluster (two
+//!   clusters sharing an edge merge, Lemma 6), so this is a plain map;
+//! * `node → clusters` — a node may belong to several clusters (two
+//!   clusters may share an articulation node, e.g. after the split of
+//!   Figure 6), so this is a multimap.
+
+use dengraph_graph::dynamic_graph::EdgeKey;
+use dengraph_graph::fxhash::{FxHashMap, FxHashSet};
+use dengraph_graph::NodeId;
+
+use super::{Cluster, ClusterId};
+
+/// Owns every live cluster plus the edge and node indexes.
+#[derive(Debug, Default)]
+pub struct ClusterRegistry {
+    clusters: FxHashMap<ClusterId, Cluster>,
+    edge_index: FxHashMap<EdgeKey, ClusterId>,
+    node_index: FxHashMap<NodeId, FxHashSet<ClusterId>>,
+    next_id: u64,
+}
+
+impl ClusterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` when no cluster exists.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Iterates over all live clusters.
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        self.clusters.values()
+    }
+
+    /// Looks up a cluster by id.
+    pub fn get(&self, id: ClusterId) -> Option<&Cluster> {
+        self.clusters.get(&id)
+    }
+
+    /// The cluster owning this edge, if any.
+    pub fn cluster_of_edge(&self, edge: EdgeKey) -> Option<ClusterId> {
+        self.edge_index.get(&edge).copied()
+    }
+
+    /// The clusters containing this node (possibly several).
+    pub fn clusters_of_node(&self, node: NodeId) -> Vec<ClusterId> {
+        self.node_index.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Is the node a member of at least one cluster?  (This is the
+    /// hysteresis test the AKG maintenance asks about.)
+    pub fn is_cluster_member(&self, node: NodeId) -> bool {
+        self.node_index.get(&node).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Allocates a fresh cluster id.
+    fn fresh_id(&mut self) -> ClusterId {
+        let id = ClusterId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a brand-new cluster built from explicit node and edge sets.
+    /// Panics (debug assertion) if any edge is already owned by another
+    /// cluster — callers must merge first.
+    pub fn insert_new(&mut self, nodes: FxHashSet<NodeId>, edges: FxHashSet<EdgeKey>, quantum: u64) -> ClusterId {
+        let id = self.fresh_id();
+        debug_assert!(edges.iter().all(|e| !self.edge_index.contains_key(e)), "edge already owned by another cluster");
+        for e in &edges {
+            self.edge_index.insert(*e, id);
+        }
+        for n in &nodes {
+            self.node_index.entry(*n).or_default().insert(id);
+        }
+        self.clusters.insert(id, Cluster::new(id, nodes, edges, quantum));
+        id
+    }
+
+    /// Removes a cluster entirely, cleaning both indexes.
+    pub fn remove(&mut self, id: ClusterId) -> Option<Cluster> {
+        let cluster = self.clusters.remove(&id)?;
+        for e in &cluster.edges {
+            if self.edge_index.get(e) == Some(&id) {
+                self.edge_index.remove(e);
+            }
+        }
+        for n in &cluster.nodes {
+            if let Some(set) = self.node_index.get_mut(n) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.node_index.remove(n);
+                }
+            }
+        }
+        Some(cluster)
+    }
+
+    /// Absorbs a set of nodes and edges into the cluster structure: every
+    /// existing cluster sharing an edge with `edges` is merged with the new
+    /// material into a single cluster (Lemma 6).  Returns the id of the
+    /// resulting cluster.
+    pub fn absorb(&mut self, nodes: FxHashSet<NodeId>, edges: FxHashSet<EdgeKey>, quantum: u64) -> ClusterId {
+        // Which existing clusters share an edge with the new material?
+        let mut touched: FxHashSet<ClusterId> = FxHashSet::default();
+        for e in &edges {
+            if let Some(&cid) = self.edge_index.get(e) {
+                touched.insert(cid);
+            }
+        }
+        if touched.is_empty() {
+            return self.insert_new(nodes, edges, quantum);
+        }
+        // Merge everything into the oldest touched cluster (stable ids keep
+        // event tracking simple).
+        let mut ids: Vec<ClusterId> = touched.into_iter().collect();
+        ids.sort();
+        let target = ids[0];
+        let mut all_nodes = nodes;
+        let mut all_edges = edges;
+        let mut born = quantum;
+        for &cid in &ids {
+            let c = self.remove(cid).expect("touched cluster exists");
+            born = born.min(c.born_quantum);
+            all_nodes.extend(c.nodes);
+            all_edges.extend(c.edges);
+        }
+        // Re-insert under the target id.
+        for e in &all_edges {
+            self.edge_index.insert(*e, target);
+        }
+        for n in &all_nodes {
+            self.node_index.entry(*n).or_default().insert(target);
+        }
+        let mut cluster = Cluster::new(target, all_nodes, all_edges, born);
+        cluster.updated_quantum = quantum;
+        self.clusters.insert(target, cluster);
+        self.next_id = self.next_id.max(target.0 + 1);
+        target
+    }
+
+    /// Replaces a cluster with zero or more successor clusters (used by the
+    /// deletion repair when a cluster shrinks, splits or dissolves).  The
+    /// first successor keeps the original id (so long-running events keep a
+    /// stable identity across shrinking); the rest get fresh ids.
+    pub fn replace_with(
+        &mut self,
+        id: ClusterId,
+        successors: Vec<(FxHashSet<NodeId>, FxHashSet<EdgeKey>)>,
+        quantum: u64,
+    ) -> Vec<ClusterId> {
+        let original = self.remove(id);
+        let born = original.as_ref().map_or(quantum, |c| c.born_quantum);
+        let mut out = Vec::with_capacity(successors.len());
+        for (i, (nodes, edges)) in successors.into_iter().enumerate() {
+            if edges.is_empty() || nodes.len() < 3 {
+                continue;
+            }
+            let new_id = if i == 0 { id } else { self.fresh_id() };
+            for e in &edges {
+                self.edge_index.insert(*e, new_id);
+            }
+            for n in &nodes {
+                self.node_index.entry(*n).or_default().insert(new_id);
+            }
+            let mut cluster = Cluster::new(new_id, nodes, edges, born);
+            cluster.updated_quantum = quantum;
+            self.clusters.insert(new_id, cluster);
+            self.next_id = self.next_id.max(new_id.0 + 1);
+            out.push(new_id);
+        }
+        out
+    }
+
+    /// Marks a cluster as updated in `quantum` (e.g. after a weight-only
+    /// change relevant to event tracking).
+    pub fn touch(&mut self, id: ClusterId, quantum: u64) {
+        if let Some(c) = self.clusters.get_mut(&id) {
+            c.updated_quantum = quantum;
+        }
+    }
+
+    /// Removes one edge from a cluster's edge set and the edge index,
+    /// without any repair.  Used as the first step of the deletion
+    /// algorithms; callers must follow up with a repair.
+    pub(crate) fn detach_edge(&mut self, id: ClusterId, edge: EdgeKey) {
+        if self.edge_index.get(&edge) == Some(&id) {
+            self.edge_index.remove(&edge);
+        }
+        if let Some(c) = self.clusters.get_mut(&id) {
+            c.edges.remove(&edge);
+        }
+    }
+
+    /// Checks the internal invariants (each edge owned by exactly the
+    /// cluster the index says; node index consistent; clusters satisfy SCP
+    /// and have ≥ 3 nodes).  Used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (id, c) in &self.clusters {
+            if c.nodes.len() < 3 {
+                return Err(format!("cluster {id} has fewer than 3 nodes"));
+            }
+            if !c.satisfies_scp() {
+                return Err(format!("cluster {id} violates the short-cycle property"));
+            }
+            for e in &c.edges {
+                if self.edge_index.get(e) != Some(id) {
+                    return Err(format!("edge {e:?} of cluster {id} not indexed to it"));
+                }
+            }
+            for n in &c.nodes {
+                if !self.node_index.get(n).is_some_and(|s| s.contains(id)) {
+                    return Err(format!("node {n} of cluster {id} missing from node index"));
+                }
+            }
+        }
+        for (e, id) in &self.edge_index {
+            if !self.clusters.get(id).is_some_and(|c| c.edges.contains(e)) {
+                return Err(format!("edge index entry {e:?} -> {id} is dangling"));
+            }
+        }
+        for (n, ids) in &self.node_index {
+            for id in ids {
+                if !self.clusters.get(id).is_some_and(|c| c.nodes.contains(n)) {
+                    return Err(format!("node index entry {n} -> {id} is dangling"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn e(a: u32, b: u32) -> EdgeKey {
+        EdgeKey::new(n(a), n(b))
+    }
+
+    fn triangle(a: u32, b: u32, c: u32) -> (FxHashSet<NodeId>, FxHashSet<EdgeKey>) {
+        let nodes = [n(a), n(b), n(c)].into_iter().collect();
+        let edges = [e(a, b), e(b, c), e(a, c)].into_iter().collect();
+        (nodes, edges)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut r = ClusterRegistry::new();
+        let (nodes, edges) = triangle(1, 2, 3);
+        let id = r.insert_new(nodes, edges, 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cluster_of_edge(e(1, 2)), Some(id));
+        assert_eq!(r.clusters_of_node(n(1)), vec![id]);
+        assert!(r.is_cluster_member(n(2)));
+        assert!(!r.is_cluster_member(n(9)));
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn absorb_without_overlap_creates_new_cluster() {
+        let mut r = ClusterRegistry::new();
+        let (n1, e1) = triangle(1, 2, 3);
+        let (n2, e2) = triangle(10, 11, 12);
+        let a = r.absorb(n1, e1, 0);
+        let b = r.absorb(n2, e2, 1);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn absorb_with_shared_edge_merges() {
+        let mut r = ClusterRegistry::new();
+        let (n1, e1) = triangle(1, 2, 3);
+        let a = r.absorb(n1, e1, 0);
+        // Second triangle shares edge (2,3) with the first (Lemma 6).
+        let (n2, e2) = triangle(2, 3, 4);
+        let b = r.absorb(n2, e2, 1);
+        assert_eq!(a, b, "merge keeps the older cluster's id");
+        assert_eq!(r.len(), 1);
+        let c = r.get(a).unwrap();
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.edge_count(), 5);
+        assert_eq!(c.born_quantum, 0);
+        assert_eq!(c.updated_quantum, 1);
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn absorb_merging_two_existing_clusters() {
+        let mut r = ClusterRegistry::new();
+        let (n1, e1) = triangle(1, 2, 3);
+        let (n2, e2) = triangle(5, 6, 7);
+        let a = r.absorb(n1, e1, 0);
+        let _b = r.absorb(n2, e2, 0);
+        // New 4-cycle sharing an edge with each: 2-3-5-6-2.
+        let nodes: FxHashSet<NodeId> = [n(2), n(3), n(5), n(6)].into_iter().collect();
+        let edges: FxHashSet<EdgeKey> = [e(2, 3), e(3, 5), e(5, 6), e(6, 2)].into_iter().collect();
+        let merged = r.absorb(nodes, edges, 2);
+        assert_eq!(merged, a);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(merged).unwrap().size(), 6);
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn remove_cleans_indexes() {
+        let mut r = ClusterRegistry::new();
+        let (nodes, edges) = triangle(1, 2, 3);
+        let id = r.insert_new(nodes, edges, 0);
+        let removed = r.remove(id).unwrap();
+        assert_eq!(removed.size(), 3);
+        assert!(r.is_empty());
+        assert_eq!(r.cluster_of_edge(e(1, 2)), None);
+        assert!(r.clusters_of_node(n(1)).is_empty());
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn replace_with_splits_and_keeps_original_id_for_first() {
+        let mut r = ClusterRegistry::new();
+        // One big cluster: two triangles sharing node 3 (pretend it was valid).
+        let nodes: FxHashSet<NodeId> = [n(1), n(2), n(3), n(4), n(5)].into_iter().collect();
+        let edges: FxHashSet<EdgeKey> =
+            [e(1, 2), e(2, 3), e(1, 3), e(3, 4), e(4, 5), e(3, 5)].into_iter().collect();
+        let id = r.insert_new(nodes, edges, 0);
+        let (na, ea) = triangle(1, 2, 3);
+        let (nb, eb) = triangle(3, 4, 5);
+        let new_ids = r.replace_with(id, vec![(na, ea), (nb, eb)], 5);
+        assert_eq!(new_ids.len(), 2);
+        assert_eq!(new_ids[0], id);
+        assert_ne!(new_ids[1], id);
+        assert_eq!(r.len(), 2);
+        // Node 3 belongs to both successor clusters.
+        assert_eq!(r.clusters_of_node(n(3)).len(), 2);
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn replace_with_drops_too_small_successors() {
+        let mut r = ClusterRegistry::new();
+        let (nodes, edges) = triangle(1, 2, 3);
+        let id = r.insert_new(nodes, edges, 0);
+        // A successor with only one edge (2 nodes) must be discarded.
+        let nodes2: FxHashSet<NodeId> = [n(1), n(2)].into_iter().collect();
+        let edges2: FxHashSet<EdgeKey> = [e(1, 2)].into_iter().collect();
+        let out = r.replace_with(id, vec![(nodes2, edges2)], 1);
+        assert!(out.is_empty());
+        assert!(r.is_empty());
+        assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut r = ClusterRegistry::new();
+        let (nodes, edges) = triangle(1, 2, 3);
+        let a = r.insert_new(nodes, edges, 0);
+        r.remove(a);
+        let (nodes, edges) = triangle(4, 5, 6);
+        let b = r.insert_new(nodes, edges, 0);
+        assert_ne!(a, b);
+    }
+}

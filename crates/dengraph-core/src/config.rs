@@ -1,0 +1,210 @@
+//! Detector configuration.
+//!
+//! Table 2 of the paper lists the tunable parameters and their nominal
+//! values; those nominal values are the defaults here.
+
+use serde::{Deserialize, Serialize};
+
+/// All tunable parameters of the event detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Quantum size Δ: number of messages per quantum (nominal 160,
+    /// tunable 80–240; the ground-truth study of Section 7.1 uses 800).
+    pub quantum_size: usize,
+    /// High-state threshold σ: a keyword enters the high state when at
+    /// least this many distinct users mention it within one quantum
+    /// (nominal 4).
+    pub high_state_threshold: u32,
+    /// Edge-correlation threshold τ: minimum Jaccard correlation between
+    /// the user-id sets of two keywords for an AKG edge (nominal 0.20,
+    /// tunable 0.1–0.25).
+    pub edge_correlation_threshold: f64,
+    /// Window length w in quanta (nominal 30, tunable 20–40).
+    pub window_quanta: usize,
+    /// Use the exact Jaccard coefficient instead of the min-hash estimate
+    /// when computing edge correlations.  Defaults to `false` (the paper's
+    /// min-hash scheme); the ablation benchmarks flip it.
+    pub exact_edge_correlation: bool,
+    /// Lower bound on the min-hash sketch size.  The paper's formula
+    /// `p = min(σ/2, 1/τ)` yields p = 2 at the nominal thresholds, which is
+    /// enough for the *edge admission gate* ("do the sketches share a
+    /// minimum?") but far too coarse to compare the estimated correlation
+    /// against τ.  Keeping at least this many minima makes the estimate
+    /// usable while leaving the admission gate untouched (documented as a
+    /// deviation in DESIGN.md).
+    pub min_sketch_size: usize,
+    /// Keep keywords in the AKG while they participate in a cluster even if
+    /// they stop being bursty (the hysteresis / lazy-update rule of
+    /// Section 3.1).  Defaults to `true`; the ablation benchmarks flip it.
+    pub hysteresis: bool,
+    /// Multiplier applied to the minimum possible cluster rank when
+    /// filtering reported events (Section 7.2.2's rank-threshold precision
+    /// filter).  1.0 keeps every structurally possible cluster.
+    pub rank_threshold_factor: f64,
+    /// Require at least one noun keyword in a reported event (Section
+    /// 7.2.2's other precision filter).
+    pub require_noun: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            quantum_size: 160,
+            high_state_threshold: 4,
+            edge_correlation_threshold: 0.20,
+            window_quanta: 30,
+            exact_edge_correlation: false,
+            min_sketch_size: 16,
+            hysteresis: true,
+            rank_threshold_factor: 1.0,
+            require_noun: true,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The paper's nominal configuration (Table 2).
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// The configuration used for the ground-truth study of Section 7.1
+    /// (Δ = 800, τ = 0.1, σ = 4, w = 30).
+    pub fn ground_truth_study() -> Self {
+        Self { quantum_size: 800, edge_correlation_threshold: 0.1, ..Self::default() }
+    }
+
+    /// Sets the quantum size (builder style).
+    pub fn with_quantum_size(mut self, delta: usize) -> Self {
+        self.quantum_size = delta;
+        self
+    }
+
+    /// Sets the edge-correlation threshold τ (builder style).
+    pub fn with_edge_correlation_threshold(mut self, tau: f64) -> Self {
+        self.edge_correlation_threshold = tau;
+        self
+    }
+
+    /// Sets the high-state threshold σ (builder style).
+    pub fn with_high_state_threshold(mut self, sigma: u32) -> Self {
+        self.high_state_threshold = sigma;
+        self
+    }
+
+    /// Sets the window length in quanta (builder style).
+    pub fn with_window_quanta(mut self, w: usize) -> Self {
+        self.window_quanta = w;
+        self
+    }
+
+    /// The min-hash sketch size `p = min(σ/2, 1/τ)` of Section 3.2.2
+    /// (before applying [`Self::min_sketch_size`]).
+    pub fn paper_sketch_size(&self) -> usize {
+        dengraph_minhash::sketch_size(self.high_state_threshold, self.edge_correlation_threshold)
+    }
+
+    /// The effective min-hash sketch size used by the detector:
+    /// `max(min(σ/2, 1/τ), min_sketch_size)`.
+    pub fn sketch_size(&self) -> usize {
+        self.paper_sketch_size().max(self.min_sketch_size.max(1))
+    }
+
+    /// The minimum rank a structurally valid cluster of any size can reach
+    /// with these thresholds: every node is supported by at least σ users
+    /// and lies on a short cycle, contributing at least `σ·(1 + 2τ)` to the
+    /// size-normalised rank.  Used by the rank-threshold precision filter.
+    pub fn minimum_cluster_rank(&self) -> f64 {
+        self.high_state_threshold as f64 * (1.0 + 2.0 * self.edge_correlation_threshold)
+    }
+
+    /// The rank below which a reported event is suppressed.
+    pub fn rank_report_threshold(&self) -> f64 {
+        self.minimum_cluster_rank() * self.rank_threshold_factor
+    }
+
+    /// Validates the configuration, returning a human-readable error when a
+    /// parameter is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.quantum_size == 0 {
+            return Err("quantum_size must be at least 1".into());
+        }
+        if self.window_quanta == 0 {
+            return Err("window_quanta must be at least 1".into());
+        }
+        if self.high_state_threshold == 0 {
+            return Err("high_state_threshold must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.edge_correlation_threshold) {
+            return Err("edge_correlation_threshold must lie in [0, 1]".into());
+        }
+        if self.rank_threshold_factor < 0.0 {
+            return Err("rank_threshold_factor must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_values_match_table2() {
+        let c = DetectorConfig::nominal();
+        assert_eq!(c.quantum_size, 160);
+        assert_eq!(c.high_state_threshold, 4);
+        assert!((c.edge_correlation_threshold - 0.20).abs() < f64::EPSILON);
+        assert_eq!(c.window_quanta, 30);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ground_truth_study_config() {
+        let c = DetectorConfig::ground_truth_study();
+        assert_eq!(c.quantum_size, 800);
+        assert!((c.edge_correlation_threshold - 0.1).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DetectorConfig::nominal()
+            .with_quantum_size(80)
+            .with_edge_correlation_threshold(0.25)
+            .with_high_state_threshold(6)
+            .with_window_quanta(20);
+        assert_eq!(c.quantum_size, 80);
+        assert_eq!(c.high_state_threshold, 6);
+        assert_eq!(c.window_quanta, 20);
+        assert!((c.edge_correlation_threshold - 0.25).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn sketch_size_follows_paper_formula_with_floor() {
+        assert_eq!(DetectorConfig::nominal().paper_sketch_size(), 2);
+        assert_eq!(DetectorConfig::nominal().with_high_state_threshold(10).paper_sketch_size(), 5);
+        // The effective size never drops below the configured floor …
+        assert_eq!(DetectorConfig::nominal().sketch_size(), 16);
+        // … and follows the paper's formula once that exceeds the floor.
+        let big = DetectorConfig { high_state_threshold: 64, min_sketch_size: 4, ..DetectorConfig::nominal() };
+        assert_eq!(big.sketch_size(), 5); // min(32, 1/0.2 = 5)
+    }
+
+    #[test]
+    fn minimum_rank_and_threshold() {
+        let c = DetectorConfig::nominal();
+        assert!((c.minimum_cluster_rank() - 4.0 * 1.4).abs() < 1e-12);
+        assert!((c.rank_report_threshold() - c.minimum_cluster_rank()).abs() < 1e-12);
+        let strict = DetectorConfig { rank_threshold_factor: 2.0, ..c };
+        assert!(strict.rank_report_threshold() > strict.minimum_cluster_rank());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(DetectorConfig { quantum_size: 0, ..Default::default() }.validate().is_err());
+        assert!(DetectorConfig { window_quanta: 0, ..Default::default() }.validate().is_err());
+        assert!(DetectorConfig { high_state_threshold: 0, ..Default::default() }.validate().is_err());
+        assert!(DetectorConfig { edge_correlation_threshold: 1.5, ..Default::default() }.validate().is_err());
+        assert!(DetectorConfig { rank_threshold_factor: -1.0, ..Default::default() }.validate().is_err());
+    }
+}

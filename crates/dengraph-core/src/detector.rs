@@ -1,0 +1,431 @@
+//! The end-to-end real-time event detector.
+//!
+//! [`EventDetector`] wires the pieces of the paper together.  Per quantum of
+//! Δ messages it
+//!
+//! 1. aggregates the quantum into per-keyword user sets and slides the
+//!    window ([`crate::keyword_state`]),
+//! 2. updates the AKG — node admission, edge correlations, stale removal
+//!    ([`crate::akg`], Section 3),
+//! 3. applies the resulting deltas to the cluster registry with the local
+//!    short-cycle maintenance algorithms ([`crate::cluster`], Sections 4–5),
+//! 4. ranks every live cluster ([`crate::ranking`], Section 6), filters by
+//!    the rank threshold and the noun requirement (Section 7.2.2), and
+//! 5. reports the surviving clusters as this quantum's emerging events,
+//!    feeding the long-term [`EventTracker`](crate::event::EventTracker).
+
+use dengraph_minhash::UserHasher;
+use dengraph_stream::{Message, Quantum};
+use dengraph_text::{KeywordId, KeywordInterner, NounHeuristic};
+
+use crate::akg::{keyword_of, node_of, AkgMaintainer, AkgQuantumStats};
+use crate::cluster::maintainer::MaintenanceStats;
+use crate::cluster::ClusterMaintainer;
+use crate::config::DetectorConfig;
+use crate::event::{DetectedEvent, EventRecord, EventTracker};
+use crate::keyword_state::{QuantumRecord, WindowState};
+use crate::ranking::{cluster_rank, cluster_support};
+
+/// Summary of one processed quantum.
+#[derive(Debug, Clone)]
+pub struct QuantumSummary {
+    /// Quantum index (0-based).
+    pub quantum: u64,
+    /// Messages processed in this quantum.
+    pub messages: usize,
+    /// Events reported this quantum, ranked best-first.
+    pub events: Vec<DetectedEvent>,
+    /// AKG maintenance statistics.
+    pub akg_stats: AkgQuantumStats,
+    /// Cluster maintenance statistics.
+    pub maintenance_stats: MaintenanceStats,
+    /// Number of live clusters after this quantum (before report filters).
+    pub live_clusters: usize,
+    /// Number of AKG nodes after this quantum.
+    pub akg_nodes: usize,
+    /// Number of AKG edges after this quantum.
+    pub akg_edges: usize,
+}
+
+/// The streaming event detector.
+#[derive(Debug)]
+pub struct EventDetector {
+    config: DetectorConfig,
+    window: WindowState,
+    akg: AkgMaintainer,
+    clusters: ClusterMaintainer,
+    tracker: EventTracker,
+    noun_filter: Option<(KeywordInterner, NounHeuristic)>,
+    buffer: Vec<Message>,
+    next_quantum: u64,
+    total_messages: u64,
+}
+
+impl EventDetector {
+    /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`DetectorConfig::validate`]).
+    pub fn new(config: DetectorConfig) -> Self {
+        config.validate().expect("invalid detector configuration");
+        let window = WindowState::new(config.window_quanta, config.sketch_size(), UserHasher::new(0x5EED_CAFE));
+        Self {
+            akg: AkgMaintainer::new(config.clone()),
+            clusters: ClusterMaintainer::new(),
+            tracker: EventTracker::new(),
+            noun_filter: None,
+            buffer: Vec::with_capacity(config.quantum_size),
+            next_quantum: 0,
+            total_messages: 0,
+            window,
+            config,
+        }
+    }
+
+    /// Creates a detector with the nominal configuration of Table 2.
+    pub fn with_nominal_config() -> Self {
+        Self::new(DetectorConfig::nominal())
+    }
+
+    /// Enables the noun-based precision filter by supplying the keyword
+    /// interner used by the message stream (needed to resolve keyword ids
+    /// back to strings).
+    pub fn with_interner(mut self, interner: KeywordInterner) -> Self {
+        self.noun_filter = Some((interner, NounHeuristic::new()));
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The current AKG.
+    pub fn akg(&self) -> &dengraph_graph::DynamicGraph {
+        self.akg.graph()
+    }
+
+    /// The cluster maintainer (read access).
+    pub fn clusters(&self) -> &ClusterMaintainer {
+        &self.clusters
+    }
+
+    /// The long-term event records accumulated so far.
+    pub fn event_records(&self) -> Vec<&EventRecord> {
+        self.tracker.records()
+    }
+
+    /// Event records not flagged spurious by the post-hoc heuristic.
+    pub fn non_spurious_event_records(&self) -> Vec<&EventRecord> {
+        self.tracker.non_spurious_records()
+    }
+
+    /// Total messages ingested.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Number of quanta fully processed.
+    pub fn quanta_processed(&self) -> u64 {
+        self.next_quantum
+    }
+
+    /// Streams a single message into the detector.  When the internal
+    /// buffer reaches the configured quantum size Δ, the quantum is
+    /// processed and its summary returned.
+    pub fn push_message(&mut self, message: Message) -> Option<QuantumSummary> {
+        self.buffer.push(message);
+        if self.buffer.len() >= self.config.quantum_size {
+            let messages = std::mem::take(&mut self.buffer);
+            Some(self.process_messages(&messages))
+        } else {
+            None
+        }
+    }
+
+    /// Flushes a partial quantum (e.g. at end of stream).  Returns `None`
+    /// when the buffer is empty.
+    pub fn flush(&mut self) -> Option<QuantumSummary> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let messages = std::mem::take(&mut self.buffer);
+        Some(self.process_messages(&messages))
+    }
+
+    /// Processes one pre-batched quantum.
+    pub fn process_quantum(&mut self, quantum: &Quantum) -> QuantumSummary {
+        self.process_messages(&quantum.messages)
+    }
+
+    /// Runs an entire message slice through the detector, batching it into
+    /// quanta of the configured size.  Returns one summary per quantum.
+    pub fn run(&mut self, messages: &[Message]) -> Vec<QuantumSummary> {
+        let mut out = Vec::new();
+        for m in messages {
+            if let Some(summary) = self.push_message(m.clone()) {
+                out.push(summary);
+            }
+        }
+        if let Some(summary) = self.flush() {
+            out.push(summary);
+        }
+        out
+    }
+
+    /// Core per-quantum pipeline.
+    fn process_messages(&mut self, messages: &[Message]) -> QuantumSummary {
+        let quantum = self.next_quantum;
+        self.next_quantum += 1;
+        self.total_messages += messages.len() as u64;
+
+        // 1. Aggregate and slide the window.
+        let record = QuantumRecord::from_messages(quantum, messages);
+        self.window.push(record.clone());
+
+        // 2. AKG maintenance.  The hysteresis callback consults the cluster
+        //    registry as it stood at the end of the previous quantum.
+        let registry = &self.clusters;
+        let deltas = self.akg.process_quantum(&record, &self.window, |kw: KeywordId| {
+            registry.registry().is_cluster_member(node_of(kw))
+        });
+
+        // 3. Cluster maintenance.
+        self.clusters.apply_deltas(self.akg.graph(), &deltas, quantum);
+
+        // 4 + 5. Rank, filter and report.
+        let events = self.report_events(quantum);
+        for e in &events {
+            self.tracker.observe(e);
+        }
+
+        QuantumSummary {
+            quantum,
+            messages: messages.len(),
+            akg_stats: self.akg.last_stats(),
+            maintenance_stats: self.clusters.last_stats(),
+            live_clusters: self.clusters.cluster_count(),
+            akg_nodes: self.akg.graph().node_count(),
+            akg_edges: self.akg.graph().edge_count(),
+            events,
+        }
+    }
+
+    /// Ranks every live cluster and applies the reporting filters.
+    fn report_events(&self, quantum: u64) -> Vec<DetectedEvent> {
+        let graph = self.akg.graph();
+        let support = |node: dengraph_graph::NodeId| self.window.window_user_count(keyword_of(node));
+        let mut events: Vec<DetectedEvent> = Vec::new();
+        for cluster in self.clusters.clusters() {
+            let rank = cluster_rank(cluster, graph, &support);
+            if rank < self.config.rank_report_threshold() {
+                continue;
+            }
+            let mut keywords: Vec<KeywordId> = cluster.nodes.iter().map(|&n| keyword_of(n)).collect();
+            keywords.sort();
+            if self.config.require_noun {
+                if let Some((interner, heuristic)) = &self.noun_filter {
+                    let has_noun = keywords
+                        .iter()
+                        .filter_map(|k| interner.resolve(*k))
+                        .any(|w| heuristic.is_noun(w));
+                    if !has_noun {
+                        continue;
+                    }
+                }
+            }
+            events.push(DetectedEvent {
+                cluster_id: cluster.id,
+                quantum,
+                rank,
+                support: cluster_support(cluster, &support),
+                keywords,
+            });
+        }
+        events.sort_by(|a, b| b.rank.partial_cmp(&a.rank).unwrap_or(std::cmp::Ordering::Equal));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dengraph_stream::UserId;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            quantum_size: 20,
+            high_state_threshold: 3,
+            edge_correlation_threshold: 0.3,
+            window_quanta: 4,
+            ..Default::default()
+        }
+    }
+
+    fn k(i: u32) -> KeywordId {
+        KeywordId(i)
+    }
+
+    /// A quantum in which `users` distinct users each post the same keyword
+    /// set, plus filler chatter from other users.
+    fn event_quantum(detector_cfg: &DetectorConfig, users: u64, base_user: u64, keywords: &[u32], time0: u64) -> Vec<Message> {
+        let mut msgs = Vec::new();
+        for u in 0..users {
+            msgs.push(Message::new(
+                UserId(base_user + u),
+                time0 + u,
+                keywords.iter().map(|&i| KeywordId(i)).collect(),
+            ));
+        }
+        // Filler: unique users, unique keywords (never bursty).
+        let mut filler_id = 10_000 + time0 * 100;
+        while msgs.len() < detector_cfg.quantum_size {
+            msgs.push(Message::new(UserId(filler_id), time0 + filler_id, vec![KeywordId(5_000 + filler_id as u32)]));
+            filler_id += 1;
+        }
+        msgs
+    }
+
+    #[test]
+    fn correlated_burst_is_reported_as_an_event() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        let msgs = event_quantum(&config, 6, 100, &[1, 2, 3], 0);
+        let summary = det.push_message_all(msgs);
+        assert_eq!(summary.len(), 1);
+        let events = &summary[0].events;
+        assert_eq!(events.len(), 1, "exactly one event expected, got {events:?}");
+        assert_eq!(events[0].keywords, vec![k(1), k(2), k(3)]);
+        assert!(events[0].rank >= config.rank_report_threshold());
+        assert!(events[0].support >= 18); // 6 users × 3 keywords
+    }
+
+    impl EventDetector {
+        /// Test helper: push a whole vector and collect summaries.
+        fn push_message_all(&mut self, msgs: Vec<Message>) -> Vec<QuantumSummary> {
+            let mut out = Vec::new();
+            for m in msgs {
+                if let Some(s) = self.push_message(m) {
+                    out.push(s);
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn uncorrelated_chatter_produces_no_events() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        let mut msgs = Vec::new();
+        for u in 0..(config.quantum_size as u64) {
+            msgs.push(Message::new(UserId(u), u, vec![KeywordId(u as u32 % 7)]));
+        }
+        let summaries = det.push_message_all(msgs);
+        assert_eq!(summaries.len(), 1);
+        assert!(summaries[0].events.is_empty());
+    }
+
+    #[test]
+    fn event_evolves_when_a_new_keyword_joins() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        det.push_message_all(event_quantum(&config, 6, 100, &[1, 2, 3], 0));
+        // Next quantum the same event gains keyword 4 (the "5.9" of Figure 1).
+        let summaries = det.push_message_all(event_quantum(&config, 6, 200, &[1, 2, 3, 4], 1_000));
+        let events = &summaries[0].events;
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].keywords, vec![k(1), k(2), k(3), k(4)]);
+        // Both quanta anchor to the same cluster id, so the tracker sees one
+        // evolving event.
+        let records = det.event_records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].evolved());
+    }
+
+    #[test]
+    fn event_disappears_after_the_window_slides_past_it() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        det.push_message_all(event_quantum(&config, 6, 100, &[1, 2, 3], 0));
+        assert_eq!(det.clusters().cluster_count(), 1);
+        // Quanta of pure filler for longer than the window length.
+        for q in 1..=(config.window_quanta as u64 + 1) {
+            det.push_message_all(event_quantum(&config, 0, 0, &[], q * 1_000));
+        }
+        assert_eq!(det.clusters().cluster_count(), 0, "stale keywords must dissolve the cluster");
+        assert!(det.akg().node_count() <= 1);
+    }
+
+    #[test]
+    fn two_simultaneous_events_are_reported_separately() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        let mut msgs = Vec::new();
+        for u in 0..5u64 {
+            msgs.push(Message::new(UserId(100 + u), u, vec![k(1), k(2), k(3)]));
+            msgs.push(Message::new(UserId(200 + u), 50 + u, vec![k(11), k(12), k(13)]));
+        }
+        while msgs.len() < config.quantum_size {
+            let id = 900 + msgs.len() as u64;
+            msgs.push(Message::new(UserId(id), id, vec![KeywordId(7_000 + id as u32)]));
+        }
+        let summaries = det.push_message_all(msgs);
+        assert_eq!(summaries[0].events.len(), 2);
+        let keyword_sets: Vec<Vec<KeywordId>> =
+            summaries[0].events.iter().map(|e| e.keywords.clone()).collect();
+        assert!(keyword_sets.contains(&vec![k(1), k(2), k(3)]));
+        assert!(keyword_sets.contains(&vec![k(11), k(12), k(13)]));
+    }
+
+    #[test]
+    fn flush_processes_partial_quanta() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        for u in 0..5u64 {
+            det.push_message(Message::new(UserId(u), u, vec![k(1), k(2), k(3)]));
+        }
+        assert_eq!(det.quanta_processed(), 0);
+        let summary = det.flush().unwrap();
+        assert_eq!(summary.messages, 5);
+        assert_eq!(det.quanta_processed(), 1);
+        assert!(det.flush().is_none());
+    }
+
+    #[test]
+    fn summary_statistics_are_populated() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        let summaries = det.push_message_all(event_quantum(&config, 6, 100, &[1, 2, 3], 0));
+        let s = &summaries[0];
+        assert_eq!(s.quantum, 0);
+        assert_eq!(s.messages, config.quantum_size);
+        assert!(s.akg_nodes >= 3);
+        assert!(s.akg_edges >= 3);
+        assert_eq!(s.live_clusters, 1);
+        assert!(s.akg_stats.bursty_keywords >= 3);
+        assert_eq!(det.total_messages(), config.quantum_size as u64);
+    }
+
+    #[test]
+    fn noun_filter_suppresses_all_non_noun_clusters() {
+        let mut interner = KeywordInterner::new();
+        // Keywords 0..3 resolve to non-noun words.
+        for w in ["massive", "awesome", "really", "watching"] {
+            interner.intern(w);
+        }
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone()).with_interner(interner);
+        let summaries = det.push_message_all(event_quantum(&config, 6, 100, &[0, 1, 2], 0));
+        assert!(summaries[0].events.is_empty(), "non-noun cluster must be filtered");
+        // The cluster itself still exists; only reporting is filtered.
+        assert_eq!(det.clusters().cluster_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid detector configuration")]
+    fn invalid_config_is_rejected() {
+        let _ = EventDetector::new(DetectorConfig { quantum_size: 0, ..Default::default() });
+    }
+}

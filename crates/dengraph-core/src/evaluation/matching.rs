@@ -1,0 +1,208 @@
+//! Matching discovered events against ground truth.
+//!
+//! The paper matches discovered keyword clusters against Google News
+//! headlines by keyword overlap (Section 7.1, Table 1).  Here the ground
+//! truth comes from the workload generator, so matching is by keyword *ids*:
+//! a discovered event matches an injected event when at least
+//! [`MIN_SHARED_KEYWORDS`] of its keywords belong to the injected event's
+//! vocabulary and they make up at least [`MIN_OVERLAP`] of the discovered
+//! keyword set.
+
+use dengraph_stream::ground_truth::{GroundTruth, GroundTruthEvent, GroundTruthEventKind};
+use dengraph_text::KeywordId;
+
+use crate::event::EventRecord;
+
+/// Minimum number of keywords a discovered event must share with a
+/// ground-truth event to be considered a match.
+pub const MIN_SHARED_KEYWORDS: usize = 2;
+
+/// Minimum fraction of the discovered event's keywords that must belong to
+/// the matched ground-truth event.
+pub const MIN_OVERLAP: f64 = 0.5;
+
+/// The outcome of matching one discovered event record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventMatch {
+    /// Index of the record in the input slice.
+    pub record_index: usize,
+    /// The matched ground-truth event id, or `None` when nothing matched.
+    pub matched_event: Option<u32>,
+    /// The kind of the matched event (if any).
+    pub matched_kind: Option<GroundTruthEventKind>,
+    /// Number of shared keywords with the matched event.
+    pub shared_keywords: usize,
+}
+
+/// The full matching report for one detector run.
+#[derive(Debug, Clone, Default)]
+pub struct MatchReport {
+    /// One entry per discovered event record, in input order.
+    pub matches: Vec<EventMatch>,
+    /// Ground-truth ids (detectable events only) that were matched by at
+    /// least one record.
+    pub detected_truth_ids: Vec<u32>,
+}
+
+/// Scores the overlap between a discovered keyword set and one ground-truth
+/// event.  Returns `(shared, fraction_of_discovered)`.
+fn overlap(discovered: &[KeywordId], truth: &GroundTruthEvent) -> (usize, f64) {
+    if discovered.is_empty() {
+        return (0, 0.0);
+    }
+    let shared = discovered.iter().filter(|k| truth.keywords.contains(k)).count();
+    (shared, shared as f64 / discovered.len() as f64)
+}
+
+/// Finds the best ground-truth match for one discovered keyword set.
+pub fn best_match<'a>(
+    discovered: &[KeywordId],
+    ground_truth: &'a GroundTruth,
+) -> Option<(&'a GroundTruthEvent, usize)> {
+    let mut best: Option<(&GroundTruthEvent, usize, f64)> = None;
+    for truth in &ground_truth.events {
+        let (shared, frac) = overlap(discovered, truth);
+        if shared < MIN_SHARED_KEYWORDS || frac < MIN_OVERLAP {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((_, best_shared, best_frac)) => {
+                shared > *best_shared || (shared == *best_shared && frac > *best_frac)
+            }
+        };
+        if better {
+            best = Some((truth, shared, frac));
+        }
+    }
+    best.map(|(t, s, _)| (t, s))
+}
+
+/// Matches every discovered event record against the ground truth.
+pub fn match_records(records: &[&EventRecord], ground_truth: &GroundTruth) -> MatchReport {
+    let mut report = MatchReport::default();
+    let mut detected: Vec<u32> = Vec::new();
+    for (i, record) in records.iter().enumerate() {
+        match best_match(&record.all_keywords, ground_truth) {
+            Some((truth, shared)) => {
+                if truth.is_detectable_real_event() && !detected.contains(&truth.id) {
+                    detected.push(truth.id);
+                }
+                report.matches.push(EventMatch {
+                    record_index: i,
+                    matched_event: Some(truth.id),
+                    matched_kind: Some(truth.kind),
+                    shared_keywords: shared,
+                });
+            }
+            None => report.matches.push(EventMatch {
+                record_index: i,
+                matched_event: None,
+                matched_kind: None,
+                shared_keywords: 0,
+            }),
+        }
+    }
+    detected.sort_unstable();
+    report.detected_truth_ids = detected;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterId;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            events: vec![
+                GroundTruthEvent {
+                    id: 0,
+                    name: "earthquake".into(),
+                    keywords: (10..16).map(KeywordId).collect(),
+                    headline_keywords: (10..14).map(KeywordId).collect(),
+                    start_round: 0,
+                    duration_rounds: 5,
+                    peak_messages_per_round: 20,
+                    kind: GroundTruthEventKind::Headline,
+                },
+                GroundTruthEvent {
+                    id: 1,
+                    name: "spurious ad".into(),
+                    keywords: (50..54).map(KeywordId).collect(),
+                    headline_keywords: vec![],
+                    start_round: 3,
+                    duration_rounds: 1,
+                    peak_messages_per_round: 30,
+                    kind: GroundTruthEventKind::Spurious,
+                },
+            ],
+        }
+    }
+
+    fn record(keywords: &[u32]) -> EventRecord {
+        EventRecord {
+            cluster_id: ClusterId(0),
+            first_seen: 0,
+            last_seen: 1,
+            keywords: keywords.iter().map(|&k| KeywordId(k)).collect(),
+            all_keywords: keywords.iter().map(|&k| KeywordId(k)).collect(),
+            rank_history: vec![(0, 10.0), (1, 12.0)],
+            peak_rank: 12.0,
+            peak_support: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn strong_overlap_matches_the_event() {
+        let gt = truth();
+        let r = record(&[10, 11, 12]);
+        let m = best_match(&r.all_keywords, &gt).unwrap();
+        assert_eq!(m.0.id, 0);
+        assert_eq!(m.1, 3);
+    }
+
+    #[test]
+    fn one_shared_keyword_is_not_enough() {
+        let gt = truth();
+        let r = record(&[10, 99, 98]);
+        assert!(best_match(&r.all_keywords, &gt).is_none());
+    }
+
+    #[test]
+    fn low_overlap_fraction_is_rejected() {
+        let gt = truth();
+        // 2 shared out of 6 keywords = 0.33 < 0.5.
+        let r = record(&[10, 11, 90, 91, 92, 93]);
+        assert!(best_match(&r.all_keywords, &gt).is_none());
+    }
+
+    #[test]
+    fn spurious_matches_do_not_count_as_detected_truth() {
+        let gt = truth();
+        let records = [record(&[50, 51, 52])];
+        let refs: Vec<&EventRecord> = records.iter().collect();
+        let report = match_records(&refs, &gt);
+        assert_eq!(report.matches[0].matched_event, Some(1));
+        assert_eq!(report.matches[0].matched_kind, Some(GroundTruthEventKind::Spurious));
+        assert!(report.detected_truth_ids.is_empty());
+    }
+
+    #[test]
+    fn detected_truth_ids_are_deduplicated() {
+        let gt = truth();
+        let records = [record(&[10, 11, 12]), record(&[12, 13, 14])];
+        let refs: Vec<&EventRecord> = records.iter().collect();
+        let report = match_records(&refs, &gt);
+        assert_eq!(report.detected_truth_ids, vec![0]);
+        assert_eq!(report.matches.len(), 2);
+    }
+
+    #[test]
+    fn empty_record_matches_nothing() {
+        let gt = truth();
+        let r = record(&[]);
+        assert!(best_match(&r.all_keywords, &gt).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! Evaluation harness — Section 7 of the paper.
+//!
+//! * [`matching`] — matching discovered events against the injected ground
+//!   truth.
+//! * [`precision_recall`] — precision / recall / F1 (Figures 7–10).
+//! * [`quality`] — average cluster size and rank (Section 7.2.4).
+//! * [`comparison`] — SCP vs offline biconnected clustering (Table 3, §7.3).
+//! * [`throughput`] — messages/second (Table 4).
+//!
+//! The top-level entry point is [`run_detector_on_trace`], which runs the
+//! streaming detector over a generated trace and scores it against the
+//! trace's ground truth, and [`ground_truth_report`], which reproduces the
+//! structure of the Section 7.1 / Table 1 study.
+
+pub mod comparison;
+pub mod matching;
+pub mod precision_recall;
+pub mod quality;
+pub mod throughput;
+
+use dengraph_stream::ground_truth::GroundTruthEventKind;
+use dengraph_stream::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DetectorConfig;
+use crate::detector::EventDetector;
+use crate::evaluation::matching::{best_match, match_records};
+use crate::evaluation::precision_recall::{precision_recall, PrecisionRecall};
+use crate::evaluation::quality::{quality_stats, QualityStats};
+
+pub use comparison::{compare_schemes, SchemeComparison, SchemeReport};
+pub use matching::MatchReport;
+pub use throughput::{measure_throughput, ThroughputReport};
+
+/// The scored result of running the detector over one trace with one
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorRunReport {
+    /// Name of the trace profile.
+    pub trace_name: String,
+    /// Quantum size Δ used.
+    pub quantum_size: usize,
+    /// Edge-correlation threshold τ used.
+    pub edge_correlation_threshold: f64,
+    /// Messages processed.
+    pub messages: usize,
+    /// Quanta processed.
+    pub quanta: u64,
+    /// Precision / recall against the trace's ground truth.
+    pub scores: PrecisionRecall,
+    /// Cluster-quality statistics over discovered events.
+    pub quality: QualityStats,
+    /// Mean AKG node count across quanta.
+    pub avg_akg_nodes: f64,
+    /// Mean AKG edge count across quanta.
+    pub avg_akg_edges: f64,
+    /// Mean live clusters across quanta.
+    pub avg_live_clusters: f64,
+    /// Wall-clock seconds spent in the detector.
+    pub elapsed_secs: f64,
+}
+
+/// Runs the streaming detector over `trace` and scores it.
+pub fn run_detector_on_trace(trace: &Trace, config: &DetectorConfig) -> DetectorRunReport {
+    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let start = std::time::Instant::now();
+    let summaries = detector.run(&trace.messages);
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let records = detector.event_records();
+    let report = match_records(&records, &trace.ground_truth);
+    let scores = precision_recall(&report, &trace.ground_truth);
+    let quality = quality_stats(&records);
+
+    let n = summaries.len().max(1) as f64;
+    DetectorRunReport {
+        trace_name: trace.profile_name.clone(),
+        quantum_size: config.quantum_size,
+        edge_correlation_threshold: config.edge_correlation_threshold,
+        messages: trace.messages.len(),
+        quanta: detector.quanta_processed(),
+        scores,
+        quality,
+        avg_akg_nodes: summaries.iter().map(|s| s.akg_nodes as f64).sum::<f64>() / n,
+        avg_akg_edges: summaries.iter().map(|s| s.akg_edges as f64).sum::<f64>() / n,
+        avg_live_clusters: summaries.iter().map(|s| s.live_clusters as f64).sum::<f64>() / n,
+        elapsed_secs,
+    }
+}
+
+/// One row of the Table 1 style ground-truth report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineOutcome {
+    /// The injected event's "headline".
+    pub headline: String,
+    /// Whether the detector discovered it.
+    pub discovered: bool,
+    /// The discovered keywords (resolved to strings) when discovered.
+    pub discovered_keywords: Vec<String>,
+}
+
+/// The Section 7.1 ground-truth study result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthReport {
+    /// Total injected "headline" events (the paper's 60).
+    pub headline_events_total: usize,
+    /// Headline events with too few messages to ever detect (the paper's 27).
+    pub headline_events_too_weak: usize,
+    /// Headline events that were detectable (the paper's 33).
+    pub headline_events_detectable: usize,
+    /// Detectable headline events actually discovered (the paper's 31).
+    pub headline_events_discovered: usize,
+    /// Discovered events that match local-only ground truth (the paper's
+    /// "6× additional events").
+    pub additional_local_events_discovered: usize,
+    /// Reported events that matched nothing real.
+    pub unmatched_reported_events: usize,
+    /// Per-headline outcomes (for the Table 1 style listing).
+    pub outcomes: Vec<HeadlineOutcome>,
+    /// The underlying precision/recall scores.
+    pub scores: PrecisionRecall,
+}
+
+/// Runs the detector over a ground-truth style trace and reproduces the
+/// structure of the Section 7.1 study.
+pub fn ground_truth_report(trace: &Trace, config: &DetectorConfig) -> GroundTruthReport {
+    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    detector.run(&trace.messages);
+    let records = detector.event_records();
+    let match_report = match_records(&records, &trace.ground_truth);
+    let scores = precision_recall(&match_report, &trace.ground_truth);
+
+    // Per-headline outcomes.
+    let mut outcomes = Vec::new();
+    let mut headline_discovered = 0usize;
+    // Note: headline events that are injected as "too weak" are stored with
+    // kind TooWeak, so the Headline kind below is exactly the detectable set.
+    for truth in trace.ground_truth.of_kind(GroundTruthEventKind::Headline) {
+        let matching_record = records.iter().find(|r| {
+            best_match(&r.all_keywords, &trace.ground_truth).is_some_and(|(t, _)| t.id == truth.id)
+        });
+        let discovered = matching_record.is_some();
+        if discovered {
+            headline_discovered += 1;
+        }
+        outcomes.push(HeadlineOutcome {
+            headline: truth.name.clone(),
+            discovered,
+            discovered_keywords: matching_record
+                .map(|r| {
+                    r.all_keywords
+                        .iter()
+                        .filter_map(|k| trace.interner.resolve(*k).map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        });
+    }
+
+    let additional_local_events_discovered = trace
+        .ground_truth
+        .of_kind(GroundTruthEventKind::LocalOnly)
+        .filter(|truth| {
+            records
+                .iter()
+                .any(|r| best_match(&r.all_keywords, &trace.ground_truth).is_some_and(|(t, _)| t.id == truth.id))
+        })
+        .count();
+
+    let unmatched_reported_events = match_report.matches.iter().filter(|m| m.matched_event.is_none()).count();
+
+    GroundTruthReport {
+        headline_events_total: trace.ground_truth.headline_count()
+            + trace.ground_truth.of_kind(GroundTruthEventKind::TooWeak).count(),
+        headline_events_too_weak: trace.ground_truth.of_kind(GroundTruthEventKind::TooWeak).count(),
+        headline_events_detectable: trace.ground_truth.headline_count(),
+        headline_events_discovered: headline_discovered,
+        additional_local_events_discovered,
+        unmatched_reported_events,
+        outcomes,
+        scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dengraph_stream::generator::profiles::{tw_profile, ProfileScale};
+    use dengraph_stream::StreamGenerator;
+
+    #[test]
+    fn detector_run_report_on_small_tw_trace() {
+        let trace = StreamGenerator::new(tw_profile(21, ProfileScale::Small)).generate();
+        let config = DetectorConfig { quantum_size: 160, window_quanta: 20, ..Default::default() };
+        let report = run_detector_on_trace(&trace, &config);
+        assert_eq!(report.messages, trace.messages.len());
+        assert!(report.quanta > 10);
+        // The detector must find a substantial fraction of the injected events.
+        assert!(
+            report.scores.recall >= 0.5,
+            "recall too low: {:?}",
+            report.scores
+        );
+        assert!(
+            report.scores.precision >= 0.5,
+            "precision too low: {:?}",
+            report.scores
+        );
+        // AKG stays small relative to the keyword universe (thousands).
+        assert!(report.avg_akg_nodes < 500.0);
+        assert!(report.quality.avg_cluster_size >= 3.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Precision and recall (Section 7.2.2).
+//!
+//! * **Recall** — the fraction of *detectable* ground-truth events
+//!   (headline or local-only, not too weak, not spurious) that were matched
+//!   by at least one reported event.
+//! * **Precision** — the fraction of reported events that matched a real
+//!   (headline or local-only) ground-truth event.
+
+use dengraph_stream::ground_truth::{GroundTruth, GroundTruthEventKind};
+use serde::{Deserialize, Serialize};
+
+use super::matching::MatchReport;
+
+/// The precision/recall scores of one detector run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    /// Number of reported events (after the detector's own filters).
+    pub reported_events: usize,
+    /// Reported events that matched a real (headline or local-only) event.
+    pub true_positives: usize,
+    /// Reported events that matched nothing or matched a spurious /
+    /// too-weak injection.
+    pub false_positives: usize,
+    /// Distinct detectable ground-truth events that were found.
+    pub truth_events_found: usize,
+    /// Total detectable ground-truth events.
+    pub truth_events_total: usize,
+    /// Precision = true_positives / reported_events (1.0 when nothing was
+    /// reported).
+    pub precision: f64,
+    /// Recall = truth_events_found / truth_events_total (1.0 when there was
+    /// nothing to find).
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Computes precision and recall from a matching report.
+pub fn precision_recall(report: &MatchReport, ground_truth: &GroundTruth) -> PrecisionRecall {
+    let reported_events = report.matches.len();
+    let true_positives = report
+        .matches
+        .iter()
+        .filter(|m| {
+            matches!(
+                m.matched_kind,
+                Some(GroundTruthEventKind::Headline) | Some(GroundTruthEventKind::LocalOnly)
+            )
+        })
+        .count();
+    let false_positives = reported_events - true_positives;
+    let truth_events_total = ground_truth.detectable_count();
+    let truth_events_found = report.detected_truth_ids.len();
+    let precision = if reported_events == 0 { 1.0 } else { true_positives as f64 / reported_events as f64 };
+    let recall = if truth_events_total == 0 { 1.0 } else { truth_events_found as f64 / truth_events_total as f64 };
+    PrecisionRecall {
+        reported_events,
+        true_positives,
+        false_positives,
+        truth_events_found,
+        truth_events_total,
+        precision,
+        recall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::matching::EventMatch;
+    use dengraph_stream::ground_truth::GroundTruthEvent;
+    use dengraph_text::KeywordId;
+
+    fn ground_truth(detectable: usize) -> GroundTruth {
+        GroundTruth {
+            events: (0..detectable as u32)
+                .map(|id| GroundTruthEvent {
+                    id,
+                    name: format!("event {id}"),
+                    keywords: vec![KeywordId(id * 10)],
+                    headline_keywords: vec![],
+                    start_round: 0,
+                    duration_rounds: 1,
+                    peak_messages_per_round: 10,
+                    kind: GroundTruthEventKind::Headline,
+                })
+                .collect(),
+        }
+    }
+
+    fn matched(kind: GroundTruthEventKind, id: u32) -> EventMatch {
+        EventMatch { record_index: 0, matched_event: Some(id), matched_kind: Some(kind), shared_keywords: 3 }
+    }
+
+    fn unmatched() -> EventMatch {
+        EventMatch { record_index: 0, matched_event: None, matched_kind: None, shared_keywords: 0 }
+    }
+
+    #[test]
+    fn perfect_run() {
+        let gt = ground_truth(2);
+        let report = MatchReport {
+            matches: vec![
+                matched(GroundTruthEventKind::Headline, 0),
+                matched(GroundTruthEventKind::Headline, 1),
+            ],
+            detected_truth_ids: vec![0, 1],
+        };
+        let pr = precision_recall(&report, &gt);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn spurious_and_unmatched_reports_cost_precision() {
+        let gt = ground_truth(2);
+        let report = MatchReport {
+            matches: vec![
+                matched(GroundTruthEventKind::Headline, 0),
+                matched(GroundTruthEventKind::Spurious, 5),
+                unmatched(),
+            ],
+            detected_truth_ids: vec![0],
+        };
+        let pr = precision_recall(&report, &gt);
+        assert!((pr.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((pr.recall - 0.5).abs() < 1e-12);
+        assert_eq!(pr.true_positives, 1);
+        assert_eq!(pr.false_positives, 2);
+    }
+
+    #[test]
+    fn local_only_matches_count_as_true_positives() {
+        let gt = ground_truth(1);
+        let report = MatchReport {
+            matches: vec![matched(GroundTruthEventKind::LocalOnly, 7)],
+            detected_truth_ids: vec![],
+        };
+        let pr = precision_recall(&report, &gt);
+        assert_eq!(pr.precision, 1.0);
+    }
+
+    #[test]
+    fn empty_run_has_full_precision_and_zero_recall() {
+        let gt = ground_truth(3);
+        let pr = precision_recall(&MatchReport::default(), &gt);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_ground_truth_has_full_recall() {
+        let gt = GroundTruth::default();
+        let pr = precision_recall(&MatchReport::default(), &gt);
+        assert_eq!(pr.recall, 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Message-processing throughput (Table 4).
+//!
+//! The paper reports messages/second for the TW and ES traces at quantum
+//! sizes 120/160/200.  Absolute numbers obviously depend on the hardware;
+//! what carries over is the *shape*: the event-dense ES trace processes
+//! several times slower than the TW trace (more bursty keywords, more
+//! clusters to maintain), and throughput decreases as the quantum grows.
+
+use std::time::Instant;
+
+use dengraph_stream::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DetectorConfig;
+use crate::detector::EventDetector;
+
+/// Result of one throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Messages processed.
+    pub messages: usize,
+    /// Quanta processed.
+    pub quanta: u64,
+    /// Wall-clock seconds spent inside the detector.
+    pub elapsed_secs: f64,
+    /// Messages per second.
+    pub messages_per_sec: f64,
+    /// Events reported over the run.
+    pub events_reported: usize,
+}
+
+/// Runs the detector over the whole trace and measures throughput.
+pub fn measure_throughput(trace: &Trace, config: &DetectorConfig) -> ThroughputReport {
+    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let start = Instant::now();
+    let summaries = detector.run(&trace.messages);
+    let elapsed = start.elapsed();
+    let elapsed_secs = elapsed.as_secs_f64();
+    let events_reported = detector.event_records().len();
+    ThroughputReport {
+        messages: trace.messages.len(),
+        quanta: detector.quanta_processed(),
+        elapsed_secs,
+        messages_per_sec: if elapsed_secs > 0.0 { trace.messages.len() as f64 / elapsed_secs } else { 0.0 },
+        events_reported: events_reported.max(summaries.iter().map(|s| s.events.len()).sum::<usize>().min(events_reported)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dengraph_stream::generator::profiles::{tw_profile, ProfileScale};
+    use dengraph_stream::StreamGenerator;
+
+    #[test]
+    fn throughput_measurement_processes_every_message() {
+        let trace = StreamGenerator::new(tw_profile(3, ProfileScale::Small)).generate();
+        let config = DetectorConfig { quantum_size: 160, high_state_threshold: 4, ..Default::default() };
+        let report = measure_throughput(&trace, &config);
+        assert_eq!(report.messages, trace.messages.len());
+        assert!(report.quanta >= (trace.messages.len() / 160) as u64);
+        assert!(report.elapsed_secs > 0.0);
+        assert!(report.messages_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Discovered-event records and their lifecycle.
+//!
+//! A *cluster* is a per-quantum structural object; an *event* is its
+//! identity over time: the same real-world story keeps (roughly) the same
+//! cluster as keywords join and leave, thanks to the stable cluster ids the
+//! registry maintains across merges and splits.  The tracker records, per
+//! event, its keyword evolution and rank history — exactly the information
+//! the paper's post-hoc spuriousness analysis (Section 7.2.2) needs: "events
+//! which do not evolve and have monotonically decreasing rank scores are
+//! considered spurious".
+
+use dengraph_graph::fxhash::FxHashMap;
+use dengraph_text::KeywordId;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterId;
+
+/// A per-quantum snapshot of a reported event (one ranked cluster).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectedEvent {
+    /// The underlying cluster id.
+    pub cluster_id: ClusterId,
+    /// Quantum at which this snapshot was taken.
+    pub quantum: u64,
+    /// Keywords of the cluster at this quantum, sorted.
+    pub keywords: Vec<KeywordId>,
+    /// Rank score (Section 6).
+    pub rank: f64,
+    /// Total support (distinct-user weight) behind the cluster.
+    pub support: usize,
+}
+
+/// The full history of one event across quanta.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// The cluster id the event is anchored to.
+    pub cluster_id: ClusterId,
+    /// First quantum in which the event was reported.
+    pub first_seen: u64,
+    /// Last quantum in which the event was reported.
+    pub last_seen: u64,
+    /// Keywords at the most recent report, sorted.
+    pub keywords: Vec<KeywordId>,
+    /// Union of every keyword the event has ever contained, sorted.
+    pub all_keywords: Vec<KeywordId>,
+    /// `(quantum, rank)` history in quantum order.
+    pub rank_history: Vec<(u64, f64)>,
+    /// Highest rank ever reached.
+    pub peak_rank: f64,
+    /// Highest support ever reached.
+    pub peak_support: usize,
+    /// Size of the keyword set at the first report (used by the evolution
+    /// test; not serialised).
+    #[serde(skip, default)]
+    pub initial_size: usize,
+}
+
+impl EventRecord {
+    /// Number of quanta for which the event was reported.
+    pub fn reported_quanta(&self) -> usize {
+        self.rank_history.len()
+    }
+
+    /// Did the keyword set ever change after the first report?
+    pub fn evolved(&self) -> bool {
+        if self.initial_size > 0 {
+            self.all_keywords.len() > self.initial_size
+        } else {
+            // Deserialised records lose `initial_size`; fall back to
+            // comparing the union against the latest snapshot.
+            self.all_keywords.len() > self.keywords.len()
+        }
+    }
+
+    /// Post-hoc spuriousness heuristic of Section 7.2.2: an event that never
+    /// evolved and whose rank only ever decreased after its first report is
+    /// considered spurious (a burst that flared and died).
+    pub fn is_spurious_posthoc(&self) -> bool {
+        if self.evolved() {
+            return false;
+        }
+        if self.rank_history.len() <= 1 {
+            // A single flash in the pan: no build-up, no evolution.
+            return true;
+        }
+        self.rank_history.windows(2).all(|w| w[1].1 <= w[0].1)
+    }
+}
+
+/// Accumulates [`DetectedEvent`] snapshots into [`EventRecord`]s.
+#[derive(Debug, Default)]
+pub struct EventTracker {
+    records: FxHashMap<ClusterId, EventRecord>,
+}
+
+impl EventTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one per-quantum event snapshot.
+    pub fn observe(&mut self, event: &DetectedEvent) {
+        let record = self.records.entry(event.cluster_id).or_insert_with(|| EventRecord {
+            cluster_id: event.cluster_id,
+            first_seen: event.quantum,
+            last_seen: event.quantum,
+            keywords: event.keywords.clone(),
+            all_keywords: event.keywords.clone(),
+            rank_history: Vec::new(),
+            peak_rank: 0.0,
+            peak_support: 0,
+            initial_size: event.keywords.len(),
+        });
+        record.last_seen = event.quantum;
+        record.keywords = event.keywords.clone();
+        for k in &event.keywords {
+            if !record.all_keywords.contains(k) {
+                record.all_keywords.push(*k);
+            }
+        }
+        record.all_keywords.sort();
+        record.rank_history.push((event.quantum, event.rank));
+        if event.rank > record.peak_rank {
+            record.peak_rank = event.rank;
+        }
+        if event.support > record.peak_support {
+            record.peak_support = event.support;
+        }
+    }
+
+    /// All event records, in order of first appearance.
+    pub fn records(&self) -> Vec<&EventRecord> {
+        let mut v: Vec<&EventRecord> = self.records.values().collect();
+        v.sort_by_key(|r| (r.first_seen, r.cluster_id));
+        v
+    }
+
+    /// Number of distinct events seen so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records that are not flagged spurious by the post-hoc heuristic.
+    pub fn non_spurious_records(&self) -> Vec<&EventRecord> {
+        self.records().into_iter().filter(|r| !r.is_spurious_posthoc()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(ids: &[u32]) -> Vec<KeywordId> {
+        ids.iter().map(|&i| KeywordId(i)).collect()
+    }
+
+    fn snapshot(cluster: u64, quantum: u64, keywords: &[u32], rank: f64) -> DetectedEvent {
+        DetectedEvent {
+            cluster_id: ClusterId(cluster),
+            quantum,
+            keywords: k(keywords),
+            rank,
+            support: (rank * 2.0) as usize,
+        }
+    }
+
+    #[test]
+    fn tracker_accumulates_history() {
+        let mut t = EventTracker::new();
+        t.observe(&snapshot(1, 10, &[1, 2, 3], 12.0));
+        t.observe(&snapshot(1, 11, &[1, 2, 3, 4], 20.0));
+        t.observe(&snapshot(1, 12, &[1, 2, 3, 4], 15.0));
+        assert_eq!(t.len(), 1);
+        let r = t.records()[0];
+        assert_eq!(r.first_seen, 10);
+        assert_eq!(r.last_seen, 12);
+        assert_eq!(r.reported_quanta(), 3);
+        assert_eq!(r.peak_rank, 20.0);
+        assert_eq!(r.all_keywords, k(&[1, 2, 3, 4]));
+        assert!(r.evolved());
+        assert!(!r.is_spurious_posthoc());
+    }
+
+    #[test]
+    fn separate_clusters_are_separate_events() {
+        let mut t = EventTracker::new();
+        t.observe(&snapshot(1, 5, &[1, 2, 3], 10.0));
+        t.observe(&snapshot(2, 5, &[7, 8, 9], 10.0));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn spurious_heuristic_flags_non_evolving_decaying_events() {
+        let mut t = EventTracker::new();
+        t.observe(&snapshot(1, 5, &[1, 2, 3], 30.0));
+        t.observe(&snapshot(1, 6, &[1, 2, 3], 20.0));
+        t.observe(&snapshot(1, 7, &[1, 2, 3], 10.0));
+        let r = t.records()[0];
+        assert!(!r.evolved());
+        assert!(r.is_spurious_posthoc());
+        assert!(t.non_spurious_records().is_empty());
+    }
+
+    #[test]
+    fn single_flash_is_spurious() {
+        let mut t = EventTracker::new();
+        t.observe(&snapshot(1, 5, &[1, 2, 3], 30.0));
+        assert!(t.records()[0].is_spurious_posthoc());
+    }
+
+    #[test]
+    fn rank_buildup_marks_event_as_real() {
+        let mut t = EventTracker::new();
+        t.observe(&snapshot(1, 5, &[1, 2, 3], 10.0));
+        t.observe(&snapshot(1, 6, &[1, 2, 3], 25.0));
+        t.observe(&snapshot(1, 7, &[1, 2, 3], 18.0));
+        let r = t.records()[0];
+        assert!(!r.is_spurious_posthoc(), "non-monotonic rank history is a real event");
+    }
+
+    #[test]
+    fn keyword_evolution_marks_event_as_real_even_with_decaying_rank() {
+        let mut t = EventTracker::new();
+        t.observe(&snapshot(1, 5, &[1, 2, 3], 30.0));
+        t.observe(&snapshot(1, 6, &[1, 2, 3, 4], 20.0));
+        assert!(!t.records()[0].is_spurious_posthoc());
+    }
+
+    #[test]
+    fn records_are_ordered_by_first_appearance() {
+        let mut t = EventTracker::new();
+        t.observe(&snapshot(5, 20, &[1, 2, 3], 10.0));
+        t.observe(&snapshot(3, 10, &[4, 5, 6], 10.0));
+        let order: Vec<u64> = t.records().iter().map(|r| r.cluster_id.0).collect();
+        assert_eq!(order, vec![3, 5]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Sliding-window keyword state: the two-state automaton and per-keyword
+//! user-id bookkeeping of Section 3.1 / 3.2.
+//!
+//! For every keyword the detector needs to know, over the current window of
+//! `w` quanta:
+//!
+//! * how many distinct users mentioned it in the **current** quantum (the
+//!   burstiness test against the high-state threshold σ),
+//! * the min-hash sketch of the users who mentioned it anywhere in the
+//!   window (for edge-correlation estimation),
+//! * the exact user-id set over the window (for exact-EC ablation and for
+//!   cluster support in the ranking function), and
+//! * the most recent quantum in which it occurred (for stale removal).
+//!
+//! All of this is maintained incrementally: each quantum contributes one
+//! immutable [`QuantumRecord`]; sliding the window simply drops the oldest
+//! record, so no per-keyword "subtraction" is ever needed.
+
+use std::collections::VecDeque;
+
+use dengraph_graph::fxhash::{FxHashMap, FxHashSet};
+use dengraph_minhash::{MinHashSketch, UserHasher};
+use dengraph_stream::{Message, UserId};
+use dengraph_text::KeywordId;
+
+/// Per-quantum aggregation of the stream.
+#[derive(Debug, Clone)]
+pub struct QuantumRecord {
+    /// Quantum index.
+    pub index: u64,
+    /// For every keyword occurring in the quantum, the distinct users that
+    /// mentioned it.
+    pub keyword_users: FxHashMap<KeywordId, FxHashSet<UserId>>,
+    /// Number of messages aggregated into this record.
+    pub message_count: usize,
+}
+
+impl QuantumRecord {
+    /// Builds a record from the messages of one quantum.
+    pub fn from_messages(index: u64, messages: &[Message]) -> Self {
+        let mut keyword_users: FxHashMap<KeywordId, FxHashSet<UserId>> = FxHashMap::default();
+        for m in messages {
+            for &k in &m.keywords {
+                keyword_users.entry(k).or_default().insert(m.user);
+            }
+        }
+        Self { index, keyword_users, message_count: messages.len() }
+    }
+
+    /// Distinct users that mentioned `keyword` in this quantum.
+    pub fn user_count(&self, keyword: KeywordId) -> usize {
+        self.keyword_users.get(&keyword).map_or(0, |s| s.len())
+    }
+
+    /// Keywords occurring in this quantum.
+    pub fn keywords(&self) -> impl Iterator<Item = KeywordId> + '_ {
+        self.keyword_users.keys().copied()
+    }
+}
+
+/// The sliding window over the last `w` quanta.
+#[derive(Debug)]
+pub struct WindowState {
+    window: VecDeque<QuantumRecord>,
+    capacity: usize,
+    hasher: UserHasher,
+    sketch_size: usize,
+}
+
+impl WindowState {
+    /// Creates an empty window of `capacity` quanta using sketches of `p`
+    /// minima hashed with `hasher`.
+    pub fn new(capacity: usize, sketch_size: usize, hasher: UserHasher) -> Self {
+        Self { window: VecDeque::with_capacity(capacity + 1), capacity: capacity.max(1), hasher, sketch_size }
+    }
+
+    /// Pushes the record of a new quantum.  Returns the record that slid
+    /// out of the window, if the window was already full.
+    pub fn push(&mut self, record: QuantumRecord) -> Option<QuantumRecord> {
+        self.window.push_back(record);
+        if self.window.len() > self.capacity {
+            self.window.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Number of quanta currently held.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Returns `true` when no quantum has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The most recent quantum record.
+    pub fn current(&self) -> Option<&QuantumRecord> {
+        self.window.back()
+    }
+
+    /// Index of the most recent quantum.
+    pub fn current_index(&self) -> Option<u64> {
+        self.current().map(|r| r.index)
+    }
+
+    /// Distinct users that mentioned `keyword` anywhere in the window.
+    pub fn window_user_set(&self, keyword: KeywordId) -> FxHashSet<UserId> {
+        let mut users = FxHashSet::default();
+        for record in &self.window {
+            if let Some(s) = record.keyword_users.get(&keyword) {
+                users.extend(s.iter().copied());
+            }
+        }
+        users
+    }
+
+    /// Number of distinct users that mentioned `keyword` in the window —
+    /// the node weight `w_i` of the ranking function.
+    pub fn window_user_count(&self, keyword: KeywordId) -> usize {
+        self.window_user_set(keyword).len()
+    }
+
+    /// The min-hash sketch of `keyword`'s window user set.
+    pub fn window_sketch(&self, keyword: KeywordId) -> MinHashSketch {
+        let mut sketch = MinHashSketch::new(self.sketch_size);
+        for record in &self.window {
+            if let Some(users) = record.keyword_users.get(&keyword) {
+                for u in users {
+                    sketch.insert(&self.hasher, u.raw());
+                }
+            }
+        }
+        sketch
+    }
+
+    /// Exact Jaccard edge correlation of two keywords over the window.
+    pub fn exact_edge_correlation(&self, a: KeywordId, b: KeywordId) -> f64 {
+        let ua = self.window_user_set(a);
+        let ub = self.window_user_set(b);
+        if ua.is_empty() && ub.is_empty() {
+            return 0.0;
+        }
+        let inter = ua.iter().filter(|u| ub.contains(u)).count();
+        let union = ua.len() + ub.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Min-hash–estimated edge correlation of two keywords over the window.
+    /// Returns 0.0 when the sketches share no minimum (the paper's edge
+    /// admission gate).
+    pub fn estimated_edge_correlation(&self, a: KeywordId, b: KeywordId) -> f64 {
+        let sa = self.window_sketch(a);
+        let sb = self.window_sketch(b);
+        if !sa.shares_minimum(&sb) {
+            return 0.0;
+        }
+        sa.estimate_jaccard(&sb)
+    }
+
+    /// The most recent quantum index in which `keyword` occurred, if any.
+    pub fn last_seen(&self, keyword: KeywordId) -> Option<u64> {
+        self.window
+            .iter()
+            .rev()
+            .find(|r| r.keyword_users.contains_key(&keyword))
+            .map(|r| r.index)
+    }
+
+    /// Returns `true` when `keyword` has not occurred in any quantum of the
+    /// current window (the stale-removal test of Section 3.1).
+    pub fn is_stale(&self, keyword: KeywordId) -> bool {
+        self.last_seen(keyword).is_none()
+    }
+
+    /// Every keyword occurring anywhere in the window.
+    pub fn keywords_in_window(&self) -> FxHashSet<KeywordId> {
+        let mut all = FxHashSet::default();
+        for record in &self.window {
+            all.extend(record.keywords());
+        }
+        all
+    }
+
+    /// Total number of messages currently inside the window.
+    pub fn window_message_count(&self) -> usize {
+        self.window.iter().map(|r| r.message_count).sum()
+    }
+}
+
+/// The two-state (low/high) automaton state of a keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum KeywordState {
+    /// Not bursty.
+    #[default]
+    Low,
+    /// Bursty in some recent quantum (member of the AKG).
+    High,
+}
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the low/high state of every keyword ever seen.
+#[derive(Debug, Default)]
+pub struct KeywordStateMachine {
+    states: FxHashMap<KeywordId, KeywordState>,
+}
+
+impl KeywordStateMachine {
+    /// Creates an empty state machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state of a keyword (Low if never seen).
+    pub fn state(&self, keyword: KeywordId) -> KeywordState {
+        self.states.get(&keyword).copied().unwrap_or_default()
+    }
+
+    /// Applies the burstiness test for one keyword in the current quantum:
+    /// a keyword moves to the high state when at least `sigma` distinct
+    /// users mentioned it this quantum.  Returns `(previous, new)` states.
+    pub fn observe(&mut self, keyword: KeywordId, users_this_quantum: usize, sigma: u32) -> (KeywordState, KeywordState) {
+        let prev = self.state(keyword);
+        let new = if users_this_quantum >= sigma as usize { KeywordState::High } else { prev };
+        if new == KeywordState::High {
+            self.states.insert(keyword, KeywordState::High);
+        }
+        (prev, new)
+    }
+
+    /// Forces a keyword back to the low state (used when it is removed from
+    /// the AKG by stale removal or lazy update).
+    pub fn demote(&mut self, keyword: KeywordId) {
+        self.states.remove(&keyword);
+    }
+
+    /// Number of keywords currently in the high state.
+    pub fn high_count(&self) -> usize {
+        self.states.values().filter(|s| **s == KeywordState::High).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(user: u64, time: u64, kws: &[u32]) -> Message {
+        Message::new(UserId(user), time, kws.iter().map(|&k| KeywordId(k)).collect())
+    }
+
+    fn k(i: u32) -> KeywordId {
+        KeywordId(i)
+    }
+
+    #[test]
+    fn quantum_record_counts_distinct_users() {
+        let record = QuantumRecord::from_messages(
+            0,
+            &[msg(1, 0, &[10, 11]), msg(1, 1, &[10]), msg(2, 2, &[10]), msg(3, 3, &[11])],
+        );
+        assert_eq!(record.user_count(k(10)), 2);
+        assert_eq!(record.user_count(k(11)), 2);
+        assert_eq!(record.user_count(k(99)), 0);
+        assert_eq!(record.message_count, 4);
+    }
+
+    fn window(capacity: usize) -> WindowState {
+        WindowState::new(capacity, 4, UserHasher::new(7))
+    }
+
+    #[test]
+    fn window_slides_and_evicts() {
+        let mut w = window(2);
+        assert!(w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10])])).is_none());
+        assert!(w.push(QuantumRecord::from_messages(1, &[msg(2, 1, &[10])])).is_none());
+        let evicted = w.push(QuantumRecord::from_messages(2, &[msg(3, 2, &[11])]));
+        assert_eq!(evicted.unwrap().index, 0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.current_index(), Some(2));
+    }
+
+    #[test]
+    fn window_user_counts_union_across_quanta() {
+        let mut w = window(3);
+        w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10]), msg(2, 1, &[10])]));
+        w.push(QuantumRecord::from_messages(1, &[msg(2, 2, &[10]), msg(3, 3, &[10])]));
+        assert_eq!(w.window_user_count(k(10)), 3); // users 1, 2, 3
+        assert_eq!(w.window_user_count(k(99)), 0);
+    }
+
+    #[test]
+    fn stale_detection_after_eviction() {
+        let mut w = window(2);
+        w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10])]));
+        assert!(!w.is_stale(k(10)));
+        w.push(QuantumRecord::from_messages(1, &[msg(2, 1, &[11])]));
+        w.push(QuantumRecord::from_messages(2, &[msg(3, 2, &[11])]));
+        assert!(w.is_stale(k(10)));
+        assert_eq!(w.last_seen(k(11)), Some(2));
+    }
+
+    #[test]
+    fn exact_and_estimated_correlation_agree_on_identical_user_sets() {
+        let mut w = window(3);
+        w.push(QuantumRecord::from_messages(
+            0,
+            &[msg(1, 0, &[10, 11]), msg(2, 1, &[10, 11]), msg(3, 2, &[10, 11])],
+        ));
+        assert!((w.exact_edge_correlation(k(10), k(11)) - 1.0).abs() < f64::EPSILON);
+        assert!((w.estimated_edge_correlation(k(10), k(11)) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn disjoint_user_sets_have_zero_correlation() {
+        let mut w = window(3);
+        w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10]), msg(2, 1, &[11])]));
+        assert_eq!(w.exact_edge_correlation(k(10), k(11)), 0.0);
+        assert_eq!(w.estimated_edge_correlation(k(10), k(11)), 0.0);
+    }
+
+    #[test]
+    fn keywords_in_window_unions_quanta() {
+        let mut w = window(3);
+        w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10])]));
+        w.push(QuantumRecord::from_messages(1, &[msg(2, 1, &[11])]));
+        let kws = w.keywords_in_window();
+        assert!(kws.contains(&k(10)) && kws.contains(&k(11)));
+        assert_eq!(w.window_message_count(), 2);
+    }
+
+    #[test]
+    fn state_machine_promotes_on_sigma_users() {
+        let mut sm = KeywordStateMachine::new();
+        assert_eq!(sm.state(k(1)), KeywordState::Low);
+        let (prev, new) = sm.observe(k(1), 3, 4);
+        assert_eq!((prev, new), (KeywordState::Low, KeywordState::Low));
+        let (prev, new) = sm.observe(k(1), 4, 4);
+        assert_eq!((prev, new), (KeywordState::Low, KeywordState::High));
+        assert_eq!(sm.high_count(), 1);
+    }
+
+    #[test]
+    fn state_machine_hysteresis_keeps_high_state() {
+        let mut sm = KeywordStateMachine::new();
+        sm.observe(k(1), 10, 4);
+        // Next quantum it is no longer bursty but stays High (hysteresis);
+        // demotion is an explicit decision of the AKG maintenance.
+        let (prev, new) = sm.observe(k(1), 0, 4);
+        assert_eq!((prev, new), (KeywordState::High, KeywordState::High));
+        sm.demote(k(1));
+        assert_eq!(sm.state(k(1)), KeywordState::Low);
+    }
+}

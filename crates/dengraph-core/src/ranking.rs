@@ -1,0 +1,181 @@
+//! The event-ranking function of Section 6.
+//!
+//! Because any global computation over "all current events" would violate
+//! the real-time budget, the rank of a cluster uses only local cluster
+//! properties:
+//!
+//! * the *support* of each node (number of distinct users behind the
+//!   keyword in the current window) — the weight vector `W`,
+//! * the edge-correlation coefficients of the cluster's edges — the matrix
+//!   `C` with `C_ii = 1` and `C_ij = EC(i,j)` for cluster edges, 0 otherwise,
+//! * the cluster size `n`, used to normalise so that rank is not a
+//!   monotonically increasing function of size.
+//!
+//! `rank(C) = (1/n) · W · C · 1 = (1/n) Σ_i w_i (1 + Σ_{(i,j)∈E(C)} EC_ij)`.
+//!
+//! Dense, strongly correlated, well-supported clusters therefore rank high;
+//! accidental clusters rank low.
+
+use dengraph_graph::DynamicGraph;
+use dengraph_graph::NodeId;
+
+use crate::cluster::Cluster;
+
+/// The inputs the ranking needs per node: its support (window user count).
+pub trait NodeSupport {
+    /// Number of distinct users behind this node's keyword in the window.
+    fn support(&self, node: NodeId) -> usize;
+}
+
+impl<F: Fn(NodeId) -> usize> NodeSupport for F {
+    fn support(&self, node: NodeId) -> usize {
+        self(node)
+    }
+}
+
+/// Computes the rank of a cluster.
+///
+/// `graph` supplies the edge-correlation weights of the cluster's edges;
+/// `support` supplies the per-node user counts.  Returns 0.0 for an empty
+/// cluster.
+pub fn cluster_rank<S: NodeSupport>(cluster: &Cluster, graph: &DynamicGraph, support: &S) -> f64 {
+    let n = cluster.size();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &node in &cluster.nodes {
+        let w = support.support(node) as f64;
+        // Diagonal contribution C_ii = 1.
+        let mut row = 1.0;
+        // Off-diagonal contributions: cluster edges incident to this node.
+        for other in cluster.cluster_neighbors(node) {
+            let ec = graph.edge_weight(node, other).unwrap_or(0.0);
+            row += ec;
+        }
+        total += w * row;
+    }
+    total / n as f64
+}
+
+/// Total support of a cluster: the number of distinct users behind its
+/// keywords (upper-bounded here by the sum of per-node supports, which is
+/// what the paper's weight vector uses).
+pub fn cluster_support<S: NodeSupport>(cluster: &Cluster, support: &S) -> usize {
+    cluster.nodes.iter().map(|&n| support.support(n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterId;
+    use dengraph_graph::dynamic_graph::EdgeKey;
+    use dengraph_graph::fxhash::FxHashSet;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn triangle_cluster(weights: f64) -> (Cluster, DynamicGraph) {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), weights);
+        g.add_edge(n(2), n(3), weights);
+        g.add_edge(n(1), n(3), weights);
+        let nodes: FxHashSet<NodeId> = [n(1), n(2), n(3)].into_iter().collect();
+        let edges: FxHashSet<EdgeKey> =
+            [EdgeKey::new(n(1), n(2)), EdgeKey::new(n(2), n(3)), EdgeKey::new(n(1), n(3))].into_iter().collect();
+        (Cluster::new(ClusterId(0), nodes, edges, 0), g)
+    }
+
+    #[test]
+    fn uniform_triangle_rank_matches_closed_form() {
+        // Every node: weight 5, two incident edges of EC 0.5.
+        let (c, g) = triangle_cluster(0.5);
+        let rank = cluster_rank(&c, &g, &|_: NodeId| 5usize);
+        // per node: 5 * (1 + 0.5 + 0.5) = 10; total 30; /3 = 10.
+        assert!((rank - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_correlation_means_higher_rank() {
+        let (c_low, g_low) = triangle_cluster(0.2);
+        let (c_high, g_high) = triangle_cluster(0.9);
+        let support = |_: NodeId| 5usize;
+        assert!(cluster_rank(&c_high, &g_high, &support) > cluster_rank(&c_low, &g_low, &support));
+    }
+
+    #[test]
+    fn higher_support_means_higher_rank() {
+        let (c, g) = triangle_cluster(0.5);
+        let low = cluster_rank(&c, &g, &|_: NodeId| 4usize);
+        let high = cluster_rank(&c, &g, &|_: NodeId| 40usize);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn rank_is_normalised_by_size() {
+        // A denser 4-clique with the same weights should not automatically
+        // dominate a triangle purely by having more nodes.
+        let (tri, tri_g) = triangle_cluster(0.5);
+        let mut g = DynamicGraph::new();
+        let nodes: Vec<NodeId> = (1..=4).map(n).collect();
+        let mut edge_set: FxHashSet<EdgeKey> = FxHashSet::default();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(nodes[i], nodes[j], 0.5);
+                edge_set.insert(EdgeKey::new(nodes[i], nodes[j]));
+            }
+        }
+        let clique = Cluster::new(ClusterId(1), nodes.into_iter().collect(), edge_set, 0);
+        let support = |_: NodeId| 5usize;
+        let tri_rank = cluster_rank(&tri, &tri_g, &support);
+        let clique_rank = cluster_rank(&clique, &g, &support);
+        // The 4-clique has 3 incident edges per node instead of 2, so its
+        // rank is higher — but only by the density factor, not by raw size.
+        assert!(clique_rank > tri_rank);
+        assert!(clique_rank < 2.0 * tri_rank);
+    }
+
+    #[test]
+    fn minimum_rank_bound_of_config_holds() {
+        // A bare 4-cycle at exactly the thresholds sits at the configured
+        // minimum cluster rank.
+        let cfg = crate::config::DetectorConfig::nominal();
+        let mut g = DynamicGraph::new();
+        let tau = cfg.edge_correlation_threshold;
+        g.add_edge(n(1), n(2), tau);
+        g.add_edge(n(2), n(3), tau);
+        g.add_edge(n(3), n(4), tau);
+        g.add_edge(n(4), n(1), tau);
+        let nodes: FxHashSet<NodeId> = (1..=4).map(n).collect();
+        let edges: FxHashSet<EdgeKey> = [
+            EdgeKey::new(n(1), n(2)),
+            EdgeKey::new(n(2), n(3)),
+            EdgeKey::new(n(3), n(4)),
+            EdgeKey::new(n(4), n(1)),
+        ]
+        .into_iter()
+        .collect();
+        let c = Cluster::new(ClusterId(0), nodes, edges, 0);
+        let sigma = cfg.high_state_threshold as usize;
+        let rank = cluster_rank(&c, &g, &|_: NodeId| sigma);
+        assert!((rank - cfg.minimum_cluster_rank()).abs() < 1e-9);
+        // Any real cluster (more support, more correlation) ranks above it.
+        let better = cluster_rank(&c, &g, &|_: NodeId| sigma * 3);
+        assert!(better > cfg.minimum_cluster_rank());
+    }
+
+    #[test]
+    fn empty_cluster_ranks_zero() {
+        let c = Cluster::new(ClusterId(0), FxHashSet::default(), FxHashSet::default(), 0);
+        let g = DynamicGraph::new();
+        assert_eq!(cluster_rank(&c, &g, &|_: NodeId| 10usize), 0.0);
+        assert_eq!(cluster_support(&c, &|_: NodeId| 10usize), 0);
+    }
+
+    #[test]
+    fn cluster_support_sums_node_supports() {
+        let (c, _) = triangle_cluster(0.5);
+        assert_eq!(cluster_support(&c, &|node: NodeId| node.0 as usize), 1 + 2 + 3);
+    }
+}

@@ -1,0 +1,1 @@
+//! Example package: runnable sources live in the workspace-level `examples/` directory.

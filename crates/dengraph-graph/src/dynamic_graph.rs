@@ -1,0 +1,382 @@
+//! The dynamic undirected graph.
+//!
+//! An adjacency-map representation tuned for the access pattern of the AKG:
+//! very frequent node/edge insertion and deletion, frequent neighbourhood
+//! and common-neighbour queries, and per-edge weights (the edge correlation
+//! of Section 3.2) that are updated in place.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fxhash::FxHashMap;
+use crate::node::NodeId;
+
+/// A normalised (smaller id first) undirected edge key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeKey(pub NodeId, pub NodeId);
+
+impl EdgeKey {
+    /// Builds a normalised key from two endpoints (in any order).
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            EdgeKey(a, b)
+        } else {
+            EdgeKey(b, a)
+        }
+    }
+
+    /// Returns both endpoints.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.0, self.1)
+    }
+
+    /// Given one endpoint, returns the other; `None` if `n` is not an endpoint.
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if self.0 == n {
+            Some(self.1)
+        } else if self.1 == n {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+}
+
+/// A dynamic, weighted, undirected graph.
+#[derive(Debug, Default, Clone)]
+pub struct DynamicGraph {
+    /// node -> (neighbour -> edge weight)
+    adj: FxHashMap<NodeId, FxHashMap<NodeId, f64>>,
+    edge_count: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with no edges.  Returns `true` if the node was new.
+    pub fn add_node(&mut self, n: NodeId) -> bool {
+        match self.adj.entry(n) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(FxHashMap::default());
+                true
+            }
+        }
+    }
+
+    /// Removes a node and all its incident edges.  Returns the removed
+    /// incident edges (with their weights), or an empty vector if the node
+    /// did not exist.
+    pub fn remove_node(&mut self, n: NodeId) -> Vec<(EdgeKey, f64)> {
+        let Some(neighbours) = self.adj.remove(&n) else {
+            return Vec::new();
+        };
+        let mut removed = Vec::with_capacity(neighbours.len());
+        for (m, w) in neighbours {
+            if let Some(adj_m) = self.adj.get_mut(&m) {
+                adj_m.remove(&n);
+            }
+            self.edge_count -= 1;
+            removed.push((EdgeKey::new(n, m), w));
+        }
+        removed
+    }
+
+    /// Adds (or updates) an undirected edge with the given weight.
+    /// Endpoints are created if missing.  Returns `true` if the edge is new.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) -> bool {
+        assert_ne!(a, b, "self-loops are not allowed in the keyword graph");
+        self.add_node(a);
+        self.add_node(b);
+        let new = self
+            .adj
+            .get_mut(&a)
+            .expect("node a just inserted")
+            .insert(b, weight)
+            .is_none();
+        self.adj
+            .get_mut(&b)
+            .expect("node b just inserted")
+            .insert(a, weight);
+        if new {
+            self.edge_count += 1;
+        }
+        new
+    }
+
+    /// Removes an edge; returns its weight if it existed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
+        let w = self.adj.get_mut(&a)?.remove(&b)?;
+        if let Some(adj_b) = self.adj.get_mut(&b) {
+            adj_b.remove(&a);
+        }
+        self.edge_count -= 1;
+        Some(w)
+    }
+
+    /// Returns the weight of the edge `(a, b)` if present.
+    pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.adj.get(&a)?.get(&b).copied()
+    }
+
+    /// Updates the weight of an existing edge; returns `false` if absent.
+    pub fn set_edge_weight(&mut self, a: NodeId, b: NodeId, weight: f64) -> bool {
+        let Some(adj_a) = self.adj.get_mut(&a) else { return false };
+        let Some(w) = adj_a.get_mut(&b) else { return false };
+        *w = weight;
+        if let Some(w2) = self.adj.get_mut(&b).and_then(|m| m.get_mut(&a)) {
+            *w2 = weight;
+        }
+        true
+    }
+
+    /// Does the graph contain this node?
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.adj.contains_key(&n)
+    }
+
+    /// Does the graph contain this edge?
+    pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj.get(&a).is_some_and(|m| m.contains_key(&b))
+    }
+
+    /// Degree of a node (0 if absent).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj.get(&n).map_or(0, |m| m.len())
+    }
+
+    /// Iterates over the neighbours of `n` (empty if absent).
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.get(&n).into_iter().flat_map(|m| m.keys().copied())
+    }
+
+    /// Iterates over `(neighbour, weight)` pairs of `n`.
+    pub fn neighbors_weighted(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.adj.get(&n).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+    }
+
+    /// Returns the common neighbours of `a` and `b`.
+    pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let (Some(na), Some(nb)) = (self.adj.get(&a), self.adj.get(&b)) else {
+            return Vec::new();
+        };
+        let (small, large) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
+        small.keys().filter(|k| large.contains_key(*k)).copied().collect()
+    }
+
+    /// Returns `true` if `a` and `b` have at least one common neighbour.
+    pub fn have_common_neighbor(&self, a: NodeId, b: NodeId) -> bool {
+        let (Some(na), Some(nb)) = (self.adj.get(&a), self.adj.get(&b)) else {
+            return false;
+        };
+        let (small, large) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
+        small.keys().any(|k| large.contains_key(k))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterates over all edges as normalised keys with weights.
+    /// Each undirected edge is yielded exactly once.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeKey, f64)> + '_ {
+        self.adj.iter().flat_map(|(&a, nbrs)| {
+            nbrs.iter()
+                .filter(move |(&b, _)| a <= b)
+                .map(move |(&b, &w)| (EdgeKey::new(a, b), w))
+        })
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.adj.clear();
+        self.edge_count = 0;
+    }
+
+    /// Builds the induced subgraph over `nodes` (keeping weights).
+    pub fn induced_subgraph<'a, I: IntoIterator<Item = &'a NodeId>>(&self, nodes: I) -> DynamicGraph {
+        let keep: crate::fxhash::FxHashSet<NodeId> = nodes.into_iter().copied().collect();
+        let mut sub = DynamicGraph::new();
+        for &n in &keep {
+            if self.contains_node(n) {
+                sub.add_node(n);
+            }
+        }
+        for &n in &keep {
+            for (m, w) in self.neighbors_weighted(n) {
+                if n < m && keep.contains(&m) {
+                    sub.add_edge(n, m, w);
+                }
+            }
+        }
+        sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn add_and_query_nodes() {
+        let mut g = DynamicGraph::new();
+        assert!(g.add_node(n(1)));
+        assert!(!g.add_node(n(1)));
+        assert!(g.contains_node(n(1)));
+        assert!(!g.contains_node(n(2)));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.degree(n(1)), 0);
+    }
+
+    #[test]
+    fn add_edge_creates_endpoints() {
+        let mut g = DynamicGraph::new();
+        assert!(g.add_edge(n(1), n(2), 0.5));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.contains_edge(n(1), n(2)));
+        assert!(g.contains_edge(n(2), n(1)));
+        assert_eq!(g.edge_weight(n(1), n(2)), Some(0.5));
+        assert_eq!(g.edge_weight(n(2), n(1)), Some(0.5));
+    }
+
+    #[test]
+    fn re_adding_edge_updates_weight_without_double_count() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 0.5);
+        assert!(!g.add_edge(n(1), n(2), 0.9));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(n(1), n(2)), Some(0.9));
+    }
+
+    #[test]
+    fn remove_edge_and_node() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 1.0);
+        g.add_edge(n(2), n(3), 1.0);
+        assert_eq!(g.remove_edge(n(1), n(2)), Some(1.0));
+        assert_eq!(g.remove_edge(n(1), n(2)), None);
+        assert_eq!(g.edge_count(), 1);
+        let removed = g.remove_node(n(2));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, EdgeKey::new(n(2), n(3)));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.contains_node(n(2)));
+        assert!(g.contains_node(n(3)));
+    }
+
+    #[test]
+    fn remove_missing_node_is_noop() {
+        let mut g = DynamicGraph::new();
+        assert!(g.remove_node(n(9)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_are_rejected() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(1), 1.0);
+    }
+
+    #[test]
+    fn common_neighbors_work() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(3), 1.0);
+        g.add_edge(n(2), n(3), 1.0);
+        g.add_edge(n(1), n(4), 1.0);
+        g.add_edge(n(2), n(4), 1.0);
+        g.add_edge(n(1), n(5), 1.0);
+        let mut common = g.common_neighbors(n(1), n(2));
+        common.sort();
+        assert_eq!(common, vec![n(3), n(4)]);
+        assert!(g.have_common_neighbor(n(1), n(2)));
+        // nodes 3 and 4 share neighbours 1 and 2 even though they are not adjacent
+        assert!(g.have_common_neighbor(n(3), n(4)));
+        assert!(!g.have_common_neighbor(n(5), n(2)) || g.common_neighbors(n(5), n(2)) == vec![n(1)]);
+    }
+
+    #[test]
+    fn common_neighbors_of_missing_nodes_empty() {
+        let g = DynamicGraph::new();
+        assert!(g.common_neighbors(n(1), n(2)).is_empty());
+        assert!(!g.have_common_neighbor(n(1), n(2)));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 0.1);
+        g.add_edge(n(2), n(3), 0.2);
+        g.add_edge(n(1), n(3), 0.3);
+        let mut edges: Vec<_> = g.edges().map(|(k, _)| k).collect();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![EdgeKey::new(n(1), n(2)), EdgeKey::new(n(1), n(3)), EdgeKey::new(n(2), n(3))]
+        );
+    }
+
+    #[test]
+    fn set_edge_weight_updates_both_directions() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 0.1);
+        assert!(g.set_edge_weight(n(2), n(1), 0.7));
+        assert_eq!(g.edge_weight(n(1), n(2)), Some(0.7));
+        assert!(!g.set_edge_weight(n(1), n(3), 0.7));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 1.0);
+        g.add_edge(n(2), n(3), 1.0);
+        g.add_edge(n(3), n(4), 1.0);
+        let sub = g.induced_subgraph(&[n(1), n(2), n(3)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.contains_edge(n(1), n(2)));
+        assert!(sub.contains_edge(n(2), n(3)));
+        assert!(!sub.contains_node(n(4)));
+    }
+
+    #[test]
+    fn edge_key_normalises_and_exposes_other() {
+        let k = EdgeKey::new(n(5), n(2));
+        assert_eq!(k, EdgeKey(n(2), n(5)));
+        assert_eq!(k.other(n(2)), Some(n(5)));
+        assert_eq!(k.other(n(5)), Some(n(2)));
+        assert_eq!(k.other(n(9)), None);
+        assert_eq!(k.endpoints(), (n(2), n(5)));
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 1.0);
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+}

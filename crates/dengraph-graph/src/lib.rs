@@ -1,0 +1,39 @@
+//! Dynamic undirected-graph substrate for `dengraph`.
+//!
+//! The correlated-keyword graph (CKG) and its active subgraph (AKG) of
+//! Agarwal et al. (VLDB 2012) are *highly dynamic*: nodes and edges appear
+//! and disappear every quantum as the sliding window moves.  This crate
+//! provides the graph machinery those structures are built on, independent
+//! of anything keyword- or stream-specific:
+//!
+//! * [`dynamic_graph`] — an adjacency-map graph with O(1) amortised node and
+//!   edge insertion/removal, weighted edges and common-neighbour queries.
+//! * [`traversal`] — bounded-length alternate-path searches (the "is there
+//!   another path of length ≤ 3?" short-cycle checks) and restricted
+//!   reachability used when splitting clusters at articulation points.
+//! * [`biconnected`] — Hopcroft–Tarjan articulation points and biconnected
+//!   components; used by the offline baseline of Section 7.3 and by the
+//!   correctness oracle for the incremental maintenance.
+//! * [`quasi_clique`] — γ-quasi-clique / majority-quasi-clique (MQC)
+//!   verification, density and diameter (Section 4.2's `O(N²)` check).
+//! * [`scp`] — the short-cycle property itself: per-edge short-cycle checks
+//!   and the *global* SCP cluster decomposition used as a test oracle for
+//!   the incremental algorithms (property P3 of Section 4.3).
+//! * [`fxhash`] — a small, fast integer hasher for the hot adjacency maps.
+//! * [`metrics`] — degree/density summary statistics used by the Section
+//!   7.4 AKG-reduction measurements.
+
+pub mod biconnected;
+pub mod dynamic_graph;
+pub mod fxhash;
+pub mod metrics;
+pub mod node;
+pub mod quasi_clique;
+pub mod scp;
+pub mod traversal;
+
+pub use biconnected::{articulation_points, biconnected_components};
+pub use dynamic_graph::{DynamicGraph, EdgeKey};
+pub use node::NodeId;
+pub use quasi_clique::{density, diameter, is_gamma_quasi_clique, is_mqc};
+pub use scp::{edge_has_short_cycle, scp_clusters_global, scp_edge_groups, subgraph_satisfies_scp};

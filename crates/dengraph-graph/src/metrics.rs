@@ -1,0 +1,116 @@
+//! Graph summary statistics.
+//!
+//! Section 7.4 of the paper reports how much smaller the AKG is than the
+//! CKG (edges < 2 %, bursty nodes < 5 %), the average degree of AKG nodes
+//! (< 6) and the average cluster size (< 7).  These helpers compute the
+//! per-graph side of those numbers.
+
+use crate::dynamic_graph::DynamicGraph;
+
+/// A snapshot of basic graph statistics.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Mean degree (`2·|E| / |V|`, 0 for the empty graph).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Edge density `|E| / (|V|·(|V|−1)/2)` (0 for fewer than two nodes).
+    pub density: f64,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn graph_stats(graph: &DynamicGraph) -> GraphStats {
+    let nodes = graph.node_count();
+    let edges = graph.edge_count();
+    let avg_degree = if nodes == 0 { 0.0 } else { 2.0 * edges as f64 / nodes as f64 };
+    let max_degree = graph.nodes().map(|n| graph.degree(n)).max().unwrap_or(0);
+    let density = if nodes < 2 {
+        0.0
+    } else {
+        edges as f64 / (nodes as f64 * (nodes as f64 - 1.0) / 2.0)
+    };
+    GraphStats { nodes, edges, avg_degree, max_degree, density }
+}
+
+/// The node and edge reduction ratios of a subgraph relative to its parent
+/// graph (the "AKG vs CKG" numbers of Section 7.4).  A ratio of 0.02 means
+/// the subgraph has 2 % of the parent's edges.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReductionRatios {
+    /// `|V_sub| / |V_parent|` (0 when the parent has no nodes).
+    pub node_ratio: f64,
+    /// `|E_sub| / |E_parent|` (0 when the parent has no edges).
+    pub edge_ratio: f64,
+}
+
+/// Computes the reduction ratios of `subgraph` relative to `parent`.
+pub fn reduction_ratios(parent: &DynamicGraph, subgraph: &DynamicGraph) -> ReductionRatios {
+    let node_ratio = if parent.node_count() == 0 {
+        0.0
+    } else {
+        subgraph.node_count() as f64 / parent.node_count() as f64
+    };
+    let edge_ratio = if parent.edge_count() == 0 {
+        0.0
+    } else {
+        subgraph.edge_count() as f64 / parent.edge_count() as f64
+    };
+    ReductionRatios { node_ratio, edge_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = graph_stats(&DynamicGraph::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn stats_of_triangle() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 1.0);
+        g.add_edge(n(2), n(3), 1.0);
+        g.add_edge(n(1), n(3), 1.0);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.avg_degree, 2.0);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.density, 1.0);
+    }
+
+    #[test]
+    fn reduction_ratios_basic() {
+        let mut parent = DynamicGraph::new();
+        for i in 0..10u32 {
+            parent.add_edge(n(i), n(i + 1), 1.0);
+        }
+        let mut sub = DynamicGraph::new();
+        sub.add_edge(n(0), n(1), 1.0);
+        let r = reduction_ratios(&parent, &sub);
+        assert!((r.node_ratio - 2.0 / 11.0).abs() < 1e-12);
+        assert!((r.edge_ratio - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_ratios_with_empty_parent() {
+        let r = reduction_ratios(&DynamicGraph::new(), &DynamicGraph::new());
+        assert_eq!(r.node_ratio, 0.0);
+        assert_eq!(r.edge_ratio, 0.0);
+    }
+}

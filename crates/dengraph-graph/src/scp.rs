@@ -1,0 +1,364 @@
+//! The short-cycle property (SCP) and its global cluster decomposition.
+//!
+//! Section 4.1 defines SCP: a subgraph has the short-cycle property when
+//! every one of its edges lies on a cycle of length at most 4 whose nodes
+//! all belong to the subgraph.  The incremental algorithms of Section 5
+//! maintain SCP clusters locally; this module provides
+//!
+//! * per-edge and per-subgraph SCP checks,
+//! * [`scp_edge_groups`] — the decomposition of a graph's edges into SCP
+//!   clusters, and
+//! * [`scp_clusters_global`] — the same decomposition packaged as clusters.
+//!
+//! The decomposition mirrors the paper's construction exactly: every cycle
+//! of length ≤ 4 is a seed cluster, and clusters that share an edge merge
+//! (Lemma 6).  Formally, the clusters are the connected components of the
+//! relation "two edges lie on a common cycle of length ≤ 4", computed here
+//! with a union–find over edges.  Note that this is *finer* than
+//! biconnectivity: two cycle groups that share two nodes but no short cycle
+//! remain separate clusters, exactly as the incremental algorithms would
+//! leave them.  (Every cluster is still biconnected — Theorem 2 — because it
+//! is a union of cycles chained through shared edges.)
+//!
+//! The global construction is the test oracle for property P3 of Section
+//! 4.3 ("clusters discovered locally are consistent with a global
+//! computation on the same graph"): the incremental maintenance in
+//! `dengraph-core` is property-tested against it.
+
+use crate::dynamic_graph::{DynamicGraph, EdgeKey};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::node::NodeId;
+use crate::traversal::has_alternate_path_within;
+
+/// Does the edge `(a, b)` lie on a cycle of length at most 4 in the whole
+/// graph?
+pub fn edge_has_short_cycle(graph: &DynamicGraph, a: NodeId, b: NodeId) -> bool {
+    has_alternate_path_within(graph, a, b, 3, |_| true)
+}
+
+/// Does the edge `(a, b)` lie on a cycle of length at most 4 whose nodes are
+/// all contained in `nodes`?
+pub fn edge_has_short_cycle_within(
+    graph: &DynamicGraph,
+    a: NodeId,
+    b: NodeId,
+    nodes: &FxHashSet<NodeId>,
+) -> bool {
+    has_alternate_path_within(graph, a, b, 3, |n| nodes.contains(&n))
+}
+
+/// Does the subgraph induced by `nodes` satisfy the short-cycle property,
+/// i.e. does every induced edge lie on a short cycle within `nodes`?
+///
+/// Singleton and empty sets satisfy SCP vacuously; a set inducing no edges
+/// also does.
+pub fn subgraph_satisfies_scp(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> bool {
+    for &u in nodes {
+        for v in graph.neighbors(u) {
+            if u < v && nodes.contains(&v) && !edge_has_short_cycle_within(graph, u, v, nodes) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A minimal union–find over dense indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Decomposes the graph's edges into SCP clusters: groups of edges connected
+/// through shared cycles of length ≤ 4.  Edges that lie on no short cycle
+/// belong to no group.  Groups are returned with their edges sorted; groups
+/// are ordered by their smallest edge for determinism.
+pub fn scp_edge_groups(graph: &DynamicGraph) -> Vec<Vec<EdgeKey>> {
+    // Index every edge.
+    let mut edges: Vec<EdgeKey> = graph.edges().map(|(k, _)| k).collect();
+    edges.sort();
+    let index: FxHashMap<EdgeKey, usize> = edges.iter().enumerate().map(|(i, e)| (*e, i)).collect();
+    let mut uf = UnionFind::new(edges.len());
+    let mut on_cycle = vec![false; edges.len()];
+
+    // Enumerate every triangle and 4-cycle once, unioning its edges.
+    for (i, &edge) in edges.iter().enumerate() {
+        let (a, b) = (edge.0, edge.1);
+        let b_neighbors: FxHashSet<NodeId> = graph.neighbors(b).filter(|&x| x != a).collect();
+        for c in graph.neighbors(a).filter(|&x| x != b) {
+            // Triangle a–b–c (each triangle found from each of its edges;
+            // redundant unions are harmless).
+            if b_neighbors.contains(&c) {
+                let e_ac = index[&EdgeKey::new(a, c)];
+                let e_bc = index[&EdgeKey::new(b, c)];
+                uf.union(i, e_ac);
+                uf.union(i, e_bc);
+                on_cycle[i] = true;
+                on_cycle[e_ac] = true;
+                on_cycle[e_bc] = true;
+            }
+            // 4-cycles a–b–d–c–a.
+            for &d in &b_neighbors {
+                if d != c && graph.contains_edge(c, d) {
+                    let e_ac = index[&EdgeKey::new(a, c)];
+                    let e_cd = index[&EdgeKey::new(c, d)];
+                    let e_bd = index[&EdgeKey::new(b, d)];
+                    uf.union(i, e_ac);
+                    uf.union(i, e_cd);
+                    uf.union(i, e_bd);
+                    on_cycle[i] = true;
+                    on_cycle[e_ac] = true;
+                    on_cycle[e_cd] = true;
+                    on_cycle[e_bd] = true;
+                }
+            }
+        }
+    }
+
+    // Collect groups of cyclic edges.
+    let mut groups: FxHashMap<usize, Vec<EdgeKey>> = FxHashMap::default();
+    for (i, &edge) in edges.iter().enumerate() {
+        if on_cycle[i] {
+            let root = uf.find(i);
+            groups.entry(root).or_default().push(edge);
+        }
+    }
+    let mut out: Vec<Vec<EdgeKey>> = groups
+        .into_values()
+        .map(|mut v| {
+            v.sort();
+            v
+        })
+        .collect();
+    out.sort_by_key(|g| g.first().copied());
+    out
+}
+
+/// A cluster produced by the global SCP decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScpCluster {
+    /// Nodes of the cluster, sorted ascending.
+    pub nodes: Vec<NodeId>,
+    /// Edges of the cluster (normalised keys), sorted ascending.
+    pub edges: Vec<EdgeKey>,
+}
+
+impl ScpCluster {
+    fn from_edges(edges: Vec<EdgeKey>) -> Self {
+        let mut nodes: Vec<NodeId> = edges.iter().flat_map(|e| [e.0, e.1]).collect();
+        nodes.sort();
+        nodes.dedup();
+        Self { nodes, edges }
+    }
+}
+
+/// Computes the global SCP cluster decomposition of the whole graph.
+///
+/// Returns clusters with at least three nodes (a short cycle needs three),
+/// sorted by their smallest node id for determinism.
+pub fn scp_clusters_global(graph: &DynamicGraph) -> Vec<ScpCluster> {
+    let mut clusters: Vec<ScpCluster> = scp_edge_groups(graph)
+        .into_iter()
+        .map(ScpCluster::from_edges)
+        .filter(|c| c.nodes.len() >= 3)
+        .collect();
+    clusters.sort_by_key(|c| c.nodes.first().copied());
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn set(ids: &[u32]) -> FxHashSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn graph(pairs: &[(u32, u32)]) -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for &(a, b) in pairs {
+            g.add_edge(n(a), n(b), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_and_square_edges_have_short_cycles() {
+        let g = graph(&[(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (6, 7), (7, 4)]);
+        assert!(edge_has_short_cycle(&g, n(1), n(2)));
+        assert!(edge_has_short_cycle(&g, n(4), n(5)));
+    }
+
+    #[test]
+    fn bridge_edge_has_no_short_cycle() {
+        let g = graph(&[(1, 2), (2, 3), (1, 3), (3, 4)]);
+        assert!(!edge_has_short_cycle(&g, n(3), n(4)));
+    }
+
+    #[test]
+    fn five_cycle_has_no_short_cycles() {
+        let g = graph(&[(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]);
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)] {
+            assert!(!edge_has_short_cycle(&g, n(a), n(b)));
+        }
+        assert!(scp_clusters_global(&g).is_empty());
+        assert!(scp_edge_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn subgraph_scp_check() {
+        let g = graph(&[(1, 2), (2, 3), (1, 3), (3, 4)]);
+        assert!(subgraph_satisfies_scp(&g, &set(&[1, 2, 3])));
+        assert!(!subgraph_satisfies_scp(&g, &set(&[1, 2, 3, 4])));
+        assert!(subgraph_satisfies_scp(&g, &set(&[1])));
+        assert!(subgraph_satisfies_scp(&g, &FxHashSet::default()));
+        // A node set inducing no edges is vacuously fine.
+        assert!(subgraph_satisfies_scp(&g, &set(&[1, 4])));
+    }
+
+    #[test]
+    fn global_clusters_on_figure2_shapes() {
+        // Figure 2(a): incoming node n (=0) adjacent to 1 and 2, which share
+        // neighbour 3 — a 4-cycle cluster.
+        let g = graph(&[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let clusters = scp_clusters_global(&g);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].nodes, vec![n(0), n(1), n(2), n(3)]);
+        // Figure 2(b): n adjacent to 1 and 2 which are themselves adjacent — a triangle.
+        let g = graph(&[(0, 1), (0, 2), (1, 2)]);
+        let clusters = scp_clusters_global(&g);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].nodes, vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn pendant_edges_are_excluded_from_clusters() {
+        let g = graph(&[(1, 2), (2, 3), (1, 3), (3, 4)]);
+        let clusters = scp_clusters_global(&g);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].nodes, vec![n(1), n(2), n(3)]);
+        assert_eq!(clusters[0].edges.len(), 3);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node_are_separate_clusters() {
+        // Articulation point keeps them apart (Figure 6 behaviour).
+        let g = graph(&[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)]);
+        let clusters = scp_clusters_global(&g);
+        assert_eq!(clusters.len(), 2);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.nodes.len()).collect();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge_merge() {
+        // Lemma 6: clusters sharing an edge merge into one.
+        let g = graph(&[(1, 2), (2, 3), (1, 3), (2, 4), (3, 4)]);
+        let clusters = scp_clusters_global(&g);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].nodes, vec![n(1), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn cycle_groups_connected_only_through_long_cycles_stay_separate() {
+        // A triangle and a square joined by two node-disjoint length-2 paths:
+        // the combined graph is biconnected, but no cycle of length ≤ 4
+        // spans the two groups, so they remain distinct SCP clusters and the
+        // connecting path edges belong to neither.
+        let g = graph(&[
+            (1, 2),
+            (2, 3),
+            (1, 3), // triangle
+            (10, 11),
+            (11, 12),
+            (12, 13),
+            (13, 10), // square
+            (1, 20),
+            (20, 10), // path 1
+            (3, 21),
+            (21, 12), // path 2
+        ]);
+        let clusters = scp_clusters_global(&g);
+        assert_eq!(clusters.len(), 2);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.nodes.len()).collect();
+        assert_eq!(sizes, vec![3, 4]);
+    }
+
+    #[test]
+    fn every_global_cluster_satisfies_scp_and_is_biconnected() {
+        // A denser mixed graph.
+        let g = graph(&[
+            (1, 2),
+            (2, 3),
+            (1, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 4),
+            (7, 8),
+            (8, 9),
+            (9, 10),
+            (10, 7),
+            (7, 9),
+            (20, 21),
+        ]);
+        for c in scp_clusters_global(&g) {
+            let nodes: FxHashSet<NodeId> = c.nodes.iter().copied().collect();
+            assert!(subgraph_satisfies_scp(&g, &nodes), "cluster {:?} violates SCP", c.nodes);
+            // Biconnected: no articulation point within the cluster's own edges.
+            let mut sub = DynamicGraph::new();
+            for e in &c.edges {
+                sub.add_edge(e.0, e.1, 1.0);
+            }
+            assert!(
+                crate::biconnected::articulation_points(&sub).is_empty(),
+                "cluster {:?} has an articulation point",
+                c.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn edge_groups_partition_cyclic_edges() {
+        let g = graph(&[(1, 2), (2, 3), (1, 3), (3, 4), (10, 11), (11, 12), (12, 10)]);
+        let groups = scp_edge_groups(&g);
+        assert_eq!(groups.len(), 2);
+        let total_edges: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total_edges, 6, "the bridge (3,4) belongs to no group");
+        let mut seen = FxHashSet::default();
+        for group in &groups {
+            for e in group {
+                assert!(seen.insert(*e), "edge {e:?} appears in two groups");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_no_clusters() {
+        assert!(scp_clusters_global(&DynamicGraph::new()).is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Bounded-length path search and restricted reachability.
+//!
+//! Two queries dominate the incremental cluster maintenance of Section 5:
+//!
+//! 1. *Short-cycle check*: given an edge `(a, b)` of a cluster, is there
+//!    another path from `a` to `b` of length at most 3 that stays inside the
+//!    cluster and does not use the edge itself?
+//! 2. *Articulation split*: after a deletion, which cluster nodes are still
+//!    reachable from a given node without passing through a suspected
+//!    articulation point?
+//!
+//! Both operate on tiny node sets (average cluster size < 7 in the paper),
+//! so simple bounded BFS is the right tool.
+
+use crate::dynamic_graph::DynamicGraph;
+use crate::fxhash::FxHashSet;
+use crate::node::NodeId;
+
+/// Is there a path from `a` to `b` of length at most `max_len` edges that
+/// does **not** use the direct edge `(a, b)`, visiting only nodes for which
+/// `allowed` returns `true` (both endpoints are always allowed)?
+pub fn has_alternate_path_within<F>(
+    graph: &DynamicGraph,
+    a: NodeId,
+    b: NodeId,
+    max_len: usize,
+    allowed: F,
+) -> bool
+where
+    F: Fn(NodeId) -> bool,
+{
+    if max_len == 0 {
+        return false;
+    }
+    // Depth-limited search from `a`; depth counts edges used so far.
+    // Length ≤ 3 means at most 2 intermediate nodes, so the frontier stays tiny.
+    let mut frontier: Vec<NodeId> = vec![a];
+    let mut visited: FxHashSet<NodeId> = FxHashSet::default();
+    visited.insert(a);
+    for depth in 1..=max_len {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for v in graph.neighbors(u) {
+                // Skip the direct edge (a, b) itself.
+                if depth == 1 && u == a && v == b {
+                    continue;
+                }
+                if v == b {
+                    return true;
+                }
+                if !allowed(v) || visited.contains(&v) {
+                    continue;
+                }
+                visited.insert(v);
+                next.push(v);
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    false
+}
+
+/// The short-cycle test of Section 4.1, restricted to a node set: the edge
+/// `(a, b)` participates in a cycle of length at most 4 whose nodes all lie
+/// in `cluster_nodes`.
+pub fn edge_in_short_cycle_within(
+    graph: &DynamicGraph,
+    a: NodeId,
+    b: NodeId,
+    cluster_nodes: &FxHashSet<NodeId>,
+) -> bool {
+    has_alternate_path_within(graph, a, b, 3, |n| cluster_nodes.contains(&n))
+}
+
+/// Nodes reachable from `start` through nodes satisfying `allowed`,
+/// optionally never passing *through* `forbidden` (the suspected
+/// articulation point — `forbidden` itself is not visited).
+pub fn reachable_within<F>(
+    graph: &DynamicGraph,
+    start: NodeId,
+    allowed: F,
+    forbidden: Option<NodeId>,
+) -> FxHashSet<NodeId>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let mut visited: FxHashSet<NodeId> = FxHashSet::default();
+    if Some(start) == forbidden || !graph.contains_node(start) {
+        return visited;
+    }
+    let mut stack = vec![start];
+    visited.insert(start);
+    while let Some(u) = stack.pop() {
+        for v in graph.neighbors(u) {
+            if Some(v) == forbidden || visited.contains(&v) || !allowed(v) {
+                continue;
+            }
+            visited.insert(v);
+            stack.push(v);
+        }
+    }
+    visited
+}
+
+/// Is the subgraph induced by `nodes` connected?  (Vacuously true for
+/// empty or singleton sets.)
+pub fn is_connected_within(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> bool {
+    let Some(&start) = nodes.iter().next() else { return true };
+    if nodes.len() == 1 {
+        return true;
+    }
+    let reached = reachable_within(graph, start, |n| nodes.contains(&n), None);
+    nodes.iter().all(|n| reached.contains(n))
+}
+
+/// Connected components of the subgraph induced by `nodes`.
+pub fn connected_components_within(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> Vec<FxHashSet<NodeId>> {
+    let mut remaining: FxHashSet<NodeId> = nodes.clone();
+    let mut out = Vec::new();
+    while let Some(&start) = remaining.iter().next() {
+        let comp = reachable_within(graph, start, |n| remaining.contains(&n), None);
+        for n in &comp {
+            remaining.remove(n);
+        }
+        // `start` may be isolated within the node set.
+        if comp.is_empty() {
+            let mut single = FxHashSet::default();
+            single.insert(start);
+            remaining.remove(&start);
+            out.push(single);
+        } else {
+            out.push(comp);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn set(ids: &[u32]) -> FxHashSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    /// Figure 1 style: triangle 1-2-3 plus pendant 4.
+    fn triangle_with_tail() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 1.0);
+        g.add_edge(n(2), n(3), 1.0);
+        g.add_edge(n(1), n(3), 1.0);
+        g.add_edge(n(3), n(4), 1.0);
+        g
+    }
+
+    #[test]
+    fn triangle_edges_have_alternate_path_of_length_two() {
+        let g = triangle_with_tail();
+        assert!(has_alternate_path_within(&g, n(1), n(2), 3, |_| true));
+        assert!(has_alternate_path_within(&g, n(1), n(2), 2, |_| true));
+        // but not of length 1: the only length-1 path is the edge itself
+        assert!(!has_alternate_path_within(&g, n(1), n(2), 1, |_| true));
+    }
+
+    #[test]
+    fn pendant_edge_has_no_alternate_path() {
+        let g = triangle_with_tail();
+        assert!(!has_alternate_path_within(&g, n(3), n(4), 3, |_| true));
+    }
+
+    #[test]
+    fn four_cycle_edges_need_length_three() {
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 1.0);
+        g.add_edge(n(2), n(3), 1.0);
+        g.add_edge(n(3), n(4), 1.0);
+        g.add_edge(n(4), n(1), 1.0);
+        assert!(!has_alternate_path_within(&g, n(1), n(2), 2, |_| true));
+        assert!(has_alternate_path_within(&g, n(1), n(2), 3, |_| true));
+    }
+
+    #[test]
+    fn restriction_to_cluster_nodes_is_respected() {
+        // 1-2 edge plus a long detour 1-5-6-2 and a short detour 1-3-2;
+        // with node 3 excluded only the long detour remains, which exceeds
+        // the short-cycle bound.
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(2), 1.0);
+        g.add_edge(n(1), n(3), 1.0);
+        g.add_edge(n(3), n(2), 1.0);
+        g.add_edge(n(1), n(5), 1.0);
+        g.add_edge(n(5), n(6), 1.0);
+        g.add_edge(n(6), n(2), 1.0);
+        let with3 = set(&[1, 2, 3]);
+        let without3 = set(&[1, 2, 5, 6]);
+        assert!(edge_in_short_cycle_within(&g, n(1), n(2), &with3));
+        assert!(edge_in_short_cycle_within(&g, n(1), n(2), &without3));
+        // with only the endpoints allowed the edge has no short cycle
+        assert!(!edge_in_short_cycle_within(&g, n(1), n(2), &set(&[1, 2])));
+        // a path of exactly length 3 via 5,6 is allowed; length 4+ is not:
+        let mut far = g.clone();
+        far.remove_edge(n(6), n(2)).unwrap();
+        far.add_edge(n(6), n(7), 1.0);
+        far.add_edge(n(7), n(2), 1.0);
+        assert!(!edge_in_short_cycle_within(&far, n(1), n(2), &set(&[1, 2, 5, 6, 7])));
+    }
+
+    #[test]
+    fn nonexistent_direct_edge_still_finds_paths() {
+        // has_alternate_path_within does not require (a,b) to exist.
+        let mut g = DynamicGraph::new();
+        g.add_edge(n(1), n(3), 1.0);
+        g.add_edge(n(3), n(2), 1.0);
+        assert!(has_alternate_path_within(&g, n(1), n(2), 3, |_| true));
+        assert!(!has_alternate_path_within(&g, n(1), n(2), 1, |_| true));
+    }
+
+    #[test]
+    fn reachable_within_respects_forbidden_node() {
+        // Figure 6 shape: two rings joined at node 3.
+        let mut g = DynamicGraph::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            g.add_edge(n(a), n(b), 1.0);
+        }
+        for (a, b) in [(3, 4), (4, 5), (5, 6), (6, 3)] {
+            g.add_edge(n(a), n(b), 1.0);
+        }
+        let all = set(&[0, 1, 2, 3, 4, 5, 6]);
+        let from0_blocked_at_3 = reachable_within(&g, n(0), |x| all.contains(&x), Some(n(3)));
+        assert_eq!(from0_blocked_at_3, set(&[0, 1, 2]));
+        let from0_free = reachable_within(&g, n(0), |x| all.contains(&x), None);
+        assert_eq!(from0_free.len(), 7);
+    }
+
+    #[test]
+    fn connectivity_helpers() {
+        let g = triangle_with_tail();
+        assert!(is_connected_within(&g, &set(&[1, 2, 3, 4])));
+        assert!(is_connected_within(&g, &set(&[1])));
+        assert!(is_connected_within(&g, &FxHashSet::default()));
+        assert!(!is_connected_within(&g, &set(&[1, 4]))); // only connected via 3
+        let comps = connected_components_within(&g, &set(&[1, 2, 4]));
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn reachable_from_missing_or_forbidden_start_is_empty() {
+        let g = triangle_with_tail();
+        assert!(reachable_within(&g, n(99), |_| true, None).is_empty());
+        assert!(reachable_within(&g, n(1), |_| true, Some(n(1))).is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! The "p minima" min-hash sketch.
+//!
+//! For a keyword `n` with user-id set `U(n)`, the sketch keeps the `p`
+//! smallest hash values of the ids in `U(n)`.  Two keywords are candidate
+//! neighbours when their sketches share at least one value (Section 3.2.2);
+//! the fraction of shared minima among the union's `p` smallest values is an
+//! unbiased estimator of the Jaccard coefficient.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hasher::UserHasher;
+
+/// Bounded sketch holding the `p` smallest hash values seen so far.
+///
+/// Values are kept sorted ascending and de-duplicated, so membership and
+/// overlap checks are linear in `p` (which the paper fixes at a small
+/// constant, `min(σ/2, 1/τ)`, typically 2–5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSketch {
+    p: usize,
+    minima: Vec<u64>,
+}
+
+impl MinHashSketch {
+    /// Creates an empty sketch that keeps at most `p` minima (`p ≥ 1`).
+    pub fn new(p: usize) -> Self {
+        let p = p.max(1);
+        Self { p, minima: Vec::with_capacity(p) }
+    }
+
+    /// The configured sketch size `p`.
+    pub fn capacity(&self) -> usize {
+        self.p
+    }
+
+    /// Number of minima currently stored (≤ `p`).
+    pub fn len(&self) -> usize {
+        self.minima.len()
+    }
+
+    /// Returns `true` when no value has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.minima.is_empty()
+    }
+
+    /// Current minima, ascending.
+    pub fn minima(&self) -> &[u64] {
+        &self.minima
+    }
+
+    /// Observes one pre-hashed value.
+    pub fn insert_hash(&mut self, hash: u64) {
+        match self.minima.binary_search(&hash) {
+            Ok(_) => {} // duplicate: a user already counted
+            Err(pos) => {
+                if pos < self.p {
+                    self.minima.insert(pos, hash);
+                    self.minima.truncate(self.p);
+                }
+            }
+        }
+    }
+
+    /// Observes a raw user id through `hasher`.
+    pub fn insert(&mut self, hasher: &UserHasher, user_id: u64) {
+        self.insert_hash(hasher.hash(user_id));
+    }
+
+    /// Observes every id in `ids`.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, hasher: &UserHasher, ids: I) {
+        for id in ids {
+            self.insert(hasher, id);
+        }
+    }
+
+    /// Builds a sketch directly from an id iterator.
+    pub fn from_ids<I: IntoIterator<Item = u64>>(p: usize, hasher: &UserHasher, ids: I) -> Self {
+        let mut s = Self::new(p);
+        s.extend(hasher, ids);
+        s
+    }
+
+    /// Merges another sketch into this one (union of the underlying sets).
+    pub fn merge(&mut self, other: &MinHashSketch) {
+        for &h in &other.minima {
+            self.insert_hash(h);
+        }
+    }
+
+    /// Number of values present in both sketches.
+    ///
+    /// Both sketches must have been built with the same hasher for the
+    /// result to be meaningful.
+    pub fn overlap(&self, other: &MinHashSketch) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < self.minima.len() && j < other.minima.len() {
+            match self.minima[i].cmp(&other.minima[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The paper's edge-admission test: do the two sketches share at least
+    /// one min-hash value?
+    pub fn shares_minimum(&self, other: &MinHashSketch) -> bool {
+        self.overlap(other) > 0
+    }
+
+    /// Estimates the Jaccard coefficient of the two underlying sets.
+    ///
+    /// The estimator treats the `p` smallest values of the *union* of both
+    /// sketches as a uniform sample of the union and counts how many of
+    /// those sampled values appear in both sets.
+    pub fn estimate_jaccard(&self, other: &MinHashSketch) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        // p smallest values of the union of the stored minima.
+        let mut union: Vec<u64> = self.minima.iter().chain(other.minima.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        union.truncate(self.p.max(other.p));
+        if union.is_empty() {
+            return 0.0;
+        }
+        let in_both = union
+            .iter()
+            .filter(|h| self.minima.binary_search(h).is_ok() && other.minima.binary_search(h).is_ok())
+            .count();
+        in_both as f64 / union.len() as f64
+    }
+
+    /// Clears the sketch while keeping its capacity.
+    pub fn clear(&mut self) {
+        self.minima.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::exact_jaccard;
+    use std::collections::HashSet;
+
+    fn hasher() -> UserHasher {
+        UserHasher::new(0xABCD)
+    }
+
+    #[test]
+    fn keeps_only_p_smallest() {
+        let h = hasher();
+        let mut s = MinHashSketch::new(3);
+        s.extend(&h, 0..100);
+        assert_eq!(s.len(), 3);
+        let all: Vec<u64> = (0..100).map(|i| h.hash(i)).collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(s.minima(), &sorted[..3]);
+    }
+
+    #[test]
+    fn duplicate_users_count_once() {
+        let h = hasher();
+        let mut s = MinHashSketch::new(5);
+        s.insert(&h, 7);
+        s.insert(&h, 7);
+        s.insert(&h, 7);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn identical_sets_share_minima_and_estimate_one() {
+        let h = hasher();
+        let a = MinHashSketch::from_ids(4, &h, [1, 2, 3, 4, 5]);
+        let b = MinHashSketch::from_ids(4, &h, [1, 2, 3, 4, 5]);
+        assert!(a.shares_minimum(&b));
+        assert!((a.estimate_jaccard(&b) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_share_minima() {
+        let h = hasher();
+        let a = MinHashSketch::from_ids(4, &h, [1, 2, 3]);
+        let b = MinHashSketch::from_ids(4, &h, [100, 200, 300]);
+        assert!(!a.shares_minimum(&b));
+        assert_eq!(a.estimate_jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_building_from_union() {
+        let h = hasher();
+        let mut a = MinHashSketch::from_ids(4, &h, [1, 2, 3]);
+        let b = MinHashSketch::from_ids(4, &h, [3, 4, 5]);
+        a.merge(&b);
+        let union = MinHashSketch::from_ids(4, &h, [1, 2, 3, 4, 5]);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn estimator_tracks_exact_jaccard_on_large_sets() {
+        // Large overlapping sets: with p = 16 the estimate should land
+        // within ±0.25 of the exact Jaccard (coarse but unbiased).
+        let h = hasher();
+        let set_a: HashSet<u64> = (0..600).collect();
+        let set_b: HashSet<u64> = (300..900).collect();
+        let exact = exact_jaccard(&set_a, &set_b);
+        let a = MinHashSketch::from_ids(16, &h, set_a.iter().copied());
+        let b = MinHashSketch::from_ids(16, &h, set_b.iter().copied());
+        let est = a.estimate_jaccard(&b);
+        assert!((est - exact).abs() < 0.25, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn empty_sketches_estimate_zero() {
+        let a = MinHashSketch::new(4);
+        let b = MinHashSketch::new(4);
+        assert_eq!(a.estimate_jaccard(&b), 0.0);
+        assert!(!a.shares_minimum(&b));
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let h = hasher();
+        let mut s = MinHashSketch::from_ids(4, &h, [1, 2, 3]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 4);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        assert_eq!(MinHashSketch::new(0).capacity(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Event intensity curves.
+//!
+//! Section 7.2.2 observes that "real world events typically have a build-up
+//! and wind-down phase … spurious events have a sudden burst and thereafter
+//! they die".  The generator encodes exactly that: real events follow a
+//! trapezoidal intensity curve, spurious bursts are a rectangle one or two
+//! rounds wide, and too-weak events emit a trickle below any burstiness
+//! threshold.
+
+use crate::generator::EventScenario;
+use crate::ground_truth::GroundTruthEventKind;
+
+/// Number of event messages emitted in generation round `round`.
+pub fn intensity_at(scenario: &EventScenario, round: u64) -> u32 {
+    if round < scenario.start_round || round >= scenario.start_round + scenario.duration_rounds {
+        return 0;
+    }
+    let offset = round - scenario.start_round;
+    let duration = scenario.duration_rounds.max(1);
+    let peak = scenario.peak_messages_per_round;
+    match scenario.kind {
+        GroundTruthEventKind::Spurious => peak,
+        GroundTruthEventKind::TooWeak => peak.min(2),
+        GroundTruthEventKind::Headline | GroundTruthEventKind::LocalOnly => {
+            // Trapezoid: ramp up over the first third, hold, ramp down over
+            // the last third.  Always at least 1 message while active.
+            let ramp = (duration / 3).max(1);
+            let scaled = if offset < ramp {
+                // Build-up.
+                peak as u64 * (offset + 1) / ramp
+            } else if offset >= duration - ramp {
+                // Wind-down.
+                peak as u64 * (duration - offset) / ramp
+            } else {
+                peak as u64
+            };
+            (scaled as u32).max(1)
+        }
+    }
+}
+
+/// Total messages an event will emit over its lifetime.
+pub fn total_messages(scenario: &EventScenario) -> u64 {
+    (scenario.start_round..scenario.start_round + scenario.duration_rounds)
+        .map(|r| intensity_at(scenario, r) as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(kind: GroundTruthEventKind, duration: u64, peak: u32) -> EventScenario {
+        EventScenario {
+            name: "test".into(),
+            keyword_names: vec!["a".into(), "b".into()],
+            evolving_keyword_names: vec![],
+            start_round: 10,
+            duration_rounds: duration,
+            peak_messages_per_round: peak,
+            kind,
+        }
+    }
+
+    #[test]
+    fn zero_outside_the_active_window() {
+        let s = scenario(GroundTruthEventKind::Headline, 9, 30);
+        assert_eq!(intensity_at(&s, 9), 0);
+        assert_eq!(intensity_at(&s, 19), 0);
+        assert!(intensity_at(&s, 10) > 0);
+        assert!(intensity_at(&s, 18) > 0);
+    }
+
+    #[test]
+    fn real_events_build_up_peak_and_wind_down() {
+        let s = scenario(GroundTruthEventKind::Headline, 9, 30);
+        let curve: Vec<u32> = (10..19).map(|r| intensity_at(&s, r)).collect();
+        // Build-up strictly below the peak at the start, peak in the middle,
+        // wind-down at the end.
+        assert!(curve[0] < 30);
+        assert!(curve.iter().max().copied().unwrap() == 30);
+        assert!(curve[8] < 30);
+        assert!(curve.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn spurious_events_are_rectangular() {
+        let s = scenario(GroundTruthEventKind::Spurious, 2, 40);
+        assert_eq!(intensity_at(&s, 10), 40);
+        assert_eq!(intensity_at(&s, 11), 40);
+        assert_eq!(intensity_at(&s, 12), 0);
+    }
+
+    #[test]
+    fn too_weak_events_stay_below_any_threshold() {
+        let s = scenario(GroundTruthEventKind::TooWeak, 5, 50);
+        for r in 10..15 {
+            assert!(intensity_at(&s, r) <= 2);
+        }
+    }
+
+    #[test]
+    fn total_messages_sums_the_curve() {
+        let s = scenario(GroundTruthEventKind::Spurious, 2, 40);
+        assert_eq!(total_messages(&s), 80);
+        let w = scenario(GroundTruthEventKind::TooWeak, 5, 50);
+        assert!(total_messages(&w) <= 10);
+    }
+
+    #[test]
+    fn single_round_event_is_well_defined() {
+        let s = scenario(GroundTruthEventKind::Headline, 1, 10);
+        assert!(intensity_at(&s, 10) >= 1);
+        assert_eq!(intensity_at(&s, 11), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Synthetic microblog workload generator.
+//!
+//! Real Twitter traces cannot be redistributed, so the benchmark harness
+//! generates traces with the same *statistical features* that the paper's
+//! algorithms exploit:
+//!
+//! * a large background of Zipf-distributed chatter keywords whose user
+//!   sets are uncorrelated (so they rarely form AKG edges),
+//! * injected real-world events: a set of correlated keywords posted by
+//!   many distinct users, with a build-up / peak / wind-down intensity
+//!   curve and keywords that *join the event late* (the "5.9" of Figure 1),
+//! * local-only events that have no news headline (the "6× additional
+//!   events" of Section 7.1),
+//! * too-weak events with fewer messages than the burstiness threshold can
+//!   ever see (the paper's 27 excluded headlines), and
+//! * spurious bursts that flare up in a single round and die (the
+//!   advertisement / rumour clusters of Section 7.2.2).
+//!
+//! Generation is fully deterministic given the profile's seed.
+
+pub mod event;
+pub mod profiles;
+pub mod vocab;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use dengraph_text::{KeywordId, KeywordInterner};
+
+use crate::ground_truth::{GroundTruth, GroundTruthEvent, GroundTruthEventKind};
+use crate::message::{Message, UserId};
+use crate::trace::Trace;
+
+use event::intensity_at;
+use vocab::ZipfVocabulary;
+
+/// Generation-side description of one injected event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventScenario {
+    /// Human-readable name (the simulated headline text).
+    pub name: String,
+    /// Core keywords, active from the event's first round.
+    pub keyword_names: Vec<String>,
+    /// Late-joining keywords: `(keyword, offset in rounds after start)`.
+    pub evolving_keyword_names: Vec<(String, u64)>,
+    /// First round in which the event emits messages.
+    pub start_round: u64,
+    /// Number of rounds the event stays active.
+    pub duration_rounds: u64,
+    /// Peak messages per round.
+    pub peak_messages_per_round: u32,
+    /// Ground-truth category.
+    pub kind: GroundTruthEventKind,
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamProfile {
+    /// Profile name (appears in reports).
+    pub name: String,
+    /// Number of generation rounds.
+    pub rounds: u64,
+    /// Target number of messages per round (background fills up to this).
+    pub round_size: usize,
+    /// Size of the background vocabulary.
+    pub background_vocab_size: usize,
+    /// Zipf exponent of the background vocabulary.
+    pub zipf_exponent: f64,
+    /// Size of the background user population.
+    pub background_users: u64,
+    /// Minimum and maximum keywords per background message.
+    pub keywords_per_background_msg: (usize, usize),
+    /// Probability that an event message includes any given active event keyword.
+    pub event_keyword_prob: f64,
+    /// Injected events.
+    pub events: Vec<EventScenario>,
+    /// RNG seed; two generations with the same profile are identical.
+    pub seed: u64,
+}
+
+impl StreamProfile {
+    /// Total number of messages the profile will roughly produce
+    /// (`rounds × round_size`, plus event overflow if any).
+    pub fn approx_messages(&self) -> usize {
+        self.rounds as usize * self.round_size
+    }
+}
+
+/// The workload generator.
+#[derive(Debug)]
+pub struct StreamGenerator {
+    profile: StreamProfile,
+}
+
+impl StreamGenerator {
+    /// Creates a generator for the given profile.
+    pub fn new(profile: StreamProfile) -> Self {
+        Self { profile }
+    }
+
+    /// Generates the full trace.
+    pub fn generate(&self) -> Trace {
+        let profile = &self.profile;
+        let mut rng = ChaCha8Rng::seed_from_u64(profile.seed);
+        let mut interner = KeywordInterner::new();
+
+        // Background vocabulary: synthetic "chatter" words.
+        let vocab = ZipfVocabulary::new(
+            profile.background_vocab_size,
+            profile.zipf_exponent,
+            &mut interner,
+        );
+
+        // Intern event keywords and build the ground-truth registry.
+        let mut ground_truth = GroundTruth::default();
+        let mut event_keywords: Vec<Vec<(KeywordId, u64)>> = Vec::new(); // (keyword, activation offset)
+        for (idx, scenario) in profile.events.iter().enumerate() {
+            let mut kws: Vec<(KeywordId, u64)> = Vec::new();
+            let mut all_ids = Vec::new();
+            let mut headline_ids = Vec::new();
+            for name in &scenario.keyword_names {
+                let id = interner.intern(name);
+                kws.push((id, 0));
+                all_ids.push(id);
+                headline_ids.push(id);
+            }
+            for (name, offset) in &scenario.evolving_keyword_names {
+                let id = interner.intern(name);
+                kws.push((id, *offset));
+                all_ids.push(id);
+            }
+            event_keywords.push(kws);
+            ground_truth.events.push(GroundTruthEvent {
+                id: idx as u32,
+                name: scenario.name.clone(),
+                keywords: all_ids,
+                headline_keywords: headline_ids,
+                start_round: scenario.start_round,
+                duration_rounds: scenario.duration_rounds,
+                peak_messages_per_round: scenario.peak_messages_per_round,
+                kind: scenario.kind,
+            });
+        }
+
+        let mut messages: Vec<Message> = Vec::with_capacity(profile.approx_messages());
+        let mut time: u64 = 0;
+
+        for round in 0..profile.rounds {
+            let mut round_msgs: Vec<Message> = Vec::with_capacity(profile.round_size);
+
+            // Event messages.
+            for (idx, scenario) in profile.events.iter().enumerate() {
+                let count = intensity_at(scenario, round);
+                if count == 0 {
+                    continue;
+                }
+                let active: Vec<KeywordId> = event_keywords[idx]
+                    .iter()
+                    .filter(|(_, offset)| round >= scenario.start_round + offset)
+                    .map(|(id, _)| *id)
+                    .collect();
+                if active.is_empty() {
+                    continue;
+                }
+                for _ in 0..count {
+                    let user = UserId(rng.gen_range(0..profile.background_users));
+                    let mut kws: Vec<KeywordId> = active
+                        .iter()
+                        .copied()
+                        .filter(|_| rng.gen_bool(profile.event_keyword_prob))
+                        .collect();
+                    if kws.len() < 2 {
+                        // Every event message mentions at least two event keywords
+                        // so spatial correlation can form.
+                        kws = active.choose_multiple(&mut rng, 2.min(active.len())).copied().collect();
+                    }
+                    // Mix in a little background noise.
+                    if rng.gen_bool(0.3) {
+                        let noise = vocab.sample(&mut rng);
+                        if !kws.contains(&noise) {
+                            kws.push(noise);
+                        }
+                    }
+                    round_msgs.push(Message::new(user, 0, kws));
+                }
+            }
+
+            // Background messages fill the round up to its target size.
+            let background_needed = profile.round_size.saturating_sub(round_msgs.len());
+            let (kmin, kmax) = profile.keywords_per_background_msg;
+            for _ in 0..background_needed {
+                let user = UserId(rng.gen_range(0..profile.background_users));
+                let count = rng.gen_range(kmin..=kmax.max(kmin));
+                let mut kws = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let k = vocab.sample(&mut rng);
+                    if !kws.contains(&k) {
+                        kws.push(k);
+                    }
+                }
+                round_msgs.push(Message::new(user, 0, kws));
+            }
+
+            // Interleave event and background messages within the round.
+            round_msgs.shuffle(&mut rng);
+            for mut m in round_msgs {
+                m.time = time;
+                time += 1;
+                messages.push(m);
+            }
+        }
+
+        Trace {
+            profile_name: profile.name.clone(),
+            round_size: profile.round_size,
+            messages,
+            ground_truth,
+            interner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::profiles;
+
+    fn tiny_profile() -> StreamProfile {
+        StreamProfile {
+            name: "tiny".into(),
+            rounds: 10,
+            round_size: 50,
+            background_vocab_size: 200,
+            zipf_exponent: 1.0,
+            background_users: 500,
+            keywords_per_background_msg: (3, 6),
+            event_keyword_prob: 0.75,
+            events: vec![EventScenario {
+                name: "earthquake strikes".into(),
+                keyword_names: vec!["earthquake".into(), "struck".into(), "turkey".into(), "eastern".into()],
+                evolving_keyword_names: vec![("magnitude".into(), 2)],
+                start_round: 3,
+                duration_rounds: 5,
+                peak_messages_per_round: 12,
+                kind: GroundTruthEventKind::Headline,
+            }],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = StreamGenerator::new(tiny_profile()).generate();
+        let b = StreamGenerator::new(tiny_profile()).generate();
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+
+    #[test]
+    fn round_size_is_respected_for_background_rounds() {
+        let trace = StreamGenerator::new(tiny_profile()).generate();
+        assert_eq!(trace.messages.len(), 10 * 50);
+    }
+
+    #[test]
+    fn timestamps_are_strictly_increasing() {
+        let trace = StreamGenerator::new(tiny_profile()).generate();
+        for w in trace.messages.windows(2) {
+            assert!(w[0].time < w[1].time);
+        }
+    }
+
+    #[test]
+    fn event_keywords_appear_only_during_the_event() {
+        let trace = StreamGenerator::new(tiny_profile()).generate();
+        let quake = trace.interner.get("earthquake").unwrap();
+        let per_round: Vec<usize> = (0..10)
+            .map(|r| {
+                trace
+                    .messages
+                    .iter()
+                    .filter(|m| (m.time / 50) == r && m.keywords.contains(&quake))
+                    .count()
+            })
+            .collect();
+        assert!(per_round[..3].iter().all(|&c| c == 0), "no quake messages before round 3: {per_round:?}");
+        assert!(per_round[3..8].iter().sum::<usize>() > 0, "quake messages during the event");
+        assert!(per_round[8..].iter().all(|&c| c == 0), "no quake messages after the event");
+    }
+
+    #[test]
+    fn evolving_keyword_joins_late() {
+        let trace = StreamGenerator::new(tiny_profile()).generate();
+        let magnitude = trace.interner.get("magnitude").unwrap();
+        let first_use = trace
+            .messages
+            .iter()
+            .find(|m| m.keywords.contains(&magnitude))
+            .map(|m| m.time / 50);
+        assert!(first_use.is_none() || first_use.unwrap() >= 5, "magnitude joins at round 5 or later");
+    }
+
+    #[test]
+    fn event_messages_mention_multiple_event_keywords() {
+        let trace = StreamGenerator::new(tiny_profile()).generate();
+        let quake = trace.interner.get("earthquake").unwrap();
+        for m in trace.messages.iter().filter(|m| m.keywords.contains(&quake)) {
+            assert!(m.keywords.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn builtin_profiles_generate_ground_truth() {
+        let p = profiles::tw_profile(7, profiles::ProfileScale::Small);
+        let trace = StreamGenerator::new(p).generate();
+        assert!(trace.ground_truth.detectable_count() > 0);
+        assert!(trace.messages.len() > 1000);
+    }
+}

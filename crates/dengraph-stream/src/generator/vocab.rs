@@ -1,0 +1,118 @@
+//! Zipf-distributed background vocabulary.
+//!
+//! Keyword frequencies in microblog chatter are heavy-tailed: a few words
+//! ("love", "game", "work") appear constantly while the long tail appears
+//! once.  The background generator samples from a Zipf distribution so that
+//! the AKG's node-admission logic (burstiness) and edge-admission logic
+//! (Jaccard correlation) both see realistic pressure: head words are always
+//! bursty but never correlated, tail words are never bursty.
+
+use dengraph_text::{KeywordId, KeywordInterner};
+use rand::Rng;
+
+/// A fixed vocabulary with a Zipf sampling distribution.
+#[derive(Debug, Clone)]
+pub struct ZipfVocabulary {
+    keywords: Vec<KeywordId>,
+    /// Cumulative probability table for binary-search sampling.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfVocabulary {
+    /// Creates a vocabulary of `size` synthetic chatter words (`bg0000`,
+    /// `bg0001`, …) interned into `interner`, with Zipf exponent `s`.
+    pub fn new(size: usize, s: f64, interner: &mut KeywordInterner) -> Self {
+        let size = size.max(1);
+        let keywords: Vec<KeywordId> =
+            (0..size).map(|i| interner.intern(&format!("bg{i:05}"))).collect();
+        let weights: Vec<f64> = (1..=size).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { keywords, cumulative }
+    }
+
+    /// Number of keywords in the vocabulary.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Returns `true` if the vocabulary is empty (never happens in practice).
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// Samples one keyword according to the Zipf distribution.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> KeywordId {
+        let u: f64 = rng.gen();
+        let idx = match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.keywords.len() - 1),
+        };
+        self.keywords[idx]
+    }
+
+    /// All keyword ids, most frequent first.
+    pub fn keywords(&self) -> &[KeywordId] {
+        &self.keywords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn head_words_are_sampled_much_more_often_than_tail_words() {
+        let mut interner = KeywordInterner::new();
+        let vocab = ZipfVocabulary::new(1000, 1.0, &mut interner);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..50_000 {
+            let k = vocab.sample(&mut rng);
+            counts[k.index()] += 1;
+        }
+        let head = counts[0];
+        let tail: usize = counts[900..].iter().sum();
+        assert!(head > 2000, "head word sampled {head} times");
+        assert!(head > tail, "head {head} should dominate the tail {tail}");
+    }
+
+    #[test]
+    fn sampling_stays_in_range_and_is_deterministic() {
+        let mut interner = KeywordInterner::new();
+        let vocab = ZipfVocabulary::new(50, 1.2, &mut interner);
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let ka = vocab.sample(&mut a);
+            let kb = vocab.sample(&mut b);
+            assert_eq!(ka, kb);
+            assert!(ka.index() < interner.len());
+        }
+    }
+
+    #[test]
+    fn vocabulary_interns_distinct_words() {
+        let mut interner = KeywordInterner::new();
+        let vocab = ZipfVocabulary::new(10, 1.0, &mut interner);
+        assert_eq!(vocab.len(), 10);
+        assert_eq!(interner.len(), 10);
+        assert!(!vocab.is_empty());
+    }
+
+    #[test]
+    fn size_zero_is_clamped() {
+        let mut interner = KeywordInterner::new();
+        let vocab = ZipfVocabulary::new(0, 1.0, &mut interner);
+        assert_eq!(vocab.len(), 1);
+    }
+}

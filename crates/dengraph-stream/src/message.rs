@@ -1,0 +1,81 @@
+//! The microblog message model.
+
+use dengraph_text::KeywordId;
+use serde::{Deserialize, Serialize};
+
+/// A unique microblog user.
+///
+/// The paper computes edge correlation over *user* ids rather than message
+/// ids "so as to avoid the case of a single user flooding the same message
+/// multiple times" (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// Returns the raw id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// One microblog message, already reduced to its keyword set.
+///
+/// `time` is a monotonically non-decreasing sequence number (the message
+/// index in the trace); the detector only relies on ordering, never on wall
+/// clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// The author.
+    pub user: UserId,
+    /// Monotone sequence number / arrival index.
+    pub time: u64,
+    /// De-duplicated keyword ids of the message (stop words already removed).
+    pub keywords: Vec<KeywordId>,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(user: UserId, time: u64, keywords: Vec<KeywordId>) -> Self {
+        Self { user, time, keywords }
+    }
+
+    /// Returns `true` when the message carries no usable keywords.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_construction() {
+        let m = Message::new(UserId(7), 3, vec![KeywordId(1), KeywordId(2)]);
+        assert_eq!(m.user.raw(), 7);
+        assert_eq!(m.time, 3);
+        assert_eq!(m.keywords.len(), 2);
+        assert!(!m.is_empty());
+        assert!(Message::new(UserId(1), 0, vec![]).is_empty());
+    }
+
+    #[test]
+    fn user_display() {
+        assert_eq!(UserId(42).to_string(), "u42");
+    }
+
+    #[test]
+    fn message_serde_round_trip() {
+        let m = Message::new(UserId(7), 3, vec![KeywordId(1)]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Message = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,127 @@
+//! Batching a message stream into quanta.
+//!
+//! The paper's unit of time is the *quantum* Δ: a fixed number of messages
+//! (Table 2 uses 80–240 per quantum, the ground-truth study 800).  The
+//! sliding window spans `w` quanta and advances one quantum at a time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::Message;
+
+/// One quantum: `index` counts quanta from the start of the stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quantum {
+    /// Zero-based quantum index.
+    pub index: u64,
+    /// Messages of this quantum in arrival order.
+    pub messages: Vec<Message>,
+}
+
+impl Quantum {
+    /// Number of messages in the quantum.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Returns `true` when the quantum holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// Splits a message stream into quanta of `delta` messages.
+///
+/// The final, possibly partial, quantum is emitted too (the detector treats
+/// it exactly like any other quantum).
+#[derive(Debug)]
+pub struct QuantumBatcher<I> {
+    inner: I,
+    delta: usize,
+    next_index: u64,
+    done: bool,
+}
+
+impl<I: Iterator<Item = Message>> QuantumBatcher<I> {
+    /// Creates a batcher emitting quanta of `delta` messages (`delta ≥ 1`).
+    pub fn new(inner: I, delta: usize) -> Self {
+        Self { inner, delta: delta.max(1), next_index: 0, done: false }
+    }
+}
+
+impl<I: Iterator<Item = Message>> Iterator for QuantumBatcher<I> {
+    type Item = Quantum;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut messages = Vec::with_capacity(self.delta);
+        while messages.len() < self.delta {
+            match self.inner.next() {
+                Some(m) => messages.push(m),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if messages.is_empty() {
+            return None;
+        }
+        let q = Quantum { index: self.next_index, messages };
+        self.next_index += 1;
+        Some(q)
+    }
+}
+
+/// Convenience: batch a whole slice of messages.
+pub fn batch_messages(messages: &[Message], delta: usize) -> Vec<Quantum> {
+    QuantumBatcher::new(messages.iter().cloned(), delta).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::UserId;
+    use dengraph_text::KeywordId;
+
+    fn msgs(n: usize) -> Vec<Message> {
+        (0..n)
+            .map(|i| Message::new(UserId(i as u64), i as u64, vec![KeywordId(i as u32)]))
+            .collect()
+    }
+
+    #[test]
+    fn exact_multiple_splits_evenly() {
+        let quanta = batch_messages(&msgs(12), 4);
+        assert_eq!(quanta.len(), 3);
+        assert!(quanta.iter().all(|q| q.len() == 4));
+        assert_eq!(quanta[2].index, 2);
+    }
+
+    #[test]
+    fn final_partial_quantum_is_emitted() {
+        let quanta = batch_messages(&msgs(10), 4);
+        assert_eq!(quanta.len(), 3);
+        assert_eq!(quanta[2].len(), 2);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let quanta = batch_messages(&msgs(8), 3);
+        let times: Vec<u64> =
+            quanta.iter().flat_map(|q| q.messages.iter().map(|m| m.time)).collect();
+        assert_eq!(times, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(batch_messages(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn delta_zero_is_clamped_to_one() {
+        let quanta = batch_messages(&msgs(3), 0);
+        assert_eq!(quanta.len(), 3);
+    }
+}

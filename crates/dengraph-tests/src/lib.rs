@@ -1,0 +1,1 @@
+//! Integration-test package: test sources live in the workspace-level `tests/` directory.

@@ -1,0 +1,144 @@
+//! Keyword interning.
+//!
+//! The dynamic graph, the min-hash sketches and the cluster registry all
+//! work on compact [`KeywordId`]s rather than owned strings: a Twitter-scale
+//! stream inserts and removes hundreds of thousands of keywords per window
+//! and string keys would dominate both memory and hashing cost.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A compact identifier for an interned keyword.
+///
+/// Ids are dense (`0..len`) and never reused within one interner, so they
+/// can index into side tables directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KeywordId(pub u32);
+
+impl KeywordId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for KeywordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A bidirectional `String ↔ KeywordId` map.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct KeywordInterner {
+    by_name: HashMap<String, KeywordId>,
+    by_id: Vec<String>,
+}
+
+impl KeywordInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `word`, returning its stable id.  Repeated calls with the
+    /// same word return the same id.
+    pub fn intern(&mut self, word: &str) -> KeywordId {
+        if let Some(&id) = self.by_name.get(word) {
+            return id;
+        }
+        let id = KeywordId(u32::try_from(self.by_id.len()).expect("more than u32::MAX keywords interned"));
+        self.by_name.insert(word.to_string(), id);
+        self.by_id.push(word.to_string());
+        id
+    }
+
+    /// Looks up an already-interned word without inserting it.
+    pub fn get(&self, word: &str) -> Option<KeywordId> {
+        self.by_name.get(word).copied()
+    }
+
+    /// Resolves an id back to its string.
+    pub fn resolve(&self, id: KeywordId) -> Option<&str> {
+        self.by_id.get(id.index()).map(String::as_str)
+    }
+
+    /// Resolves a whole slice of ids, skipping unknown ones.
+    pub fn resolve_all(&self, ids: &[KeywordId]) -> Vec<&str> {
+        ids.iter().filter_map(|&id| self.resolve(id)).collect()
+    }
+
+    /// Number of distinct interned keywords.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (KeywordId(i as u32), w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = KeywordInterner::new();
+        let a = i.intern("earthquake");
+        let b = i.intern("earthquake");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_words_get_distinct_ids() {
+        let mut i = KeywordInterner::new();
+        let a = i.intern("earthquake");
+        let b = i.intern("turkey");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = KeywordInterner::new();
+        let id = i.intern("tornado");
+        assert_eq!(i.resolve(id), Some("tornado"));
+        assert_eq!(i.get("tornado"), Some(id));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.resolve(KeywordId(99)), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = KeywordInterner::new();
+        for (n, w) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(i.intern(w).index(), n);
+        }
+        let words: Vec<_> = i.iter().map(|(_, w)| w).collect();
+        assert_eq!(words, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn resolve_all_skips_unknown() {
+        let mut i = KeywordInterner::new();
+        let a = i.intern("a");
+        assert_eq!(i.resolve_all(&[a, KeywordId(42)]), vec!["a"]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(KeywordId(7).to_string(), "k7");
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end keyword extraction: raw text → de-duplicated `KeywordId` set.
+
+use crate::interner::{KeywordId, KeywordInterner};
+use crate::stemmer;
+use crate::stopwords;
+use crate::tokenizer::{self, TokenKind};
+
+/// Configuration of the keyword-extraction pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Keep `#hashtag` tokens as keywords (default `true`).
+    pub keep_hashtags: bool,
+    /// Keep numeric tokens such as `5.9` as keywords (default `true` — the
+    /// paper's Figure 1 adds "5.9" to the earthquake cluster).
+    pub keep_numbers: bool,
+    /// Apply the light stemmer (default `true`).
+    pub stem: bool,
+    /// Drop tokens shorter than this many characters (default `2`).
+    pub min_token_len: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { keep_hashtags: true, keep_numbers: true, stem: true, min_token_len: 2 }
+    }
+}
+
+/// Stateful keyword pipeline: owns the interner so repeated messages map
+/// the same word to the same [`KeywordId`].
+#[derive(Debug, Default)]
+pub struct KeywordPipeline {
+    config: PipelineConfig,
+    interner: KeywordInterner,
+}
+
+impl KeywordPipeline {
+    /// Creates a pipeline with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pipeline with an explicit configuration.
+    pub fn with_config(config: PipelineConfig) -> Self {
+        Self { config, interner: KeywordInterner::new() }
+    }
+
+    /// Processes one message, returning its de-duplicated keyword ids in
+    /// first-occurrence order.
+    pub fn process(&mut self, text: &str) -> Vec<KeywordId> {
+        let mut out: Vec<KeywordId> = Vec::new();
+        for token in tokenizer::tokenize(text) {
+            let keep = match token.kind {
+                TokenKind::Word => true,
+                TokenKind::Hashtag => self.config.keep_hashtags,
+                TokenKind::Number => self.config.keep_numbers,
+                TokenKind::Mention | TokenKind::Url => false,
+            };
+            if !keep {
+                continue;
+            }
+            let mut word = token.text;
+            if token.kind != TokenKind::Number && self.config.stem {
+                word = stemmer::normalize(&word);
+            }
+            if word.chars().count() < self.config.min_token_len && token.kind != TokenKind::Number {
+                continue;
+            }
+            if token.kind != TokenKind::Number && stopwords::is_stopword(&word) {
+                continue;
+            }
+            let id = self.interner.intern(&word);
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Processes a message but returns keyword strings (useful in examples).
+    pub fn process_to_words(&mut self, text: &str) -> Vec<String> {
+        self.process(text)
+            .into_iter()
+            .filter_map(|id| self.interner.resolve(id).map(str::to_string))
+            .collect()
+    }
+
+    /// Access to the shared interner.
+    pub fn interner(&self) -> &KeywordInterner {
+        &self.interner
+    }
+
+    /// Mutable access to the shared interner (the workload generator interns
+    /// its vocabulary up front through this).
+    pub fn interner_mut(&mut self) -> &mut KeywordInterner {
+        &mut self.interner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_style_message() {
+        let mut p = KeywordPipeline::new();
+        let words = p.process_to_words("A massive earthquake struck eastern Turkey today");
+        assert_eq!(words, vec!["massive", "earthquake", "struck", "eastern", "turkey", "today"]);
+    }
+
+    #[test]
+    fn duplicates_within_a_message_collapse() {
+        let mut p = KeywordPipeline::new();
+        let ids = p.process("earthquake earthquake EARTHQUAKE");
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn same_word_across_messages_maps_to_same_id() {
+        let mut p = KeywordPipeline::new();
+        let a = p.process("earthquake in turkey");
+        let b = p.process("turkey earthquake magnitude 5.9");
+        assert_eq!(a[0], b[1]); // earthquake
+        assert_eq!(a[1], b[0]); // turkey
+    }
+
+    #[test]
+    fn numbers_kept_and_droppable() {
+        let mut keep = KeywordPipeline::new();
+        assert!(keep.process_to_words("magnitude 5.9").contains(&"5.9".to_string()));
+        let mut drop = KeywordPipeline::with_config(PipelineConfig { keep_numbers: false, ..Default::default() });
+        assert!(!drop.process_to_words("magnitude 5.9").contains(&"5.9".to_string()));
+    }
+
+    #[test]
+    fn stemming_unifies_plurals() {
+        let mut p = KeywordPipeline::new();
+        let a = p.process("earthquakes");
+        let b = p.process("earthquake");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mentions_and_urls_never_become_keywords() {
+        let mut p = KeywordPipeline::new();
+        let words = p.process_to_words("@cnn breaking https://t.co/x earthquake");
+        assert_eq!(words, vec!["breaking", "earthquake"]);
+    }
+
+    #[test]
+    fn stop_words_removed_after_stemming() {
+        let mut p = KeywordPipeline::new();
+        // "gets" stems to "get" which is a stop word.
+        let words = p.process_to_words("gets worse tornado");
+        assert_eq!(words, vec!["worse", "tornado"]);
+    }
+
+    #[test]
+    fn empty_message_yields_no_keywords() {
+        let mut p = KeywordPipeline::new();
+        assert!(p.process("").is_empty());
+        assert!(p.process("the a of and").is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Lightweight part-of-speech heuristic.
+//!
+//! The paper's precision analysis (Section 7.2.2) uses the Stanford POS
+//! tagger to require that a reported event cluster contain **at least one
+//! noun keyword**; clusters made of non-noun words only are treated as
+//! spurious.  Shipping the Stanford tagger is out of scope (it is an
+//! external Java artefact), so we substitute a deterministic heuristic:
+//! a small embedded lexicon of unambiguous non-nouns plus suffix rules.
+//! The synthetic workload generator labels its own vocabulary, so on the
+//! data used by the benchmark harness the heuristic acts as an exact
+//! oracle; on free text it is a reasonable approximation.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Coarse word class used by the event-quality filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordClass {
+    /// Likely a noun (default for unknown content words).
+    Noun,
+    /// A verb, adjective, adverb or other non-noun content word.
+    OtherContent,
+    /// A number (kept as keyword but never counts as the required noun).
+    Number,
+}
+
+/// Words that are common in microblog chatter and clearly not nouns.
+/// The list is deliberately small: the heuristic defaults to `Noun`.
+const NON_NOUNS: &[&str] = &[
+    "awesome", "amazing", "massive", "moderate", "huge", "breaking", "live", "dead", "new",
+    "watch", "watching", "see", "seen", "look", "looking", "go", "going", "gone", "come",
+    "coming", "run", "running", "struck", "strike", "hit", "hits", "found", "find", "kill",
+    "kills", "killed", "die", "dies", "died", "win", "wins", "won", "lose", "loses", "lost",
+    "make", "makes", "made", "take", "takes", "took", "give", "gives", "gave", "say", "says",
+    "said", "tell", "tells", "told", "think", "thinks", "thought", "feel", "feels", "felt",
+    "really", "very", "quite", "totally", "seriously", "literally", "probably", "maybe",
+    "today", "tomorrow", "yesterday", "soon", "never", "always", "still", "already",
+    "good", "bad", "great", "terrible", "horrible", "sad", "happy", "angry", "scared",
+    "big", "small", "high", "low", "hot", "cold", "fast", "slow", "early", "late",
+    "issued", "reverses", "seeking", "pounds", "worth", "more", "than", "will",
+];
+
+/// Noun-like suffixes used when a word is not in the lexicon and does not
+/// look like a verb/adverb.
+const NOUN_SUFFIXES: &[&str] =
+    &["tion", "sion", "ment", "ness", "ship", "hood", "ism", "ist", "ity", "age", "ance", "ence", "quake", "storm", "fire"];
+
+/// Suffixes that strongly suggest a non-noun.
+const NON_NOUN_SUFFIXES: &[&str] = &["ly", "ing", "ed", "ive", "ous", "ful", "able", "ible"];
+
+fn non_noun_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| NON_NOUNS.iter().copied().collect())
+}
+
+/// Deterministic noun heuristic.
+#[derive(Debug, Default, Clone)]
+pub struct NounHeuristic {
+    /// Extra words the caller knows to be nouns (e.g. generator vocabulary).
+    known_nouns: HashSet<String>,
+    /// Extra words the caller knows to be non-nouns.
+    known_other: HashSet<String>,
+}
+
+impl NounHeuristic {
+    /// Creates a heuristic with only the embedded lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a word as a known noun, overriding the heuristic.
+    pub fn add_known_noun(&mut self, word: impl Into<String>) {
+        self.known_nouns.insert(word.into());
+    }
+
+    /// Registers a word as a known non-noun, overriding the heuristic.
+    pub fn add_known_other(&mut self, word: impl Into<String>) {
+        self.known_other.insert(word.into());
+    }
+
+    /// Classifies a lower-cased word.
+    pub fn classify(&self, word: &str) -> WordClass {
+        if word.chars().all(|c| c.is_ascii_digit() || c == '.') {
+            return WordClass::Number;
+        }
+        if self.known_nouns.contains(word) {
+            return WordClass::Noun;
+        }
+        if self.known_other.contains(word) || non_noun_set().contains(word) {
+            return WordClass::OtherContent;
+        }
+        if NOUN_SUFFIXES.iter().any(|s| word.ends_with(s)) {
+            return WordClass::Noun;
+        }
+        if NON_NOUN_SUFFIXES.iter().any(|s| word.ends_with(s)) && word.len() > 4 {
+            return WordClass::OtherContent;
+        }
+        WordClass::Noun
+    }
+
+    /// Returns `true` when the word is classified as a noun.
+    pub fn is_noun(&self, word: &str) -> bool {
+        self.classify(word) == WordClass::Noun
+    }
+
+    /// Returns `true` when at least one of the words is a noun — the
+    /// paper's "real event must contain a noun keyword" precision filter.
+    pub fn contains_noun<'a, I: IntoIterator<Item = &'a str>>(&self, words: I) -> bool {
+        words.into_iter().any(|w| self.is_noun(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_nouns_are_nouns() {
+        let h = NounHeuristic::new();
+        for w in ["earthquake", "turkey", "tornado", "senator", "election", "apple"] {
+            assert_eq!(h.classify(w), WordClass::Noun, "{w}");
+        }
+    }
+
+    #[test]
+    fn lexicon_non_nouns_are_rejected() {
+        let h = NounHeuristic::new();
+        for w in ["awesome", "massive", "watch", "struck", "really"] {
+            assert_eq!(h.classify(w), WordClass::OtherContent, "{w}");
+        }
+    }
+
+    #[test]
+    fn numbers_are_numbers() {
+        let h = NounHeuristic::new();
+        assert_eq!(h.classify("5.9"), WordClass::Number);
+        assert_eq!(h.classify("150"), WordClass::Number);
+    }
+
+    #[test]
+    fn suffix_rules_apply() {
+        let h = NounHeuristic::new();
+        assert_eq!(h.classify("devastation"), WordClass::Noun);
+        assert_eq!(h.classify("quickly"), WordClass::OtherContent);
+        assert_eq!(h.classify("flooding"), WordClass::OtherContent);
+    }
+
+    #[test]
+    fn caller_overrides_win() {
+        let mut h = NounHeuristic::new();
+        h.add_known_noun("awesome");
+        h.add_known_other("turkey");
+        assert!(h.is_noun("awesome"));
+        assert!(!h.is_noun("turkey"));
+    }
+
+    #[test]
+    fn contains_noun_filter() {
+        let h = NounHeuristic::new();
+        assert!(h.contains_noun(["massive", "earthquake"]));
+        assert!(!h.contains_noun(["massive", "awesome", "really"]));
+        assert!(!h.contains_noun::<[&str; 0]>([]));
+    }
+}

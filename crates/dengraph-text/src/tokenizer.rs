@@ -1,0 +1,197 @@
+//! Tokenisation of raw microblog text.
+//!
+//! Microblog messages mix natural-language words with platform artefacts:
+//! URLs, `@mentions`, `#hashtags`, emoticons and numbers such as "5.9"
+//! (which the paper explicitly keeps — the magnitude joins the earthquake
+//! cluster in Figure 1).  The tokenizer therefore classifies tokens instead
+//! of blindly splitting on whitespace.
+
+/// The syntactic class of a token as produced by [`tokenize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A plain word made of alphabetic characters.
+    Word,
+    /// A `#hashtag`; the leading `#` is stripped from [`Token::text`].
+    Hashtag,
+    /// An `@mention`; the leading `@` is stripped from [`Token::text`].
+    Mention,
+    /// A number, possibly with a decimal point (e.g. `5.9`, `500`).
+    Number,
+    /// A URL; kept so callers can drop or count it, never used as a keyword.
+    Url,
+}
+
+/// A single token extracted from a message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Lower-cased token text with any sigil (`#`, `@`) removed.
+    pub text: String,
+    /// Syntactic class of the token.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Convenience constructor used heavily in tests.
+    pub fn new(text: impl Into<String>, kind: TokenKind) -> Self {
+        Self { text: text.into(), kind }
+    }
+}
+
+/// Returns `true` when the character may appear inside a word token.
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '\'' || c == '-' || c == '_'
+}
+
+/// Returns `true` when the token looks like a URL.
+fn is_url(raw: &str) -> bool {
+    raw.starts_with("http://")
+        || raw.starts_with("https://")
+        || raw.starts_with("www.")
+        || raw.contains(".com/")
+        || raw.contains(".ly/")
+}
+
+/// Classifies a raw whitespace-delimited chunk into zero or more tokens.
+fn classify_chunk(raw: &str, out: &mut Vec<Token>) {
+    if raw.is_empty() {
+        return;
+    }
+    if is_url(raw) {
+        out.push(Token::new(raw.to_ascii_lowercase(), TokenKind::Url));
+        return;
+    }
+    let (kind, stripped) = match raw.chars().next() {
+        Some('#') => (Some(TokenKind::Hashtag), &raw[1..]),
+        Some('@') => (Some(TokenKind::Mention), &raw[1..]),
+        _ => (None, raw),
+    };
+    // Split the remaining text on non-word characters so that
+    // "earthquake!!!" and "turkey," yield clean words, while keeping
+    // decimal numbers such as "5.9" intact.
+    let mut current = String::new();
+    let mut chars = stripped.chars().peekable();
+    let flush = |current: &mut String, out: &mut Vec<Token>| {
+        if current.is_empty() {
+            return;
+        }
+        let text = current.to_lowercase();
+        let token_kind = kind.unwrap_or_else(|| {
+            if text.chars().all(|c| c.is_ascii_digit() || c == '.') {
+                TokenKind::Number
+            } else {
+                TokenKind::Word
+            }
+        });
+        out.push(Token { text, kind: token_kind });
+        current.clear();
+    };
+    while let Some(c) = chars.next() {
+        if is_word_char(c) {
+            current.push(c);
+        } else if c == '.'
+            && current.chars().all(|c| c.is_ascii_digit())
+            && !current.is_empty()
+            && chars.peek().is_some_and(|n| n.is_ascii_digit())
+        {
+            // Keep decimal points inside numbers ("5.9").
+            current.push(c);
+        } else {
+            flush(&mut current, out);
+        }
+    }
+    flush(&mut current, out);
+}
+
+/// Tokenises one message into classified, lower-cased tokens.
+///
+/// The output preserves message order and may contain duplicates; the
+/// de-duplication into a keyword *set* happens in
+/// [`crate::pipeline::KeywordPipeline`].
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::with_capacity(text.len() / 6 + 1);
+    for chunk in text.split_whitespace() {
+        classify_chunk(chunk, &mut out);
+    }
+    out
+}
+
+/// Returns only the token texts that are usable as keywords (words,
+/// hashtags and numbers — not URLs or mentions).
+pub fn keyword_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| matches!(t.kind, TokenKind::Word | TokenKind::Hashtag | TokenKind::Number))
+        .map(|t| t.text)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_plain_words() {
+        let toks = tokenize("earthquake struck eastern Turkey");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["earthquake", "struck", "eastern", "turkey"]);
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Word));
+    }
+
+    #[test]
+    fn lowercases_everything() {
+        let toks = tokenize("BREAKING NEWS Turkey");
+        assert!(toks.iter().all(|t| t.text.chars().all(|c| !c.is_uppercase())));
+    }
+
+    #[test]
+    fn classifies_hashtags_and_mentions() {
+        let toks = tokenize("#jobs alert @cnn");
+        assert_eq!(toks[0], Token::new("jobs", TokenKind::Hashtag));
+        assert_eq!(toks[1], Token::new("alert", TokenKind::Word));
+        assert_eq!(toks[2], Token::new("cnn", TokenKind::Mention));
+    }
+
+    #[test]
+    fn keeps_decimal_numbers_whole() {
+        let toks = tokenize("magnitude 5.9 quake");
+        assert!(toks.contains(&Token::new("5.9", TokenKind::Number)));
+    }
+
+    #[test]
+    fn strips_trailing_punctuation() {
+        let toks = tokenize("Turkey, earthquake!!! (breaking)");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["turkey", "earthquake", "breaking"]);
+    }
+
+    #[test]
+    fn detects_urls() {
+        let toks = tokenize("read https://t.co/abc123 now");
+        assert_eq!(toks[1].kind, TokenKind::Url);
+    }
+
+    #[test]
+    fn keyword_tokens_drop_urls_and_mentions() {
+        let kws = keyword_tokens("@user check https://news.com/x quake 5.9 #turkey");
+        assert_eq!(kws, vec!["check", "quake", "5.9", "turkey"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_messages() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn hyphenated_and_apostrophe_words_survive() {
+        let toks = tokenize("pro-democracy worker's rights");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["pro-democracy", "worker's", "rights"]);
+    }
+
+    #[test]
+    fn sentence_final_number_is_not_glued_to_dot() {
+        let toks = tokenize("death toll rises to 150.");
+        assert!(toks.contains(&Token::new("150", TokenKind::Number)));
+    }
+}

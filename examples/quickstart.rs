@@ -1,0 +1,91 @@
+//! Quickstart: discover an emerging event in a handful of raw tweets.
+//!
+//! This walks the full pipeline by hand — keyword extraction, streaming the
+//! messages into the detector, and printing the ranked events — using the
+//! earthquake example from Figure 1 of the paper.
+//!
+//! Run with: `cargo run -p dengraph-examples --example quickstart`
+
+use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_stream::{Message, UserId};
+use dengraph_text::KeywordPipeline;
+
+fn main() {
+    // Raw microblog messages: five users report an earthquake, the rest is
+    // unrelated chatter.  In a real deployment these arrive continuously.
+    let tweets: &[(u64, &str)] = &[
+        (1, "Massive earthquake struck eastern Turkey minutes ago"),
+        (2, "BREAKING: earthquake hits eastern Turkey"),
+        (3, "Felt a huge earthquake here in eastern Turkey!"),
+        (4, "earthquake in Turkey, buildings shaking in the east"),
+        (5, "Turkey earthquake: eastern provinces struck hard"),
+        (6, "anyone want to grab lunch later?"),
+        (7, "my cat just knocked over the coffee again"),
+        (8, "traffic on the bridge is terrible this morning"),
+        (9, "new episode tonight, so excited"),
+        (10, "can't believe it's already thursday"),
+        (11, "Magnitude 5.9 earthquake confirmed in eastern Turkey"),
+        (12, "reports say the Turkey earthquake was 5.9 magnitude"),
+    ];
+
+    // 1. Keyword extraction: tokenise, drop stop words, intern keywords.
+    let mut pipeline = KeywordPipeline::new();
+    let messages: Vec<Message> = tweets
+        .iter()
+        .enumerate()
+        .map(|(time, (user, text))| Message::new(UserId(*user), time as u64, pipeline.process(text)))
+        .collect();
+
+    // 2. Configure the detector.  The thresholds are scaled down to the toy
+    //    stream (Table 2's nominal values assume 160-message quanta).
+    let config = DetectorConfig::nominal()
+        .with_quantum_size(6)
+        .with_high_state_threshold(3)
+        .with_edge_correlation_threshold(0.2)
+        .with_window_quanta(5);
+    let mut detector = EventDetector::new(config).with_interner(pipeline.interner().clone());
+
+    // 3. Stream the messages; every completed quantum yields a summary.
+    println!("== streaming {} messages ==", messages.len());
+    let summaries = detector.run(&messages);
+
+    for summary in &summaries {
+        println!(
+            "\nquantum {} — {} AKG nodes, {} AKG edges, {} cluster(s)",
+            summary.quantum, summary.akg_nodes, summary.akg_edges, summary.live_clusters
+        );
+        for event in &summary.events {
+            let words = resolve_keywords(&pipeline, &event.keywords);
+            println!(
+                "  event {:>6}  rank {:>7.2}  support {:>3}  keywords: {}",
+                event.cluster_id.to_string(),
+                event.rank,
+                event.support,
+                words.join(" ")
+            );
+        }
+        if summary.events.is_empty() {
+            println!("  (no emerging events this quantum)");
+        }
+    }
+
+    // 4. The long-term view: one evolving event record.
+    println!("\n== event records ==");
+    for record in detector.event_records() {
+        let words = resolve_keywords(&pipeline, &record.all_keywords);
+        println!(
+            "  {} | first seen q{} last seen q{} | peak rank {:.2} | keywords: {}",
+            record.cluster_id,
+            record.first_seen,
+            record.last_seen,
+            record.peak_rank,
+            words.join(" ")
+        );
+    }
+}
+
+fn resolve_keywords(pipeline: &KeywordPipeline, ids: &[dengraph_text::KeywordId]) -> Vec<String> {
+    ids.iter()
+        .filter_map(|id| pipeline.interner().resolve(*id).map(str::to_string))
+        .collect()
+}

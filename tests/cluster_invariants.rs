@@ -1,0 +1,148 @@
+//! Property-based tests of the cluster registry invariants under random
+//! maintenance workloads, and of the detector's structural invariants when
+//! fed generated traces.
+
+use proptest::prelude::*;
+
+use dengraph_core::akg::{keyword_of, GraphDelta};
+use dengraph_core::{ClusterMaintainer, DetectorConfig, EventDetector};
+use dengraph_graph::{DynamicGraph, NodeId};
+use dengraph_stream::generator::{EventScenario, StreamGenerator, StreamProfile};
+use dengraph_stream::ground_truth::GroundTruthEventKind;
+
+/// Random edit scripts over a small node universe.
+fn edits(max_node: u32, max_len: usize) -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((0u8..3, 0..max_node, 0..max_node), 1..max_len)
+}
+
+fn apply(edits: &[(u8, u32, u32)]) -> (DynamicGraph, ClusterMaintainer) {
+    let mut graph = DynamicGraph::new();
+    let mut maintainer = ClusterMaintainer::new();
+    for (q, &(op, a, b)) in edits.iter().enumerate() {
+        let quantum = q as u64;
+        match op {
+            0 | 1 => {
+                if a != b && !graph.contains_edge(NodeId(a), NodeId(b)) {
+                    graph.add_edge(NodeId(a), NodeId(b), 0.5);
+                    maintainer.apply_deltas(
+                        &graph,
+                        &[GraphDelta::EdgeAdded { a: NodeId(a), b: NodeId(b), weight: 0.5 }],
+                        quantum,
+                    );
+                }
+            }
+            _ => {
+                if graph.remove_edge(NodeId(a), NodeId(b)).is_some() {
+                    maintainer.apply_deltas(
+                        &graph,
+                        &[GraphDelta::EdgeRemoved { a: NodeId(a), b: NodeId(b) }],
+                        quantum,
+                    );
+                }
+            }
+        }
+    }
+    (graph, maintainer)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Registry indexes stay consistent and every cluster is a valid aMQC
+    /// after arbitrary maintenance sequences.
+    #[test]
+    fn registry_invariants_hold_after_random_edits(script in edits(10, 100)) {
+        let (graph, maintainer) = apply(&script);
+        prop_assert!(maintainer.registry().check_invariants().is_ok(),
+            "{:?}", maintainer.registry().check_invariants());
+        for cluster in maintainer.clusters() {
+            // Every cluster edge must still exist in the graph.
+            for e in &cluster.edges {
+                prop_assert!(graph.contains_edge(e.0, e.1), "cluster edge {e:?} missing from graph");
+            }
+            // Clusters are edge-disjoint.
+        }
+        // Edge-disjointness across clusters.
+        let mut seen = std::collections::HashSet::new();
+        for cluster in maintainer.clusters() {
+            for e in &cluster.edges {
+                prop_assert!(seen.insert(*e), "edge {e:?} owned by two clusters");
+            }
+        }
+    }
+
+    /// Cluster membership (used for AKG hysteresis) agrees with the cluster
+    /// contents.
+    #[test]
+    fn node_membership_index_is_consistent(script in edits(8, 60)) {
+        let (_, maintainer) = apply(&script);
+        let registry = maintainer.registry();
+        for cluster in maintainer.clusters() {
+            for node in &cluster.nodes {
+                prop_assert!(registry.is_cluster_member(*node));
+                prop_assert!(registry.clusters_of_node(*node).contains(&cluster.id));
+            }
+        }
+    }
+}
+
+/// Structural invariants of the full detector on generated traces: every
+/// reported event corresponds to a live, SCP-satisfying cluster whose
+/// keywords are AKG nodes.
+#[test]
+fn detector_reports_only_valid_clusters() {
+    let profile = StreamProfile {
+        name: "invariants".into(),
+        rounds: 25,
+        round_size: 120,
+        background_vocab_size: 2_000,
+        zipf_exponent: 1.1,
+        background_users: 10_000,
+        keywords_per_background_msg: (3, 6),
+        event_keyword_prob: 0.8,
+        events: vec![
+            EventScenario {
+                name: "event a".into(),
+                keyword_names: (0..4).map(|i| format!("alpha{i}")).collect(),
+                evolving_keyword_names: vec![("alpha9".into(), 2)],
+                start_round: 4,
+                duration_rounds: 10,
+                peak_messages_per_round: 20,
+                kind: GroundTruthEventKind::Headline,
+            },
+            EventScenario {
+                name: "event b".into(),
+                keyword_names: (0..4).map(|i| format!("beta{i}")).collect(),
+                evolving_keyword_names: vec![],
+                start_round: 10,
+                duration_rounds: 8,
+                peak_messages_per_round: 16,
+                kind: GroundTruthEventKind::LocalOnly,
+            },
+        ],
+        seed: 7,
+    };
+    let trace = StreamGenerator::new(profile).generate();
+    let config = DetectorConfig::nominal().with_quantum_size(120).with_window_quanta(15);
+    let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+
+    for quantum in trace.quanta(120) {
+        let summary = detector.process_quantum(&quantum);
+        // Registry invariants after every quantum.
+        assert!(detector.clusters().registry().check_invariants().is_ok());
+        for event in &summary.events {
+            let cluster = detector.clusters().get(event.cluster_id).expect("reported cluster must be live");
+            assert!(cluster.satisfies_scp());
+            assert_eq!(cluster.size(), event.keywords.len());
+            for &node in &cluster.nodes {
+                assert!(detector.akg().contains_node(node), "cluster node missing from AKG");
+                assert!(event.keywords.contains(&keyword_of(node)));
+            }
+            assert!(event.rank > 0.0);
+        }
+        // Ranked output is sorted descending.
+        for pair in summary.events.windows(2) {
+            assert!(pair[0].rank >= pair[1].rank);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Property P3 (Section 4.3): clusters maintained locally by the
+//! incremental algorithms are identical to a global computation on the same
+//! graph, regardless of the order in which nodes and edges arrived or left.
+//!
+//! The oracle is `dengraph_graph::scp_clusters_global`; the subject is the
+//! incremental `ClusterMaintainer` driven by random edit scripts.
+
+use proptest::prelude::*;
+
+use dengraph_core::akg::GraphDelta;
+use dengraph_core::ClusterMaintainer;
+use dengraph_graph::{scp_clusters_global, DynamicGraph, NodeId};
+
+/// One step of a random edit script.
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    AddEdge(u32, u32),
+    RemoveEdge(u32, u32),
+    RemoveNode(u32),
+}
+
+fn edit_strategy(max_node: u32) -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        4 => (0..max_node, 0..max_node).prop_map(|(a, b)| Edit::AddEdge(a, b)),
+        2 => (0..max_node, 0..max_node).prop_map(|(a, b)| Edit::RemoveEdge(a, b)),
+        1 => (0..max_node).prop_map(Edit::RemoveNode),
+    ]
+}
+
+/// Applies an edit script, driving the incremental maintainer exactly the
+/// way the AKG does (graph first, then deltas), and returns the final graph
+/// plus the maintainer.
+fn run_script(edits: &[Edit]) -> (DynamicGraph, ClusterMaintainer) {
+    let mut graph = DynamicGraph::new();
+    let mut maintainer = ClusterMaintainer::new();
+    for (i, edit) in edits.iter().enumerate() {
+        let quantum = i as u64;
+        match *edit {
+            Edit::AddEdge(a, b) => {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (NodeId(a), NodeId(b));
+                if graph.contains_edge(a, b) {
+                    continue;
+                }
+                graph.add_edge(a, b, 1.0);
+                maintainer.apply_deltas(&graph, &[GraphDelta::EdgeAdded { a, b, weight: 1.0 }], quantum);
+            }
+            Edit::RemoveEdge(a, b) => {
+                let (a, b) = (NodeId(a), NodeId(b));
+                if graph.remove_edge(a, b).is_some() {
+                    maintainer.apply_deltas(&graph, &[GraphDelta::EdgeRemoved { a, b }], quantum);
+                }
+            }
+            Edit::RemoveNode(n) => {
+                let n = NodeId(n);
+                let removed = graph.remove_node(n);
+                if removed.is_empty() && !graph.contains_node(n) {
+                    // The node may not have existed; removing nothing is fine.
+                }
+                let mut deltas: Vec<GraphDelta> =
+                    removed.iter().map(|(e, _)| GraphDelta::EdgeRemoved { a: e.0, b: e.1 }).collect();
+                deltas.push(GraphDelta::NodeRemoved { node: n });
+                maintainer.apply_deltas(&graph, &deltas, quantum);
+            }
+        }
+    }
+    (graph, maintainer)
+}
+
+/// Canonical form of a clustering: sorted list of sorted node lists.
+fn canonical_incremental(maintainer: &ClusterMaintainer) -> Vec<Vec<NodeId>> {
+    let mut out: Vec<Vec<NodeId>> = maintainer.clusters().map(|c| c.sorted_nodes()).collect();
+    out.sort();
+    out
+}
+
+fn canonical_global(graph: &DynamicGraph) -> Vec<Vec<NodeId>> {
+    let mut out: Vec<Vec<NodeId>> = scp_clusters_global(graph).into_iter().map(|c| c.nodes).collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// P3: after any edit script, the locally maintained clusters equal the
+    /// global SCP decomposition of the final graph.
+    #[test]
+    fn incremental_matches_global_oracle(edits in proptest::collection::vec(edit_strategy(14), 1..120)) {
+        let (graph, maintainer) = run_script(&edits);
+        prop_assert_eq!(canonical_incremental(&maintainer), canonical_global(&graph));
+    }
+
+    /// Lemma 5: the final clustering does not depend on the order in which
+    /// the edges of a fixed graph are inserted.
+    #[test]
+    fn insertion_order_does_not_matter(
+        pairs in proptest::collection::vec((0u32..12, 0u32..12), 1..40),
+        seed in 0u64..1000,
+    ) {
+        // Build the target edge set.
+        let mut edges: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let forward: Vec<Edit> = edges.iter().map(|&(a, b)| Edit::AddEdge(a, b)).collect();
+        let mut shuffled = edges.clone();
+        // Simple deterministic shuffle driven by the seed.
+        let len = shuffled.len();
+        if len > 1 {
+            for i in 0..len {
+                let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % len;
+                shuffled.swap(i, j);
+            }
+        }
+        let scrambled: Vec<Edit> = shuffled.iter().map(|&(a, b)| Edit::AddEdge(a, b)).collect();
+
+        let (_, m1) = run_script(&forward);
+        let (_, m2) = run_script(&scrambled);
+        prop_assert_eq!(canonical_incremental(&m1), canonical_incremental(&m2));
+    }
+
+    /// Theorem 1 / P1 / P2: every maintained cluster satisfies the
+    /// short-cycle property and is biconnected.
+    #[test]
+    fn maintained_clusters_satisfy_scp_and_biconnectivity(
+        edits in proptest::collection::vec(edit_strategy(12), 1..80)
+    ) {
+        let (_, maintainer) = run_script(&edits);
+        for cluster in maintainer.clusters() {
+            prop_assert!(cluster.size() >= 3);
+            prop_assert!(cluster.satisfies_scp(), "cluster {:?} violates SCP", cluster.sorted_nodes());
+            // Biconnected: the cluster's own edges admit no articulation point.
+            let mut sub = DynamicGraph::new();
+            for e in &cluster.edges {
+                sub.add_edge(e.0, e.1, 1.0);
+            }
+            prop_assert!(
+                dengraph_graph::articulation_points(&sub).is_empty(),
+                "cluster {:?} has an articulation point",
+                cluster.sorted_nodes()
+            );
+        }
+    }
+}
+
+/// Deterministic regression: building a graph edge-by-edge and deleting it
+/// edge-by-edge leaves no clusters and never violates the oracle midway.
+#[test]
+fn build_up_and_tear_down_tracks_oracle_at_every_step() {
+    let edges: Vec<(u32, u32)> = vec![
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (2, 3),
+        (3, 4),
+        (2, 4),
+        (4, 5),
+        (5, 6),
+        (6, 4),
+        (1, 3),
+        (0, 5),
+    ];
+    let mut graph = DynamicGraph::new();
+    let mut maintainer = ClusterMaintainer::new();
+    for (q, &(a, b)) in edges.iter().enumerate() {
+        graph.add_edge(NodeId(a), NodeId(b), 1.0);
+        maintainer.apply_deltas(
+            &graph,
+            &[GraphDelta::EdgeAdded { a: NodeId(a), b: NodeId(b), weight: 1.0 }],
+            q as u64,
+        );
+        assert_eq!(canonical_incremental(&maintainer), canonical_global(&graph));
+    }
+    for (q, &(a, b)) in edges.iter().enumerate() {
+        graph.remove_edge(NodeId(a), NodeId(b));
+        maintainer.apply_deltas(&graph, &[GraphDelta::EdgeRemoved { a: NodeId(a), b: NodeId(b) }], q as u64);
+        assert_eq!(canonical_incremental(&maintainer), canonical_global(&graph));
+    }
+    assert_eq!(maintainer.cluster_count(), 0);
+}
