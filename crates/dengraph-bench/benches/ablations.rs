@@ -23,7 +23,10 @@ fn bench_edge_correlation_ablation(c: &mut Criterion) {
         ("minhash", DetectorConfig::nominal().with_window_quanta(20)),
         (
             "exact_jaccard",
-            DetectorConfig { exact_edge_correlation: true, ..DetectorConfig::nominal().with_window_quanta(20) },
+            DetectorConfig {
+                exact_edge_correlation: true,
+                ..DetectorConfig::nominal().with_window_quanta(20)
+            },
         ),
     ];
     for (name, config) in variants {
@@ -40,10 +43,16 @@ fn bench_hysteresis_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.messages.len() as u64));
     let variants = [
-        ("hysteresis_on", DetectorConfig::nominal().with_window_quanta(20)),
+        (
+            "hysteresis_on",
+            DetectorConfig::nominal().with_window_quanta(20),
+        ),
         (
             "hysteresis_off",
-            DetectorConfig { hysteresis: false, ..DetectorConfig::nominal().with_window_quanta(20) },
+            DetectorConfig {
+                hysteresis: false,
+                ..DetectorConfig::nominal().with_window_quanta(20)
+            },
         ),
     ];
     for (name, config) in variants {
@@ -54,5 +63,9 @@ fn bench_hysteresis_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_edge_correlation_ablation, bench_hysteresis_ablation);
+criterion_group!(
+    benches,
+    bench_edge_correlation_ablation,
+    bench_hysteresis_ablation
+);
 criterion_main!(benches);

@@ -44,22 +44,26 @@ fn bench_incremental_vs_global(c: &mut Criterion) {
     for &groups in &[10u32, 50, 200] {
         let g = clustered_graph(groups, 3);
         // One incremental edge addition + deletion on an existing registry …
-        group.bench_with_input(BenchmarkId::new("incremental_add_remove", groups), &g, |b, g| {
-            let registry = registry_for(g);
-            let a = NodeId(0);
-            let bnode = NodeId(7); // connects community 0 and community 1
-            b.iter_batched(
-                || (g.clone(), clone_registry(&registry, g)),
-                |(mut graph, mut reg)| {
-                    graph.add_edge(a, bnode, 0.5);
-                    edge_addition(&graph, &mut reg, a, bnode, 1);
-                    graph.remove_edge(a, bnode);
-                    edge_deletion(&mut reg, a, bnode, 1);
-                    black_box(reg.len())
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_add_remove", groups),
+            &g,
+            |b, g| {
+                let registry = registry_for(g);
+                let a = NodeId(0);
+                let bnode = NodeId(7); // connects community 0 and community 1
+                b.iter_batched(
+                    || (g.clone(), clone_registry(&registry, g)),
+                    |(mut graph, mut reg)| {
+                        graph.add_edge(a, bnode, 0.5);
+                        edge_addition(&graph, &mut reg, a, bnode, 1);
+                        graph.remove_edge(a, bnode);
+                        edge_deletion(&mut reg, a, bnode, 1);
+                        black_box(reg.len())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
         // … versus recomputing every cluster from scratch.
         group.bench_with_input(BenchmarkId::new("global_recompute", groups), &g, |b, g| {
             b.iter(|| black_box(offline_scp_clusters(g).len()))
@@ -88,5 +92,9 @@ fn bench_edge_addition_throughput(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_incremental_vs_global, bench_edge_addition_throughput);
+criterion_group!(
+    benches,
+    bench_incremental_vs_global,
+    bench_edge_addition_throughput
+);
 criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! End-to-end detector throughput (the criterion companion to Table 4):
-//! messages/second over small TW and ES traces at the nominal quantum size.
+//! messages/second over small TW and ES traces at the nominal quantum size,
+//! plus the serial-vs-parallel pipeline comparison.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use dengraph_bench::{build_trace, TraceKind};
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorConfig, EventDetector, Parallelism};
 use dengraph_stream::generator::profiles::ProfileScale;
 
 fn bench_detector(c: &mut Criterion) {
@@ -13,14 +14,19 @@ fn bench_detector(c: &mut Criterion) {
     for kind in [TraceKind::TimeWindow, TraceKind::EventSpecific] {
         let trace = build_trace(kind, ProfileScale::Small);
         group.throughput(Throughput::Elements(trace.messages.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &trace, |b, trace| {
-            b.iter(|| {
-                let config = DetectorConfig::nominal().with_window_quanta(20);
-                let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
-                let summaries = detector.run(&trace.messages);
-                black_box(summaries.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let config = DetectorConfig::nominal().with_window_quanta(20);
+                    let mut detector =
+                        EventDetector::new(config).with_interner(trace.interner.clone());
+                    let summaries = detector.run(&trace.messages);
+                    black_box(summaries.len())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -33,7 +39,9 @@ fn bench_quantum_sizes(c: &mut Criterion) {
     for &delta in &[120usize, 160, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
             b.iter(|| {
-                let config = DetectorConfig::nominal().with_quantum_size(delta).with_window_quanta(20);
+                let config = DetectorConfig::nominal()
+                    .with_quantum_size(delta)
+                    .with_window_quanta(20);
                 let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
                 black_box(detector.run(&trace.messages).len())
             })
@@ -42,5 +50,42 @@ fn bench_quantum_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detector, bench_quantum_sizes);
+/// Serial vs sharded pipeline on the TW trace.  The parallel path is
+/// bit-identical in output (see `tests/parallel_determinism.rs`); this
+/// group reports what the extra cores buy in wall-clock terms.
+fn bench_parallelism(c: &mut Criterion) {
+    let trace = build_trace(TraceKind::TimeWindow, ProfileScale::Small);
+    let mut group = c.benchmark_group("detector/parallelism");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.messages.len() as u64));
+    let variants = [
+        ("serial", Parallelism::Serial),
+        ("threads-2", Parallelism::Threads(2)),
+        ("threads-4", Parallelism::Threads(4)),
+    ];
+    for (name, parallelism) in variants {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &parallelism,
+            |b, &parallelism| {
+                b.iter(|| {
+                    let config = DetectorConfig::nominal()
+                        .with_window_quanta(20)
+                        .with_parallelism(parallelism);
+                    let mut detector =
+                        EventDetector::new(config).with_interner(trace.interner.clone());
+                    black_box(detector.run(&trace.messages).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detector,
+    bench_quantum_sizes,
+    bench_parallelism
+);
 criterion_main!(benches);

@@ -75,5 +75,10 @@ fn bench_decompositions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_edge_churn, bench_common_neighbors, bench_decompositions);
+criterion_group!(
+    benches,
+    bench_edge_churn,
+    bench_common_neighbors,
+    bench_decompositions
+);
 criterion_main!(benches);

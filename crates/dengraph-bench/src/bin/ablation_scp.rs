@@ -22,22 +22,47 @@ fn main() {
     let trace = build_trace(TraceKind::TimeWindow, scale);
 
     let variants: Vec<(&str, DetectorConfig)> = vec![
-        ("full system (min-hash EC, hysteresis)", DetectorConfig::nominal()),
-        ("exact Jaccard EC", DetectorConfig { exact_edge_correlation: true, ..DetectorConfig::nominal() }),
-        ("no hysteresis", DetectorConfig { hysteresis: false, ..DetectorConfig::nominal() }),
+        (
+            "full system (min-hash EC, hysteresis)",
+            DetectorConfig::nominal(),
+        ),
+        (
+            "exact Jaccard EC",
+            DetectorConfig {
+                exact_edge_correlation: true,
+                ..DetectorConfig::nominal()
+            },
+        ),
+        (
+            "no hysteresis",
+            DetectorConfig {
+                hysteresis: false,
+                ..DetectorConfig::nominal()
+            },
+        ),
         (
             "strict rank threshold (x3)",
-            DetectorConfig { rank_threshold_factor: 3.0, ..DetectorConfig::nominal() },
+            DetectorConfig {
+                rank_threshold_factor: 3.0,
+                ..DetectorConfig::nominal()
+            },
         ),
         (
             "paper sketch size (p = min(sigma/2, 1/tau))",
-            DetectorConfig { min_sketch_size: 1, ..DetectorConfig::nominal() },
+            DetectorConfig {
+                min_sketch_size: 1,
+                ..DetectorConfig::nominal()
+            },
         ),
     ];
 
     let mut out = String::new();
     out.push_str("== Ablation study: contribution of individual design choices ==\n\n");
-    out.push_str(&format!("trace: {} ({} messages)\n\n", TraceKind::TimeWindow.label(), trace.messages.len()));
+    out.push_str(&format!(
+        "trace: {} ({} messages)\n\n",
+        TraceKind::TimeWindow.label(),
+        trace.messages.len()
+    ));
 
     let mut table = TablePrinter::new([
         "variant",
@@ -61,7 +86,9 @@ fn main() {
         ]);
     }
     out.push_str(&table.render());
-    out.push_str("\n(the incremental-vs-offline clustering ablation is part of table3_clustering_schemes\n");
+    out.push_str(
+        "\n(the incremental-vs-offline clustering ablation is part of table3_clustering_schemes\n",
+    );
     out.push_str(" and of the criterion benches: `cargo bench -p dengraph-bench`)\n");
 
     emit_report("ablation_scp", &out);

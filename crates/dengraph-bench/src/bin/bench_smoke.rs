@@ -1,0 +1,59 @@
+//! CI bench smoke: runs the end-to-end detector over a tiny synthetic TW
+//! trace, serial and sharded, and writes a `BENCH_pr.json` artifact with
+//! msgs/sec for each — the first point of the repo's performance
+//! trajectory.  Keep the workload small: this runs on every pull request.
+//!
+//! Usage: `cargo run -p dengraph-bench --release --bin bench_smoke [out.json]`
+
+use dengraph_bench::{build_trace, TraceKind};
+use dengraph_core::evaluation::measure_throughput;
+use dengraph_core::{DetectorConfig, Parallelism};
+use dengraph_json::Value;
+use dengraph_stream::generator::profiles::ProfileScale;
+
+/// Threads used for the parallel measurement (the acceptance point of the
+/// sharded pipeline).
+const PARALLEL_THREADS: usize = 4;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr.json".to_string());
+
+    let trace = build_trace(TraceKind::TimeWindow, ProfileScale::Small);
+    let base = DetectorConfig::nominal().with_window_quanta(20);
+
+    // One untimed warm-up run, then the best of three per variant, so a
+    // noisy CI neighbour cannot sink the number.
+    let best = |parallelism: Parallelism| {
+        let config = base.clone().with_parallelism(parallelism);
+        measure_throughput(&trace, &config);
+        (0..3)
+            .map(|_| measure_throughput(&trace, &config))
+            .map(|r| r.messages_per_sec)
+            .fold(0.0f64, f64::max)
+    };
+    let serial = best(Parallelism::Serial);
+    let parallel = best(Parallelism::Threads(PARALLEL_THREADS));
+    let speedup = parallel / serial;
+    let hardware_threads = Parallelism::auto().threads();
+
+    let report = Value::obj([
+        ("bench", Value::str("detector_throughput_smoke")),
+        ("profile", Value::str(&trace.profile_name)),
+        ("messages", Value::from(trace.messages.len())),
+        ("hardware_threads", Value::from(hardware_threads)),
+        ("serial_msgs_per_sec", Value::from(serial)),
+        ("parallel_threads", Value::from(PARALLEL_THREADS)),
+        ("parallel_msgs_per_sec", Value::from(parallel)),
+        ("speedup", Value::from(speedup)),
+    ]);
+    let json = dengraph_json::to_string(&report);
+    std::fs::write(&out_path, &json).expect("failed to write bench artifact");
+
+    println!("{json}");
+    println!(
+        "\nserial {serial:.0} msgs/s, {PARALLEL_THREADS}-thread {parallel:.0} msgs/s \
+         ({speedup:.2}x on {hardware_threads} hardware threads) -> {out_path}"
+    );
+}

@@ -20,8 +20,12 @@ fn main() {
     let scale = scale_from_env();
     let mut out = String::new();
     out.push_str("== Figures 7-10 / Section 7.2: precision & recall parameter sweep ==\n");
-    out.push_str("(paper shape: recall rises with larger quantum and smaller tau; precision stays high\n");
-    out.push_str(" and improves mildly with relaxed parameters; avg cluster size jumps at tau=0.1)\n");
+    out.push_str(
+        "(paper shape: recall rises with larger quantum and smaller tau; precision stays high\n",
+    );
+    out.push_str(
+        " and improves mildly with relaxed parameters; avg cluster size jumps at tau=0.1)\n",
+    );
 
     for (kind, recall_fig, precision_fig) in [
         (TraceKind::TimeWindow, "Figure 7", "Figure 9"),
@@ -63,9 +67,13 @@ fn main() {
             precision_table.row(precision_row);
         }
 
-        out.push_str(&format!("\n{recall_fig}: recall vs quantum size (rows) and tau (columns)\n"));
+        out.push_str(&format!(
+            "\n{recall_fig}: recall vs quantum size (rows) and tau (columns)\n"
+        ));
         out.push_str(&recall_table.render());
-        out.push_str(&format!("\n{precision_fig}: precision vs quantum size (rows) and tau (columns)\n"));
+        out.push_str(&format!(
+            "\n{precision_fig}: precision vs quantum size (rows) and tau (columns)\n"
+        ));
         out.push_str(&precision_table.render());
         out.push_str("\nSection 7.2.4: event quality\n");
         out.push_str(&quality_table.render());

@@ -31,7 +31,10 @@ fn main() {
     ));
     out.push_str(&format!(
         "config: quantum={} tau={} sigma={} window={}\n\n",
-        config.quantum_size, config.edge_correlation_threshold, config.high_state_threshold, config.window_quanta
+        config.quantum_size,
+        config.edge_correlation_threshold,
+        config.high_state_threshold,
+        config.window_quanta
     ));
 
     let mut summary = TablePrinter::new(["measure", "paper", "this run"]);
@@ -40,9 +43,21 @@ fn main() {
         "60".to_string(),
         report.headline_events_total.to_string(),
     ]);
-    summary.row(["  too weak to detect".to_string(), "27".to_string(), report.headline_events_too_weak.to_string()]);
-    summary.row(["  detectable".to_string(), "33".to_string(), report.headline_events_detectable.to_string()]);
-    summary.row(["  discovered".to_string(), "31".to_string(), report.headline_events_discovered.to_string()]);
+    summary.row([
+        "  too weak to detect".to_string(),
+        "27".to_string(),
+        report.headline_events_too_weak.to_string(),
+    ]);
+    summary.row([
+        "  detectable".to_string(),
+        "33".to_string(),
+        report.headline_events_detectable.to_string(),
+    ]);
+    summary.row([
+        "  discovered".to_string(),
+        "31".to_string(),
+        report.headline_events_discovered.to_string(),
+    ]);
     summary.row([
         "additional local events discovered".to_string(),
         "~6x headlines".to_string(),
@@ -53,8 +68,16 @@ fn main() {
         "-".to_string(),
         report.unmatched_reported_events.to_string(),
     ]);
-    summary.row(["precision".to_string(), "-".to_string(), format!("{:.3}", report.scores.precision)]);
-    summary.row(["recall".to_string(), "-".to_string(), format!("{:.3}", report.scores.recall)]);
+    summary.row([
+        "precision".to_string(),
+        "-".to_string(),
+        format!("{:.3}", report.scores.precision),
+    ]);
+    summary.row([
+        "recall".to_string(),
+        "-".to_string(),
+        format!("{:.3}", report.scores.recall),
+    ]);
     out.push_str(&summary.render());
 
     out.push_str("\nTable 1 style listing (first 12 headlines):\n");
@@ -62,7 +85,11 @@ fn main() {
     for outcome in report.outcomes.iter().take(12) {
         listing.row([
             outcome.headline.clone(),
-            if outcome.discovered { "yes".into() } else { "NO".into() },
+            if outcome.discovered {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             outcome.discovered_keywords.join(" "),
         ]);
     }

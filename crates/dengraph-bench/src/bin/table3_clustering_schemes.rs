@@ -33,14 +33,27 @@ fn main() {
         "Bi-connected Clusters",
         "Bi-connected + Edges",
     ]);
-    let rows: Vec<(&str, Box<dyn Fn(&dengraph_core::evaluation::SchemeReport) -> String>)> = vec![
-        ("Events Discovered", Box::new(|r| r.events_discovered.to_string())),
+    type RowFormatter = Box<dyn Fn(&dengraph_core::evaluation::SchemeReport) -> String>;
+    let rows: Vec<(&str, RowFormatter)> = vec![
+        (
+            "Events Discovered",
+            Box::new(|r| r.events_discovered.to_string()),
+        ),
         ("Precision", Box::new(|r| format!("{:.3}", r.precision))),
         ("Recall", Box::new(|r| format!("{:.3}", r.recall))),
         ("Avg. Rank", Box::new(|r| format!("{:.1}", r.avg_rank))),
-        ("Avg. Cluster Size", Box::new(|r| format!("{:.2}", r.avg_cluster_size))),
-        ("Cluster snapshots", Box::new(|r| r.cluster_snapshots.to_string())),
-        ("Clustering time (ms)", Box::new(|r| format!("{:.1}", r.clustering_ms))),
+        (
+            "Avg. Cluster Size",
+            Box::new(|r| format!("{:.2}", r.avg_cluster_size)),
+        ),
+        (
+            "Cluster snapshots",
+            Box::new(|r| r.cluster_snapshots.to_string()),
+        ),
+        (
+            "Clustering time (ms)",
+            Box::new(|r| format!("{:.1}", r.clustering_ms)),
+        ),
     ];
     for (name, f) in rows {
         table.row([

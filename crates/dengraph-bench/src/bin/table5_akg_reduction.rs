@@ -62,7 +62,11 @@ fn main() {
         let avg_cluster_size = if records.is_empty() {
             0.0
         } else {
-            records.iter().map(|r| r.all_keywords.len() as f64).sum::<f64>() / records.len() as f64
+            records
+                .iter()
+                .map(|r| r.all_keywords.len() as f64)
+                .sum::<f64>()
+                / records.len() as f64
         };
         table.row([
             kind.label().to_string(),

@@ -17,8 +17,23 @@
 //!
 //! Every change is reported as a [`GraphDelta`] so the cluster maintainer
 //! (Section 5) can update clusters locally.
+//!
+//! ## Two-phase edge recomputation
+//!
+//! Edge-correlation work is split into a read-only **score** phase — build
+//! one window sketch (or exact user set) per candidate keyword, then score
+//! every candidate pair against the window — and a serial **apply** phase
+//! that mutates the graph in canonical (sorted) order.  The score phase
+//! carries almost all of the cost and is embarrassingly parallel, so it
+//! fans out over shards per [`DetectorConfig::parallelism`]; because
+//! results are collected in input order and applied canonically, the
+//! parallel path is bit-identical to the serial one.
 
+use dengraph_graph::fxhash::{FxHashMap, FxHashSet};
 use dengraph_graph::{DynamicGraph, NodeId};
+use dengraph_minhash::MinHashSketch;
+use dengraph_parallel::par_map;
+use dengraph_stream::UserId;
 use dengraph_text::KeywordId;
 
 use crate::config::DetectorConfig;
@@ -69,6 +84,67 @@ pub struct AkgQuantumStats {
     pub nodes_removed: usize,
 }
 
+/// Per-quantum cache of the window state each candidate keyword needs for
+/// edge scoring: one min-hash sketch per keyword, or the exact window user
+/// set when the config asks for exact Jaccard.
+///
+/// Building the cache walks the window once per involved keyword (fanned
+/// out over keyword shards); scoring a pair then touches only the two
+/// cached entries.  Both construction and lookup are pure reads, so the
+/// score phase can run on any number of threads with identical results.
+enum CorrelationCache {
+    /// Min-hash sketches (the paper's estimator, Section 3.2.2).
+    Sketches {
+        index: FxHashMap<KeywordId, usize>,
+        sketches: Vec<MinHashSketch>,
+    },
+    /// Exact window user sets (the `exact_edge_correlation` ablation).
+    Exact {
+        index: FxHashMap<KeywordId, usize>,
+        sets: Vec<FxHashSet<UserId>>,
+    },
+}
+
+impl CorrelationCache {
+    /// Builds the cache for every keyword appearing in `pairs`.
+    fn build<'p, I>(config: &DetectorConfig, window: &WindowState, pairs: I) -> Self
+    where
+        I: Iterator<Item = &'p (KeywordId, KeywordId)>,
+    {
+        let mut involved: Vec<KeywordId> = pairs.flat_map(|&(a, b)| [a, b]).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let index: FxHashMap<KeywordId, usize> =
+            involved.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        if config.exact_edge_correlation {
+            let sets = window.window_user_sets(&involved, config.parallelism);
+            CorrelationCache::Exact { index, sets }
+        } else {
+            let sketches = window.window_sketches(&involved, config.parallelism);
+            CorrelationCache::Sketches { index, sketches }
+        }
+    }
+
+    /// Edge correlation of a cached pair; identical semantics to
+    /// [`WindowState::estimated_edge_correlation`] /
+    /// [`WindowState::exact_edge_correlation`].
+    fn correlation(&self, a: KeywordId, b: KeywordId) -> f64 {
+        match self {
+            CorrelationCache::Sketches { index, sketches } => {
+                let sa = &sketches[index[&a]];
+                let sb = &sketches[index[&b]];
+                if !sa.shares_minimum(sb) {
+                    return 0.0;
+                }
+                sa.estimate_jaccard(sb)
+            }
+            CorrelationCache::Exact { index, sets } => {
+                dengraph_minhash::exact_jaccard(&sets[index[&a]], &sets[index[&b]])
+            }
+        }
+    }
+}
+
 /// Maintains the AKG across quanta.
 #[derive(Debug)]
 pub struct AkgMaintainer {
@@ -81,7 +157,12 @@ pub struct AkgMaintainer {
 impl AkgMaintainer {
     /// Creates an empty AKG maintainer.
     pub fn new(config: DetectorConfig) -> Self {
-        Self { config, graph: DynamicGraph::new(), states: KeywordStateMachine::new(), last_stats: AkgQuantumStats::default() }
+        Self {
+            config,
+            graph: DynamicGraph::new(),
+            states: KeywordStateMachine::new(),
+            last_stats: AkgQuantumStats::default(),
+        }
     }
 
     /// The current AKG.
@@ -97,16 +178,6 @@ impl AkgMaintainer {
     /// Current state of a keyword.
     pub fn keyword_state(&self, keyword: KeywordId) -> KeywordState {
         self.states.state(keyword)
-    }
-
-    /// Edge correlation between two keywords over the window, using either
-    /// the min-hash estimate or the exact Jaccard depending on the config.
-    fn edge_correlation(&self, window: &WindowState, a: KeywordId, b: KeywordId) -> f64 {
-        if self.config.exact_edge_correlation {
-            window.exact_edge_correlation(a, b)
-        } else {
-            window.estimated_edge_correlation(a, b)
-        }
     }
 
     /// Processes one quantum.  `window` must already contain `record` as its
@@ -126,89 +197,143 @@ impl AkgMaintainer {
         let mut stats = AkgQuantumStats::default();
         let sigma = self.config.high_state_threshold;
         let tau = self.config.edge_correlation_threshold;
+        let parallelism = self.config.parallelism;
 
         // --- 1. stale removal -------------------------------------------------
-        let stale: Vec<NodeId> = self
+        // Sorted so the delta order is canonical regardless of the
+        // adjacency map's internal iteration order.
+        let mut stale: Vec<NodeId> = self
             .graph
             .nodes()
             .filter(|&n| window.is_stale(keyword_of(n)))
             .collect();
+        stale.sort_unstable();
         for node in stale {
             self.remove_node(node, &mut deltas, &mut stats);
         }
 
         // --- 2. burstiness / node admission -----------------------------------
+        let mut quantum_keywords: Vec<KeywordId> = record.keywords().collect();
+        quantum_keywords.sort_unstable();
         let mut set1: Vec<KeywordId> = Vec::new();
         // set(2): keywords already in the AKG that occur in this quantum.
         let mut set2: Vec<KeywordId> = Vec::new();
-        for keyword in record.keywords() {
+        for &keyword in &quantum_keywords {
             let count = record.user_count(keyword);
             let already_in_akg = self.graph.contains_node(node_of(keyword));
-            let (_, new_state) = self.states.observe(keyword, count, sigma);
+            self.states.observe(keyword, count, sigma);
             if count >= sigma as usize {
                 set1.push(keyword);
                 if !already_in_akg {
                     self.graph.add_node(node_of(keyword));
-                    deltas.push(GraphDelta::NodeAdded { node: node_of(keyword) });
+                    deltas.push(GraphDelta::NodeAdded {
+                        node: node_of(keyword),
+                    });
                     stats.nodes_added += 1;
                 }
             }
             if already_in_akg {
                 set2.push(keyword);
             }
-            let _ = new_state;
         }
         stats.bursty_keywords = set1.len();
 
-        // --- 3a. candidate pairs among this quantum's bursty keywords ---------
-        set1.sort_unstable();
+        // --- 3. candidate collection (read-only) ------------------------------
+        // Exactly the two candidate sets of Section 3.2.1: (1) pairwise
+        // among this quantum's bursty keywords and (2) existing edges of
+        // AKG keywords seen this quantum (skipping pairs already covered
+        // by set 1).  Collected before any edge mutation so the score
+        // phase can run on an immutable snapshot.
+        let set1_lookup: FxHashSet<KeywordId> = set1.iter().copied().collect();
+        let mut bursty_pairs: Vec<(KeywordId, KeywordId)> = Vec::new();
         for i in 0..set1.len() {
             for j in (i + 1)..set1.len() {
-                let (a, b) = (set1[i], set1[j]);
-                stats.pairs_evaluated += 1;
-                let ec = self.edge_correlation(window, a, b);
-                let (na, nb) = (node_of(a), node_of(b));
-                if ec >= tau {
-                    if self.graph.contains_edge(na, nb) {
-                        self.graph.set_edge_weight(na, nb, ec);
-                        deltas.push(GraphDelta::EdgeWeightUpdated { a: na, b: nb, weight: ec });
-                    } else {
-                        self.graph.add_edge(na, nb, ec);
-                        deltas.push(GraphDelta::EdgeAdded { a: na, b: nb, weight: ec });
-                        stats.edges_added += 1;
-                    }
-                }
+                bursty_pairs.push((set1[i], set1[j]));
             }
         }
-
-        // --- 3b. refresh correlations of AKG keywords seen this quantum -------
-        let set1_lookup: std::collections::HashSet<KeywordId> = set1.iter().copied().collect();
+        let mut edge_pairs: Vec<(KeywordId, KeywordId)> = Vec::new();
         for &keyword in &set2 {
-            let node = node_of(keyword);
-            let neighbors: Vec<NodeId> = self.graph.neighbors(node).collect();
-            for other in neighbors {
+            for other in self.graph.neighbors(node_of(keyword)) {
                 let other_kw = keyword_of(other);
-                // Pairs already handled in the set-1 loop are skipped so each
-                // pair is evaluated at most once per quantum.
                 if set1_lookup.contains(&keyword) && set1_lookup.contains(&other_kw) {
                     continue;
                 }
-                stats.pairs_evaluated += 1;
-                let ec = self.edge_correlation(window, keyword, other_kw);
-                if ec >= tau {
-                    self.graph.set_edge_weight(node, other, ec);
-                    deltas.push(GraphDelta::EdgeWeightUpdated { a: node, b: other, weight: ec });
+                let pair = if keyword <= other_kw {
+                    (keyword, other_kw)
                 } else {
-                    self.graph.remove_edge(node, other);
-                    deltas.push(GraphDelta::EdgeRemoved { a: node, b: other });
-                    stats.edges_removed += 1;
+                    (other_kw, keyword)
+                };
+                edge_pairs.push(pair);
+            }
+        }
+        // An edge between two set-2 keywords is reachable from both ends;
+        // canonicalise + dedup so each pair is evaluated exactly once.
+        edge_pairs.sort_unstable();
+        edge_pairs.dedup();
+        stats.pairs_evaluated = bursty_pairs.len() + edge_pairs.len();
+
+        // --- 3a. score phase (parallel, read-only) ----------------------------
+        let cache = CorrelationCache::build(
+            &self.config,
+            window,
+            bursty_pairs.iter().chain(edge_pairs.iter()),
+        );
+        // Both candidate sets are scored in a single fan-out (one fork-join
+        // per quantum); the scores vector is split back afterwards.
+        let all_pairs: Vec<(KeywordId, KeywordId)> = bursty_pairs
+            .iter()
+            .chain(edge_pairs.iter())
+            .copied()
+            .collect();
+        let all_scores = par_map(parallelism, &all_pairs, |&(a, b)| cache.correlation(a, b));
+        let (bursty_scores, edge_scores) = all_scores.split_at(bursty_pairs.len());
+
+        // --- 3b. apply phase (serial, canonical order) ------------------------
+        for (&(a, b), &ec) in bursty_pairs.iter().zip(bursty_scores) {
+            let (na, nb) = (node_of(a), node_of(b));
+            if ec >= tau {
+                if self.graph.contains_edge(na, nb) {
+                    self.graph.set_edge_weight(na, nb, ec);
+                    deltas.push(GraphDelta::EdgeWeightUpdated {
+                        a: na,
+                        b: nb,
+                        weight: ec,
+                    });
+                } else {
+                    self.graph.add_edge(na, nb, ec);
+                    deltas.push(GraphDelta::EdgeAdded {
+                        a: na,
+                        b: nb,
+                        weight: ec,
+                    });
+                    stats.edges_added += 1;
                 }
+            }
+        }
+        for (&(a, b), &ec) in edge_pairs.iter().zip(edge_scores) {
+            let (na, nb) = (node_of(a), node_of(b));
+            if ec >= tau {
+                self.graph.set_edge_weight(na, nb, ec);
+                deltas.push(GraphDelta::EdgeWeightUpdated {
+                    a: na,
+                    b: nb,
+                    weight: ec,
+                });
+            } else {
+                self.graph.remove_edge(na, nb);
+                deltas.push(GraphDelta::EdgeRemoved { a: na, b: nb });
+                stats.edges_removed += 1;
             }
         }
 
         // --- 4. lazy demotion --------------------------------------------------
         let bursty_now = set1_lookup;
-        let candidates: Vec<NodeId> = self.graph.nodes().filter(|&n| self.graph.degree(n) == 0).collect();
+        let mut candidates: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|&n| self.graph.degree(n) == 0)
+            .collect();
+        candidates.sort_unstable();
         for node in candidates {
             let keyword = keyword_of(node);
             if bursty_now.contains(&keyword) {
@@ -226,10 +351,18 @@ impl AkgMaintainer {
 
     /// Removes a node (and its incident edges) from the AKG, recording the
     /// corresponding deltas.
-    fn remove_node(&mut self, node: NodeId, deltas: &mut Vec<GraphDelta>, stats: &mut AkgQuantumStats) {
+    fn remove_node(
+        &mut self,
+        node: NodeId,
+        deltas: &mut Vec<GraphDelta>,
+        stats: &mut AkgQuantumStats,
+    ) {
         let removed_edges = self.graph.remove_node(node);
         for (edge, _) in removed_edges {
-            deltas.push(GraphDelta::EdgeRemoved { a: edge.0, b: edge.1 });
+            deltas.push(GraphDelta::EdgeRemoved {
+                a: edge.0,
+                b: edge.1,
+            });
             stats.edges_removed += 1;
         }
         deltas.push(GraphDelta::NodeRemoved { node });
@@ -245,7 +378,12 @@ mod tests {
     use dengraph_stream::{Message, UserId};
 
     fn config() -> DetectorConfig {
-        DetectorConfig { high_state_threshold: 3, edge_correlation_threshold: 0.3, window_quanta: 3, ..Default::default() }
+        DetectorConfig {
+            high_state_threshold: 3,
+            edge_correlation_threshold: 0.3,
+            window_quanta: 3,
+            ..Default::default()
+        }
     }
 
     fn k(i: u32) -> KeywordId {
@@ -274,7 +412,13 @@ mod tests {
 
     /// Messages where three users all mention keywords 1 and 2 together.
     fn correlated_burst() -> Vec<Message> {
-        vec![msg(1, &[1, 2]), msg(2, &[1, 2]), msg(3, &[1, 2]), msg(4, &[50]), msg(5, &[51])]
+        vec![
+            msg(1, &[1, 2]),
+            msg(2, &[1, 2]),
+            msg(3, &[1, 2]),
+            msg(4, &[50]),
+            msg(5, &[51]),
+        ]
     }
 
     #[test]
@@ -286,7 +430,9 @@ mod tests {
         assert!(akg.graph().contains_node(node_of(k(1))));
         assert!(akg.graph().contains_node(node_of(k(2))));
         assert!(akg.graph().contains_edge(node_of(k(1)), node_of(k(2))));
-        assert!(deltas.iter().any(|d| matches!(d, GraphDelta::EdgeAdded { .. })));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, GraphDelta::EdgeAdded { .. })));
         // Non-bursty keywords stay out of the AKG.
         assert!(!akg.graph().contains_node(node_of(k(50))));
         assert_eq!(akg.keyword_state(k(1)), KeywordState::High);
@@ -340,8 +486,7 @@ mod tests {
         // keyword 2, so the window Jaccard drops below tau; keyword 1 keeps
         // occurring so set(2) refreshes the edge.
         for q in 1..=2 {
-            let messages: Vec<Message> =
-                (0..12).map(|u| msg(100 + u + q * 50, &[1])).collect();
+            let messages: Vec<Message> = (0..12).map(|u| msg(100 + u + q * 50, &[1])).collect();
             step(&mut akg, &mut window, q, &messages);
         }
         assert!(!akg.graph().contains_edge(node_of(k(1)), node_of(k(2))));
@@ -376,7 +521,10 @@ mod tests {
         let record = QuantumRecord::from_messages(1, &[msg(4, &[1])]);
         window.push(record.clone());
         akg.process_quantum(&record, &window, |kw| kw == k(1));
-        assert!(akg.graph().contains_node(node_of(k(1))), "cluster membership must keep the node");
+        assert!(
+            akg.graph().contains_node(node_of(k(1))),
+            "cluster membership must keep the node"
+        );
     }
 
     #[test]
@@ -395,7 +543,10 @@ mod tests {
     #[test]
     fn exact_and_minhash_agree_on_strong_correlation() {
         for exact in [false, true] {
-            let cfg = DetectorConfig { exact_edge_correlation: exact, ..config() };
+            let cfg = DetectorConfig {
+                exact_edge_correlation: exact,
+                ..config()
+            };
             let mut akg = AkgMaintainer::new(cfg.clone());
             let mut window = window_for(&cfg);
             step(&mut akg, &mut window, 0, &correlated_burst());

@@ -122,7 +122,11 @@ mod tests {
         assert_eq!(only[0].size(), 3);
         let plus = offline_bc_clusters(&g, OfflineClusterScheme::BiconnectedPlusEdges);
         assert_eq!(plus.len(), 2);
-        let sizes: Vec<usize> = { let mut v: Vec<usize> = plus.iter().map(|c| c.size()).collect(); v.sort(); v };
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = plus.iter().map(|c| c.size()).collect();
+            v.sort();
+            v
+        };
         assert_eq!(sizes, vec![2, 3]);
     }
 

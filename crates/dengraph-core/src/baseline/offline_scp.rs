@@ -74,7 +74,16 @@ mod tests {
 
     #[test]
     fn every_offline_cluster_satisfies_scp_by_construction() {
-        let g = graph(&[(1, 2), (2, 3), (3, 4), (4, 1), (4, 5), (5, 6), (6, 4), (7, 8)]);
+        let g = graph(&[
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+            (4, 5),
+            (5, 6),
+            (6, 4),
+            (7, 8),
+        ]);
         for c in OfflineScpDetector::new().clusters(&g) {
             assert!(c.satisfies_scp());
             assert!(c.size() >= 3);

@@ -32,7 +32,10 @@ pub struct CkgTracker {
 impl CkgTracker {
     /// Creates a tracker for a window of `capacity` quanta.
     pub fn new(capacity: usize) -> Self {
-        Self { window: VecDeque::with_capacity(capacity + 1), capacity: capacity.max(1) }
+        Self {
+            window: VecDeque::with_capacity(capacity + 1),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Ingests the messages of one quantum.

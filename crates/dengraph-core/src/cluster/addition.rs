@@ -22,7 +22,9 @@ type Candidate = (FxHashSet<NodeId>, FxHashSet<EdgeKey>);
 /// Builds the candidate for a triangle `a–b–c`.
 fn triangle_candidate(a: NodeId, b: NodeId, c: NodeId) -> Candidate {
     let nodes = [a, b, c].into_iter().collect();
-    let edges = [EdgeKey::new(a, b), EdgeKey::new(b, c), EdgeKey::new(a, c)].into_iter().collect();
+    let edges = [EdgeKey::new(a, b), EdgeKey::new(b, c), EdgeKey::new(a, c)]
+        .into_iter()
+        .collect();
     (nodes, edges)
 }
 
@@ -52,7 +54,10 @@ pub fn edge_addition(
     n2: NodeId,
     quantum: u64,
 ) -> Option<ClusterId> {
-    debug_assert!(graph.contains_edge(n1, n2), "edge must be inserted into the graph before EdgeAddition");
+    debug_assert!(
+        graph.contains_edge(n1, n2),
+        "edge must be inserted into the graph before EdgeAddition"
+    );
     let mut candidates: Vec<Candidate> = Vec::new();
     // Phase 1: enumerate short cycles through (n1, n2).
     let n1_neighbors: Vec<NodeId> = graph.neighbors(n1).filter(|&x| x != n2).collect();
@@ -122,7 +127,10 @@ pub fn node_addition(
     }
     // The absorb calls may have merged earlier results away; keep only ids
     // that still exist.
-    let mut out: Vec<ClusterId> = result_ids.into_iter().filter(|id| registry.get(*id).is_some()).collect();
+    let mut out: Vec<ClusterId> = result_ids
+        .into_iter()
+        .filter(|id| registry.get(*id).is_some())
+        .collect();
     out.sort();
     out
 }

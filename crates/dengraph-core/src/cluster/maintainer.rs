@@ -101,7 +101,11 @@ impl ClusterMaintainer {
             }
         }
         self.last_stats = stats;
-        debug_assert!(self.registry.check_invariants().is_ok(), "{:?}", self.registry.check_invariants());
+        debug_assert!(
+            self.registry.check_invariants().is_ok(),
+            "{:?}",
+            self.registry.check_invariants()
+        );
     }
 }
 
@@ -124,14 +128,22 @@ mod tests {
 
     impl Sim {
         fn new() -> Self {
-            Self { graph: DynamicGraph::new(), maintainer: ClusterMaintainer::new(), quantum: 0 }
+            Self {
+                graph: DynamicGraph::new(),
+                maintainer: ClusterMaintainer::new(),
+                quantum: 0,
+            }
         }
 
         fn add_edge(&mut self, a: u32, b: u32) {
             self.graph.add_edge(n(a), n(b), 1.0);
             self.maintainer.apply_deltas(
                 &self.graph.clone(),
-                &[GraphDelta::EdgeAdded { a: n(a), b: n(b), weight: 1.0 }],
+                &[GraphDelta::EdgeAdded {
+                    a: n(a),
+                    b: n(b),
+                    weight: 1.0,
+                }],
                 self.quantum,
             );
         }
@@ -147,10 +159,13 @@ mod tests {
 
         fn remove_node(&mut self, a: u32) {
             let removed = self.graph.remove_node(n(a));
-            let mut deltas: Vec<GraphDelta> =
-                removed.iter().map(|(e, _)| GraphDelta::EdgeRemoved { a: e.0, b: e.1 }).collect();
+            let mut deltas: Vec<GraphDelta> = removed
+                .iter()
+                .map(|(e, _)| GraphDelta::EdgeRemoved { a: e.0, b: e.1 })
+                .collect();
             deltas.push(GraphDelta::NodeRemoved { node: n(a) });
-            self.maintainer.apply_deltas(&self.graph.clone(), &deltas, self.quantum);
+            self.maintainer
+                .apply_deltas(&self.graph.clone(), &deltas, self.quantum);
         }
     }
 
@@ -202,7 +217,11 @@ mod tests {
         graph.remove_node(n(3));
         node_deletion(&mut registry, n(3), 0);
 
-        let mut a: Vec<Vec<NodeId>> = sim.maintainer.clusters().map(|c| c.sorted_nodes()).collect();
+        let mut a: Vec<Vec<NodeId>> = sim
+            .maintainer
+            .clusters()
+            .map(|c| c.sorted_nodes())
+            .collect();
         let mut b: Vec<Vec<NodeId>> = registry.clusters().map(|c| c.sorted_nodes()).collect();
         a.sort();
         b.sort();
@@ -227,13 +246,25 @@ mod tests {
         sim.add_edge(1, 2);
         sim.add_edge(2, 3);
         sim.add_edge(1, 3);
-        let before: Vec<_> = sim.maintainer.clusters().map(|c| c.sorted_nodes()).collect();
+        let before: Vec<_> = sim
+            .maintainer
+            .clusters()
+            .map(|c| c.sorted_nodes())
+            .collect();
         sim.maintainer.apply_deltas(
             &sim.graph.clone(),
-            &[GraphDelta::EdgeWeightUpdated { a: n(1), b: n(2), weight: 0.9 }],
+            &[GraphDelta::EdgeWeightUpdated {
+                a: n(1),
+                b: n(2),
+                weight: 0.9,
+            }],
             1,
         );
-        let after: Vec<_> = sim.maintainer.clusters().map(|c| c.sorted_nodes()).collect();
+        let after: Vec<_> = sim
+            .maintainer
+            .clusters()
+            .map(|c| c.sorted_nodes())
+            .collect();
         assert_eq!(before, after);
     }
 }

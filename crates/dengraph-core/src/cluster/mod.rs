@@ -28,7 +28,6 @@ pub mod registry;
 use dengraph_graph::dynamic_graph::EdgeKey;
 use dengraph_graph::fxhash::FxHashSet;
 use dengraph_graph::NodeId;
-use serde::{Deserialize, Serialize};
 
 pub use addition::{edge_addition, node_addition};
 pub use deletion::{edge_deletion, node_deletion};
@@ -37,7 +36,7 @@ pub use registry::ClusterRegistry;
 
 /// Identifier of a cluster.  Ids are never reused within one registry, so
 /// downstream event tracking can rely on them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClusterId(pub u64);
 
 impl std::fmt::Display for ClusterId {
@@ -69,8 +68,19 @@ pub struct Cluster {
 
 impl Cluster {
     /// Creates a cluster from explicit node and edge sets.
-    pub fn new(id: ClusterId, nodes: FxHashSet<NodeId>, edges: FxHashSet<EdgeKey>, quantum: u64) -> Self {
-        Self { id, nodes, edges, born_quantum: quantum, updated_quantum: quantum }
+    pub fn new(
+        id: ClusterId,
+        nodes: FxHashSet<NodeId>,
+        edges: FxHashSet<EdgeKey>,
+        quantum: u64,
+    ) -> Self {
+        Self {
+            id,
+            nodes,
+            edges,
+            born_quantum: quantum,
+            updated_quantum: quantum,
+        }
     }
 
     /// Number of member nodes.
@@ -152,7 +162,9 @@ impl Cluster {
     /// Does every edge of the cluster lie on a short cycle (length ≤ 4)
     /// within the cluster?  This is the defining invariant (property P1).
     pub fn satisfies_scp(&self) -> bool {
-        self.edges.iter().all(|e| self.has_alternate_path(e.0, e.1, 3))
+        self.edges
+            .iter()
+            .all(|e| self.has_alternate_path(e.0, e.1, 3))
     }
 }
 
@@ -165,7 +177,10 @@ mod tests {
     }
 
     fn cluster_from(edges: &[(u32, u32)]) -> Cluster {
-        let edge_set: FxHashSet<EdgeKey> = edges.iter().map(|&(a, b)| EdgeKey::new(n(a), n(b))).collect();
+        let edge_set: FxHashSet<EdgeKey> = edges
+            .iter()
+            .map(|&(a, b)| EdgeKey::new(n(a), n(b)))
+            .collect();
         let mut c = Cluster::new(ClusterId(1), FxHashSet::default(), edge_set, 0);
         c.sync_nodes_to_edges();
         c

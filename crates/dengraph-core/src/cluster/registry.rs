@@ -56,7 +56,10 @@ impl ClusterRegistry {
 
     /// The clusters containing this node (possibly several).
     pub fn clusters_of_node(&self, node: NodeId) -> Vec<ClusterId> {
-        self.node_index.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.node_index
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Is the node a member of at least one cluster?  (This is the
@@ -75,16 +78,25 @@ impl ClusterRegistry {
     /// Inserts a brand-new cluster built from explicit node and edge sets.
     /// Panics (debug assertion) if any edge is already owned by another
     /// cluster — callers must merge first.
-    pub fn insert_new(&mut self, nodes: FxHashSet<NodeId>, edges: FxHashSet<EdgeKey>, quantum: u64) -> ClusterId {
+    pub fn insert_new(
+        &mut self,
+        nodes: FxHashSet<NodeId>,
+        edges: FxHashSet<EdgeKey>,
+        quantum: u64,
+    ) -> ClusterId {
         let id = self.fresh_id();
-        debug_assert!(edges.iter().all(|e| !self.edge_index.contains_key(e)), "edge already owned by another cluster");
+        debug_assert!(
+            edges.iter().all(|e| !self.edge_index.contains_key(e)),
+            "edge already owned by another cluster"
+        );
         for e in &edges {
             self.edge_index.insert(*e, id);
         }
         for n in &nodes {
             self.node_index.entry(*n).or_default().insert(id);
         }
-        self.clusters.insert(id, Cluster::new(id, nodes, edges, quantum));
+        self.clusters
+            .insert(id, Cluster::new(id, nodes, edges, quantum));
         id
     }
 
@@ -111,7 +123,12 @@ impl ClusterRegistry {
     /// existing cluster sharing an edge with `edges` is merged with the new
     /// material into a single cluster (Lemma 6).  Returns the id of the
     /// resulting cluster.
-    pub fn absorb(&mut self, nodes: FxHashSet<NodeId>, edges: FxHashSet<EdgeKey>, quantum: u64) -> ClusterId {
+    pub fn absorb(
+        &mut self,
+        nodes: FxHashSet<NodeId>,
+        edges: FxHashSet<EdgeKey>,
+        quantum: u64,
+    ) -> ClusterId {
         // Which existing clusters share an edge with the new material?
         let mut touched: FxHashSet<ClusterId> = FxHashSet::default();
         for e in &edges {
@@ -337,8 +354,9 @@ mod tests {
         let mut r = ClusterRegistry::new();
         // One big cluster: two triangles sharing node 3 (pretend it was valid).
         let nodes: FxHashSet<NodeId> = [n(1), n(2), n(3), n(4), n(5)].into_iter().collect();
-        let edges: FxHashSet<EdgeKey> =
-            [e(1, 2), e(2, 3), e(1, 3), e(3, 4), e(4, 5), e(3, 5)].into_iter().collect();
+        let edges: FxHashSet<EdgeKey> = [e(1, 2), e(2, 3), e(1, 3), e(3, 4), e(4, 5), e(3, 5)]
+            .into_iter()
+            .collect();
         let id = r.insert_new(nodes, edges, 0);
         let (na, ea) = triangle(1, 2, 3);
         let (nb, eb) = triangle(3, 4, 5);

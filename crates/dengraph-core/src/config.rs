@@ -3,10 +3,10 @@
 //! Table 2 of the paper lists the tunable parameters and their nominal
 //! values; those nominal values are the defaults here.
 
-use serde::{Deserialize, Serialize};
+pub use dengraph_parallel::Parallelism;
 
 /// All tunable parameters of the event detector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectorConfig {
     /// Quantum size Δ: number of messages per quantum (nominal 160,
     /// tunable 80–240; the ground-truth study of Section 7.1 uses 800).
@@ -44,6 +44,12 @@ pub struct DetectorConfig {
     /// Require at least one noun keyword in a reported event (Section
     /// 7.2.2's other precision filter).
     pub require_noun: bool,
+    /// How many threads the per-quantum pipeline stages (window
+    /// aggregation, sketching, candidate-edge scoring, ranking support)
+    /// may fan out over.  The parallel path produces bit-identical output
+    /// to [`Parallelism::Serial`]; this knob only trades wall-clock time
+    /// for cores.
+    pub parallelism: Parallelism,
 }
 
 impl Default for DetectorConfig {
@@ -58,6 +64,7 @@ impl Default for DetectorConfig {
             hysteresis: true,
             rank_threshold_factor: 1.0,
             require_noun: true,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -71,7 +78,11 @@ impl DetectorConfig {
     /// The configuration used for the ground-truth study of Section 7.1
     /// (Δ = 800, τ = 0.1, σ = 4, w = 30).
     pub fn ground_truth_study() -> Self {
-        Self { quantum_size: 800, edge_correlation_threshold: 0.1, ..Self::default() }
+        Self {
+            quantum_size: 800,
+            edge_correlation_threshold: 0.1,
+            ..Self::default()
+        }
     }
 
     /// Sets the quantum size (builder style).
@@ -95,6 +106,12 @@ impl DetectorConfig {
     /// Sets the window length in quanta (builder style).
     pub fn with_window_quanta(mut self, w: usize) -> Self {
         self.window_quanta = w;
+        self
+    }
+
+    /// Sets the pipeline parallelism (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -141,6 +158,9 @@ impl DetectorConfig {
         if self.rank_threshold_factor < 0.0 {
             return Err("rank_threshold_factor must be non-negative".into());
         }
+        if let Parallelism::Threads(0) = self.parallelism {
+            return Err("parallelism thread count must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -182,11 +202,20 @@ mod tests {
     #[test]
     fn sketch_size_follows_paper_formula_with_floor() {
         assert_eq!(DetectorConfig::nominal().paper_sketch_size(), 2);
-        assert_eq!(DetectorConfig::nominal().with_high_state_threshold(10).paper_sketch_size(), 5);
+        assert_eq!(
+            DetectorConfig::nominal()
+                .with_high_state_threshold(10)
+                .paper_sketch_size(),
+            5
+        );
         // The effective size never drops below the configured floor …
         assert_eq!(DetectorConfig::nominal().sketch_size(), 16);
         // … and follows the paper's formula once that exceeds the floor.
-        let big = DetectorConfig { high_state_threshold: 64, min_sketch_size: 4, ..DetectorConfig::nominal() };
+        let big = DetectorConfig {
+            high_state_threshold: 64,
+            min_sketch_size: 4,
+            ..DetectorConfig::nominal()
+        };
         assert_eq!(big.sketch_size(), 5); // min(32, 1/0.2 = 5)
     }
 
@@ -195,16 +224,56 @@ mod tests {
         let c = DetectorConfig::nominal();
         assert!((c.minimum_cluster_rank() - 4.0 * 1.4).abs() < 1e-12);
         assert!((c.rank_report_threshold() - c.minimum_cluster_rank()).abs() < 1e-12);
-        let strict = DetectorConfig { rank_threshold_factor: 2.0, ..c };
+        let strict = DetectorConfig {
+            rank_threshold_factor: 2.0,
+            ..c
+        };
         assert!(strict.rank_report_threshold() > strict.minimum_cluster_rank());
     }
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(DetectorConfig { quantum_size: 0, ..Default::default() }.validate().is_err());
-        assert!(DetectorConfig { window_quanta: 0, ..Default::default() }.validate().is_err());
-        assert!(DetectorConfig { high_state_threshold: 0, ..Default::default() }.validate().is_err());
-        assert!(DetectorConfig { edge_correlation_threshold: 1.5, ..Default::default() }.validate().is_err());
-        assert!(DetectorConfig { rank_threshold_factor: -1.0, ..Default::default() }.validate().is_err());
+        assert!(DetectorConfig {
+            quantum_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            window_quanta: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            high_state_threshold: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            edge_correlation_threshold: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            rank_threshold_factor: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            parallelism: Parallelism::Threads(0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            parallelism: Parallelism::Threads(4),
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
     }
 }

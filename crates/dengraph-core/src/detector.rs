@@ -69,7 +69,11 @@ impl EventDetector {
     /// [`DetectorConfig::validate`]).
     pub fn new(config: DetectorConfig) -> Self {
         config.validate().expect("invalid detector configuration");
-        let window = WindowState::new(config.window_quanta, config.sketch_size(), UserHasher::new(0x5EED_CAFE));
+        let window = WindowState::new(
+            config.window_quanta,
+            config.sketch_size(),
+            UserHasher::new(0x5EED_CAFE),
+        );
         Self {
             akg: AkgMaintainer::new(config.clone()),
             clusters: ClusterMaintainer::new(),
@@ -180,19 +184,23 @@ impl EventDetector {
         self.next_quantum += 1;
         self.total_messages += messages.len() as u64;
 
-        // 1. Aggregate and slide the window.
-        let record = QuantumRecord::from_messages(quantum, messages);
+        // 1. Aggregate and slide the window (fanned out over message
+        //    chunks per the configured parallelism).
+        let record = QuantumRecord::from_messages_with(quantum, messages, self.config.parallelism);
         self.window.push(record.clone());
 
         // 2. AKG maintenance.  The hysteresis callback consults the cluster
         //    registry as it stood at the end of the previous quantum.
         let registry = &self.clusters;
-        let deltas = self.akg.process_quantum(&record, &self.window, |kw: KeywordId| {
-            registry.registry().is_cluster_member(node_of(kw))
-        });
+        let deltas = self
+            .akg
+            .process_quantum(&record, &self.window, |kw: KeywordId| {
+                registry.registry().is_cluster_member(node_of(kw))
+            });
 
         // 3. Cluster maintenance.
-        self.clusters.apply_deltas(self.akg.graph(), &deltas, quantum);
+        self.clusters
+            .apply_deltas(self.akg.graph(), &deltas, quantum);
 
         // 4 + 5. Rank, filter and report.
         let events = self.report_events(quantum);
@@ -213,16 +221,36 @@ impl EventDetector {
     }
 
     /// Ranks every live cluster and applies the reporting filters.
+    ///
+    /// The per-node support weights (distinct window users per keyword)
+    /// dominate the ranking cost, and each is an independent read of the
+    /// window — so they are precomputed in one sharded pass before the
+    /// serial rank-and-filter loop.
     fn report_events(&self, quantum: u64) -> Vec<DetectedEvent> {
         let graph = self.akg.graph();
-        let support = |node: dengraph_graph::NodeId| self.window.window_user_count(keyword_of(node));
+        let mut cluster_nodes: Vec<dengraph_graph::NodeId> = self
+            .clusters
+            .clusters()
+            .flat_map(|c| c.nodes.iter().copied())
+            .collect();
+        cluster_nodes.sort_unstable();
+        cluster_nodes.dedup();
+        let cluster_keywords: Vec<KeywordId> =
+            cluster_nodes.iter().map(|&n| keyword_of(n)).collect();
+        let counts = self
+            .window
+            .window_user_counts(&cluster_keywords, self.config.parallelism);
+        let support_cache: dengraph_graph::fxhash::FxHashMap<dengraph_graph::NodeId, usize> =
+            cluster_nodes.iter().copied().zip(counts).collect();
+        let support = |node: dengraph_graph::NodeId| support_cache.get(&node).copied().unwrap_or(0);
         let mut events: Vec<DetectedEvent> = Vec::new();
         for cluster in self.clusters.clusters() {
             let rank = cluster_rank(cluster, graph, &support);
             if rank < self.config.rank_report_threshold() {
                 continue;
             }
-            let mut keywords: Vec<KeywordId> = cluster.nodes.iter().map(|&n| keyword_of(n)).collect();
+            let mut keywords: Vec<KeywordId> =
+                cluster.nodes.iter().map(|&n| keyword_of(n)).collect();
             keywords.sort();
             if self.config.require_noun {
                 if let Some((interner, heuristic)) = &self.noun_filter {
@@ -243,7 +271,11 @@ impl EventDetector {
                 keywords,
             });
         }
-        events.sort_by(|a, b| b.rank.partial_cmp(&a.rank).unwrap_or(std::cmp::Ordering::Equal));
+        events.sort_by(|a, b| {
+            b.rank
+                .partial_cmp(&a.rank)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         events
     }
 }
@@ -269,7 +301,13 @@ mod tests {
 
     /// A quantum in which `users` distinct users each post the same keyword
     /// set, plus filler chatter from other users.
-    fn event_quantum(detector_cfg: &DetectorConfig, users: u64, base_user: u64, keywords: &[u32], time0: u64) -> Vec<Message> {
+    fn event_quantum(
+        detector_cfg: &DetectorConfig,
+        users: u64,
+        base_user: u64,
+        keywords: &[u32],
+        time0: u64,
+    ) -> Vec<Message> {
         let mut msgs = Vec::new();
         for u in 0..users {
             msgs.push(Message::new(
@@ -281,7 +319,11 @@ mod tests {
         // Filler: unique users, unique keywords (never bursty).
         let mut filler_id = 10_000 + time0 * 100;
         while msgs.len() < detector_cfg.quantum_size {
-            msgs.push(Message::new(UserId(filler_id), time0 + filler_id, vec![KeywordId(5_000 + filler_id as u32)]));
+            msgs.push(Message::new(
+                UserId(filler_id),
+                time0 + filler_id,
+                vec![KeywordId(5_000 + filler_id as u32)],
+            ));
             filler_id += 1;
         }
         msgs
@@ -295,7 +337,11 @@ mod tests {
         let summary = det.push_message_all(msgs);
         assert_eq!(summary.len(), 1);
         let events = &summary[0].events;
-        assert_eq!(events.len(), 1, "exactly one event expected, got {events:?}");
+        assert_eq!(
+            events.len(),
+            1,
+            "exactly one event expected, got {events:?}"
+        );
         assert_eq!(events[0].keywords, vec![k(1), k(2), k(3)]);
         assert!(events[0].rank >= config.rank_report_threshold());
         assert!(events[0].support >= 18); // 6 users × 3 keywords
@@ -354,7 +400,11 @@ mod tests {
         for q in 1..=(config.window_quanta as u64 + 1) {
             det.push_message_all(event_quantum(&config, 0, 0, &[], q * 1_000));
         }
-        assert_eq!(det.clusters().cluster_count(), 0, "stale keywords must dissolve the cluster");
+        assert_eq!(
+            det.clusters().cluster_count(),
+            0,
+            "stale keywords must dissolve the cluster"
+        );
         assert!(det.akg().node_count() <= 1);
     }
 
@@ -365,16 +415,27 @@ mod tests {
         let mut msgs = Vec::new();
         for u in 0..5u64 {
             msgs.push(Message::new(UserId(100 + u), u, vec![k(1), k(2), k(3)]));
-            msgs.push(Message::new(UserId(200 + u), 50 + u, vec![k(11), k(12), k(13)]));
+            msgs.push(Message::new(
+                UserId(200 + u),
+                50 + u,
+                vec![k(11), k(12), k(13)],
+            ));
         }
         while msgs.len() < config.quantum_size {
             let id = 900 + msgs.len() as u64;
-            msgs.push(Message::new(UserId(id), id, vec![KeywordId(7_000 + id as u32)]));
+            msgs.push(Message::new(
+                UserId(id),
+                id,
+                vec![KeywordId(7_000 + id as u32)],
+            ));
         }
         let summaries = det.push_message_all(msgs);
         assert_eq!(summaries[0].events.len(), 2);
-        let keyword_sets: Vec<Vec<KeywordId>> =
-            summaries[0].events.iter().map(|e| e.keywords.clone()).collect();
+        let keyword_sets: Vec<Vec<KeywordId>> = summaries[0]
+            .events
+            .iter()
+            .map(|e| e.keywords.clone())
+            .collect();
         assert!(keyword_sets.contains(&vec![k(1), k(2), k(3)]));
         assert!(keyword_sets.contains(&vec![k(11), k(12), k(13)]));
     }
@@ -418,7 +479,10 @@ mod tests {
         let config = cfg();
         let mut det = EventDetector::new(config.clone()).with_interner(interner);
         let summaries = det.push_message_all(event_quantum(&config, 6, 100, &[0, 1, 2], 0));
-        assert!(summaries[0].events.is_empty(), "non-noun cluster must be filtered");
+        assert!(
+            summaries[0].events.is_empty(),
+            "non-noun cluster must be filtered"
+        );
         // The cluster itself still exists; only reporting is filtered.
         assert_eq!(det.clusters().cluster_count(), 1);
     }
@@ -426,6 +490,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid detector configuration")]
     fn invalid_config_is_rejected() {
-        let _ = EventDetector::new(DetectorConfig { quantum_size: 0, ..Default::default() });
+        let _ = EventDetector::new(DetectorConfig {
+            quantum_size: 0,
+            ..Default::default()
+        });
     }
 }

@@ -16,21 +16,20 @@ use dengraph_graph::NodeId;
 use dengraph_minhash::UserHasher;
 use dengraph_stream::Trace;
 use dengraph_text::KeywordId;
-use serde::{Deserialize, Serialize};
 
 use crate::akg::{keyword_of, AkgMaintainer};
 use crate::baseline::offline_bc::{offline_bc_clusters, OfflineClusterScheme};
 use crate::cluster::{Cluster, ClusterId, ClusterMaintainer};
 use crate::config::DetectorConfig;
-use crate::event::{DetectedEvent, EventTracker};
 use crate::evaluation::matching::match_records;
 use crate::evaluation::precision_recall::precision_recall;
 use crate::evaluation::quality::SnapshotQualityAccumulator;
+use crate::event::{DetectedEvent, EventTracker};
 use crate::keyword_state::{QuantumRecord, WindowState};
 use crate::ranking::{cluster_rank, cluster_support};
 
 /// Per-scheme results (one column of Table 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeReport {
     /// Scheme name.
     pub name: String,
@@ -51,7 +50,7 @@ pub struct SchemeReport {
 }
 
 /// The full comparison (Table 3 plus the §7.3 derived statistics).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeComparison {
     /// Incremental SCP clustering (the paper's technique).
     pub scp: SchemeReport,
@@ -90,7 +89,7 @@ impl OfflineEventTracker {
         let mut best: Option<(usize, ClusterId)> = None;
         for (prev_nodes, id) in &self.previous {
             let shared = nodes.iter().filter(|n| prev_nodes.contains(n)).count();
-            if shared * 2 >= nodes.len().max(1) && best.map_or(true, |(s, _)| shared > s) {
+            if shared * 2 >= nodes.len().max(1) && best.is_none_or(|(s, _)| shared > s) {
                 best = Some((shared, *id));
             }
         }
@@ -124,7 +123,11 @@ impl OfflineEventTracker {
 
 /// Runs the full scheme comparison over one trace.
 pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparison {
-    let mut window = WindowState::new(config.window_quanta, config.sketch_size(), UserHasher::new(0x5EED_CAFE));
+    let mut window = WindowState::new(
+        config.window_quanta,
+        config.sketch_size(),
+        UserHasher::new(0x5EED_CAFE),
+    );
     let mut akg = AkgMaintainer::new(config.clone());
     let mut scp_clusters = ClusterMaintainer::new();
     let mut scp_tracker = EventTracker::new();
@@ -151,7 +154,9 @@ pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparis
         window.push(record.clone());
         let registry_probe = &scp_clusters;
         let deltas = akg.process_quantum(&record, &window, |kw| {
-            registry_probe.registry().is_cluster_member(crate::akg::node_of(kw))
+            registry_probe
+                .registry()
+                .is_cluster_member(crate::akg::node_of(kw))
         });
 
         let support = |node: NodeId| window.window_user_count(keyword_of(node));
@@ -196,10 +201,8 @@ pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparis
         for c in &bce {
             let rank = rank_of(c);
             let entry = (c.sorted_nodes(), rank, cluster_support(c, &support));
-            if c.size() >= 3 {
-                if rank >= config.rank_report_threshold() {
-                    bc_snapshot.push(entry.clone());
-                }
+            if c.size() >= 3 && rank >= config.rank_report_threshold() {
+                bc_snapshot.push(entry.clone());
             }
             // The +edges scheme reports everything, including size-2 clusters
             // (no rank filter can save them: that is the point of the
@@ -222,7 +225,10 @@ pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparis
         // --- exact overlap between BC(≥3) clusters and SCP clusters ----------
         for (nodes, _, _) in &bc_snapshot {
             exact_overlap_total += 1;
-            if scp_snapshot.iter().any(|(scp_nodes, _, _)| scp_nodes == nodes) {
+            if scp_snapshot
+                .iter()
+                .any(|(scp_nodes, _, _)| scp_nodes == nodes)
+            {
                 exact_overlap_hits += 1;
             }
         }
@@ -249,9 +255,20 @@ pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparis
         }
     };
 
-    let scp = scheme_report("SCP clusters", &scp_tracker, &scp_quality, scp_snapshots, scp_time * 1000.0);
-    let biconnected =
-        scheme_report("Bi-connected clusters", &bc_tracker.tracker, &bc_quality, bc_snapshots, offline_time * 1000.0);
+    let scp = scheme_report(
+        "SCP clusters",
+        &scp_tracker,
+        &scp_quality,
+        scp_snapshots,
+        scp_time * 1000.0,
+    );
+    let biconnected = scheme_report(
+        "Bi-connected clusters",
+        &bc_tracker.tracker,
+        &bc_quality,
+        bc_snapshots,
+        offline_time * 1000.0,
+    );
     let biconnected_plus_edges = scheme_report(
         "Bi-connected clusters + edges",
         &bce_tracker.tracker,
@@ -269,13 +286,20 @@ pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparis
     };
     SchemeComparison {
         additional_clusters_pct: pct(bce_snapshots as f64, scp_snapshots as f64),
-        additional_events_pct: pct(biconnected_plus_edges.events_discovered as f64, scp.events_discovered as f64),
+        additional_events_pct: pct(
+            biconnected_plus_edges.events_discovered as f64,
+            scp.events_discovered as f64,
+        ),
         exact_overlap_pct: if exact_overlap_total == 0 {
             0.0
         } else {
             exact_overlap_hits as f64 / exact_overlap_total as f64 * 100.0
         },
-        scp_speedup_pct: if offline_time > 0.0 { (offline_time - scp_time) / offline_time * 100.0 } else { 0.0 },
+        scp_speedup_pct: if offline_time > 0.0 {
+            (offline_time - scp_time) / offline_time * 100.0
+        } else {
+            0.0
+        },
         scp,
         biconnected,
         biconnected_plus_edges,
@@ -300,7 +324,11 @@ mod tests {
     #[test]
     fn comparison_runs_and_produces_sane_shapes() {
         let trace = StreamGenerator::new(tw_profile(5, ProfileScale::Small)).generate();
-        let config = DetectorConfig { quantum_size: 160, window_quanta: 20, ..Default::default() };
+        let config = DetectorConfig {
+            quantum_size: 160,
+            window_quanta: 20,
+            ..Default::default()
+        };
         let cmp = compare_schemes(&trace, &config);
         // The SCP scheme must find at least one event on a trace with
         // injected events.

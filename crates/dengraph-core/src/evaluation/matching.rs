@@ -50,7 +50,10 @@ fn overlap(discovered: &[KeywordId], truth: &GroundTruthEvent) -> (usize, f64) {
     if discovered.is_empty() {
         return (0, 0.0);
     }
-    let shared = discovered.iter().filter(|k| truth.keywords.contains(k)).count();
+    let shared = discovered
+        .iter()
+        .filter(|k| truth.keywords.contains(k))
+        .count();
     (shared, shared as f64 / discovered.len() as f64)
 }
 
@@ -185,7 +188,10 @@ mod tests {
         let refs: Vec<&EventRecord> = records.iter().collect();
         let report = match_records(&refs, &gt);
         assert_eq!(report.matches[0].matched_event, Some(1));
-        assert_eq!(report.matches[0].matched_kind, Some(GroundTruthEventKind::Spurious));
+        assert_eq!(
+            report.matches[0].matched_kind,
+            Some(GroundTruthEventKind::Spurious)
+        );
         assert!(report.detected_truth_ids.is_empty());
     }
 

@@ -20,7 +20,6 @@ pub mod throughput;
 
 use dengraph_stream::ground_truth::GroundTruthEventKind;
 use dengraph_stream::Trace;
-use serde::{Deserialize, Serialize};
 
 use crate::config::DetectorConfig;
 use crate::detector::EventDetector;
@@ -34,7 +33,7 @@ pub use throughput::{measure_throughput, ThroughputReport};
 
 /// The scored result of running the detector over one trace with one
 /// configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectorRunReport {
     /// Name of the trace profile.
     pub trace_name: String,
@@ -83,13 +82,17 @@ pub fn run_detector_on_trace(trace: &Trace, config: &DetectorConfig) -> Detector
         quality,
         avg_akg_nodes: summaries.iter().map(|s| s.akg_nodes as f64).sum::<f64>() / n,
         avg_akg_edges: summaries.iter().map(|s| s.akg_edges as f64).sum::<f64>() / n,
-        avg_live_clusters: summaries.iter().map(|s| s.live_clusters as f64).sum::<f64>() / n,
+        avg_live_clusters: summaries
+            .iter()
+            .map(|s| s.live_clusters as f64)
+            .sum::<f64>()
+            / n,
         elapsed_secs,
     }
 }
 
 /// One row of the Table 1 style ground-truth report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeadlineOutcome {
     /// The injected event's "headline".
     pub headline: String,
@@ -100,7 +103,7 @@ pub struct HeadlineOutcome {
 }
 
 /// The Section 7.1 ground-truth study result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruthReport {
     /// Total injected "headline" events (the paper's 60).
     pub headline_events_total: usize,
@@ -161,18 +164,29 @@ pub fn ground_truth_report(trace: &Trace, config: &DetectorConfig) -> GroundTrut
         .ground_truth
         .of_kind(GroundTruthEventKind::LocalOnly)
         .filter(|truth| {
-            records
-                .iter()
-                .any(|r| best_match(&r.all_keywords, &trace.ground_truth).is_some_and(|(t, _)| t.id == truth.id))
+            records.iter().any(|r| {
+                best_match(&r.all_keywords, &trace.ground_truth)
+                    .is_some_and(|(t, _)| t.id == truth.id)
+            })
         })
         .count();
 
-    let unmatched_reported_events = match_report.matches.iter().filter(|m| m.matched_event.is_none()).count();
+    let unmatched_reported_events = match_report
+        .matches
+        .iter()
+        .filter(|m| m.matched_event.is_none())
+        .count();
 
     GroundTruthReport {
         headline_events_total: trace.ground_truth.headline_count()
-            + trace.ground_truth.of_kind(GroundTruthEventKind::TooWeak).count(),
-        headline_events_too_weak: trace.ground_truth.of_kind(GroundTruthEventKind::TooWeak).count(),
+            + trace
+                .ground_truth
+                .of_kind(GroundTruthEventKind::TooWeak)
+                .count(),
+        headline_events_too_weak: trace
+            .ground_truth
+            .of_kind(GroundTruthEventKind::TooWeak)
+            .count(),
         headline_events_detectable: trace.ground_truth.headline_count(),
         headline_events_discovered: headline_discovered,
         additional_local_events_discovered,
@@ -191,7 +205,11 @@ mod tests {
     #[test]
     fn detector_run_report_on_small_tw_trace() {
         let trace = StreamGenerator::new(tw_profile(21, ProfileScale::Small)).generate();
-        let config = DetectorConfig { quantum_size: 160, window_quanta: 20, ..Default::default() };
+        let config = DetectorConfig {
+            quantum_size: 160,
+            window_quanta: 20,
+            ..Default::default()
+        };
         let report = run_detector_on_trace(&trace, &config);
         assert_eq!(report.messages, trace.messages.len());
         assert!(report.quanta > 10);

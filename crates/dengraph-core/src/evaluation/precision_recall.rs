@@ -7,12 +7,11 @@
 //!   (headline or local-only) ground-truth event.
 
 use dengraph_stream::ground_truth::{GroundTruth, GroundTruthEventKind};
-use serde::{Deserialize, Serialize};
 
 use super::matching::MatchReport;
 
 /// The precision/recall scores of one detector run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrecisionRecall {
     /// Number of reported events (after the detector's own filters).
     pub reported_events: usize,
@@ -60,8 +59,16 @@ pub fn precision_recall(report: &MatchReport, ground_truth: &GroundTruth) -> Pre
     let false_positives = reported_events - true_positives;
     let truth_events_total = ground_truth.detectable_count();
     let truth_events_found = report.detected_truth_ids.len();
-    let precision = if reported_events == 0 { 1.0 } else { true_positives as f64 / reported_events as f64 };
-    let recall = if truth_events_total == 0 { 1.0 } else { truth_events_found as f64 / truth_events_total as f64 };
+    let precision = if reported_events == 0 {
+        1.0
+    } else {
+        true_positives as f64 / reported_events as f64
+    };
+    let recall = if truth_events_total == 0 {
+        1.0
+    } else {
+        truth_events_found as f64 / truth_events_total as f64
+    };
     PrecisionRecall {
         reported_events,
         true_positives,
@@ -98,11 +105,21 @@ mod tests {
     }
 
     fn matched(kind: GroundTruthEventKind, id: u32) -> EventMatch {
-        EventMatch { record_index: 0, matched_event: Some(id), matched_kind: Some(kind), shared_keywords: 3 }
+        EventMatch {
+            record_index: 0,
+            matched_event: Some(id),
+            matched_kind: Some(kind),
+            shared_keywords: 3,
+        }
     }
 
     fn unmatched() -> EventMatch {
-        EventMatch { record_index: 0, matched_event: None, matched_kind: None, shared_keywords: 0 }
+        EventMatch {
+            record_index: 0,
+            matched_event: None,
+            matched_kind: None,
+            shared_keywords: 0,
+        }
     }
 
     #[test]

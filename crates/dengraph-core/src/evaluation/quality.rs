@@ -5,12 +5,10 @@
 //! the *average cluster rank* (a proxy for how strong the discovered
 //! clusters are).
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::EventRecord;
 
 /// Quality statistics over a set of discovered events.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityStats {
     /// Number of events the statistics were computed over.
     pub events: usize,
@@ -27,7 +25,13 @@ pub struct QualityStats {
 
 impl Default for QualityStats {
     fn default() -> Self {
-        Self { events: 0, avg_cluster_size: 0.0, avg_rank: 0.0, avg_lifetime_quanta: 0.0, evolved_fraction: 0.0 }
+        Self {
+            events: 0,
+            avg_cluster_size: 0.0,
+            avg_rank: 0.0,
+            avg_lifetime_quanta: 0.0,
+            evolved_fraction: 0.0,
+        }
     }
 }
 
@@ -37,16 +41,30 @@ pub fn quality_stats(records: &[&EventRecord]) -> QualityStats {
         return QualityStats::default();
     }
     let n = records.len() as f64;
-    let avg_cluster_size = records.iter().map(|r| r.all_keywords.len() as f64).sum::<f64>() / n;
+    let avg_cluster_size = records
+        .iter()
+        .map(|r| r.all_keywords.len() as f64)
+        .sum::<f64>()
+        / n;
     let avg_rank = records.iter().map(|r| r.peak_rank).sum::<f64>() / n;
-    let avg_lifetime_quanta = records.iter().map(|r| r.reported_quanta() as f64).sum::<f64>() / n;
+    let avg_lifetime_quanta = records
+        .iter()
+        .map(|r| r.reported_quanta() as f64)
+        .sum::<f64>()
+        / n;
     let evolved_fraction = records.iter().filter(|r| r.evolved()).count() as f64 / n;
-    QualityStats { events: records.len(), avg_cluster_size, avg_rank, avg_lifetime_quanta, evolved_fraction }
+    QualityStats {
+        events: records.len(),
+        avg_cluster_size,
+        avg_rank,
+        avg_lifetime_quanta,
+        evolved_fraction,
+    }
 }
 
 /// Quality statistics computed directly from per-quantum cluster snapshots
 /// (used by the offline baselines, which have no cross-quantum identity).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SnapshotQuality {
     /// Number of cluster snapshots.
     pub clusters: usize,
@@ -137,6 +155,9 @@ mod tests {
         assert_eq!(q.clusters, 2);
         assert!((q.avg_cluster_size - 4.0).abs() < 1e-12);
         assert!((q.avg_rank - 15.0).abs() < 1e-12);
-        assert_eq!(SnapshotQualityAccumulator::new().finish(), SnapshotQuality::default());
+        assert_eq!(
+            SnapshotQualityAccumulator::new().finish(),
+            SnapshotQuality::default()
+        );
     }
 }

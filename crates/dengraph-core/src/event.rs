@@ -11,12 +11,11 @@
 
 use dengraph_graph::fxhash::FxHashMap;
 use dengraph_text::KeywordId;
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::ClusterId;
 
 /// A per-quantum snapshot of a reported event (one ranked cluster).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectedEvent {
     /// The underlying cluster id.
     pub cluster_id: ClusterId,
@@ -31,7 +30,7 @@ pub struct DetectedEvent {
 }
 
 /// The full history of one event across quanta.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventRecord {
     /// The cluster id the event is anchored to.
     pub cluster_id: ClusterId,
@@ -51,7 +50,6 @@ pub struct EventRecord {
     pub peak_support: usize,
     /// Size of the keyword set at the first report (used by the evolution
     /// test; not serialised).
-    #[serde(skip, default)]
     pub initial_size: usize,
 }
 
@@ -101,17 +99,20 @@ impl EventTracker {
 
     /// Records one per-quantum event snapshot.
     pub fn observe(&mut self, event: &DetectedEvent) {
-        let record = self.records.entry(event.cluster_id).or_insert_with(|| EventRecord {
-            cluster_id: event.cluster_id,
-            first_seen: event.quantum,
-            last_seen: event.quantum,
-            keywords: event.keywords.clone(),
-            all_keywords: event.keywords.clone(),
-            rank_history: Vec::new(),
-            peak_rank: 0.0,
-            peak_support: 0,
-            initial_size: event.keywords.len(),
-        });
+        let record = self
+            .records
+            .entry(event.cluster_id)
+            .or_insert_with(|| EventRecord {
+                cluster_id: event.cluster_id,
+                first_seen: event.quantum,
+                last_seen: event.quantum,
+                keywords: event.keywords.clone(),
+                all_keywords: event.keywords.clone(),
+                rank_history: Vec::new(),
+                peak_rank: 0.0,
+                peak_support: 0,
+                initial_size: event.keywords.len(),
+            });
         record.last_seen = event.quantum;
         record.keywords = event.keywords.clone();
         for k in &event.keywords {
@@ -148,7 +149,10 @@ impl EventTracker {
 
     /// Records that are not flagged spurious by the post-hoc heuristic.
     pub fn non_spurious_records(&self) -> Vec<&EventRecord> {
-        self.records().into_iter().filter(|r| !r.is_spurious_posthoc()).collect()
+        self.records()
+            .into_iter()
+            .filter(|r| !r.is_spurious_posthoc())
+            .collect()
     }
 }
 
@@ -221,7 +225,10 @@ mod tests {
         t.observe(&snapshot(1, 6, &[1, 2, 3], 25.0));
         t.observe(&snapshot(1, 7, &[1, 2, 3], 18.0));
         let r = t.records()[0];
-        assert!(!r.is_spurious_posthoc(), "non-monotonic rank history is a real event");
+        assert!(
+            !r.is_spurious_posthoc(),
+            "non-monotonic rank history is a real event"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 
 use dengraph_graph::fxhash::{FxHashMap, FxHashSet};
 use dengraph_minhash::{MinHashSketch, UserHasher};
+use dengraph_parallel::{par_chunks, par_map, Parallelism};
 use dengraph_stream::{Message, UserId};
 use dengraph_text::KeywordId;
 
@@ -38,13 +39,44 @@ pub struct QuantumRecord {
 impl QuantumRecord {
     /// Builds a record from the messages of one quantum.
     pub fn from_messages(index: u64, messages: &[Message]) -> Self {
-        let mut keyword_users: FxHashMap<KeywordId, FxHashSet<UserId>> = FxHashMap::default();
-        for m in messages {
-            for &k in &m.keywords {
-                keyword_users.entry(k).or_default().insert(m.user);
+        Self::from_messages_with(index, messages, Parallelism::Serial)
+    }
+
+    /// Builds a record, fanning the aggregation out over contiguous message
+    /// chunks per `parallelism`.  The resulting per-keyword user *sets* are
+    /// identical to the serial path's (set contents carry the semantics;
+    /// everything downstream orders keywords canonically).
+    pub fn from_messages_with(index: u64, messages: &[Message], parallelism: Parallelism) -> Self {
+        let aggregate = |msgs: &[Message]| {
+            let mut map: FxHashMap<KeywordId, FxHashSet<UserId>> = FxHashMap::default();
+            for m in msgs {
+                for &k in &m.keywords {
+                    map.entry(k).or_default().insert(m.user);
+                }
+            }
+            map
+        };
+        // One partial map per chunk (par_chunks falls back to a single
+        // serial chunk for small quanta), merged serially.
+        let mut partials = par_chunks(parallelism, messages, 16, aggregate);
+        let mut merged = partials.remove(0);
+        for partial in partials {
+            for (keyword, users) in partial {
+                match merged.entry(keyword) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(users);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut slot) => {
+                        slot.get_mut().extend(users);
+                    }
+                }
             }
         }
-        Self { index, keyword_users, message_count: messages.len() }
+        Self {
+            index,
+            keyword_users: merged,
+            message_count: messages.len(),
+        }
     }
 
     /// Distinct users that mentioned `keyword` in this quantum.
@@ -71,7 +103,12 @@ impl WindowState {
     /// Creates an empty window of `capacity` quanta using sketches of `p`
     /// minima hashed with `hasher`.
     pub fn new(capacity: usize, sketch_size: usize, hasher: UserHasher) -> Self {
-        Self { window: VecDeque::with_capacity(capacity + 1), capacity: capacity.max(1), hasher, sketch_size }
+        Self {
+            window: VecDeque::with_capacity(capacity + 1),
+            capacity: capacity.max(1),
+            hasher,
+            sketch_size,
+        }
     }
 
     /// Pushes the record of a new quantum.  Returns the record that slid
@@ -135,16 +172,58 @@ impl WindowState {
         sketch
     }
 
+    /// Builds the window sketch of every keyword in `keywords`, fanning out
+    /// over keyword shards per `parallelism`.  Results come back in input
+    /// order and are identical to calling [`Self::window_sketch`] per key.
+    pub fn window_sketches(
+        &self,
+        keywords: &[KeywordId],
+        parallelism: Parallelism,
+    ) -> Vec<MinHashSketch> {
+        dengraph_minhash::build_sketches(
+            parallelism,
+            self.sketch_size,
+            &self.hasher,
+            keywords,
+            |&keyword, hasher, sketch| {
+                for record in &self.window {
+                    if let Some(users) = record.keyword_users.get(&keyword) {
+                        for u in users {
+                            sketch.insert(hasher, u.raw());
+                        }
+                    }
+                }
+            },
+        )
+    }
+
+    /// Builds the exact window user set of every keyword in `keywords`,
+    /// fanning out over keyword shards per `parallelism`.
+    pub fn window_user_sets(
+        &self,
+        keywords: &[KeywordId],
+        parallelism: Parallelism,
+    ) -> Vec<FxHashSet<UserId>> {
+        par_map(parallelism, keywords, |&keyword| {
+            self.window_user_set(keyword)
+        })
+    }
+
+    /// Computes [`Self::window_user_count`] for every keyword in
+    /// `keywords`, fanning out over keyword shards per `parallelism`.
+    pub fn window_user_counts(
+        &self,
+        keywords: &[KeywordId],
+        parallelism: Parallelism,
+    ) -> Vec<usize> {
+        par_map(parallelism, keywords, |&keyword| {
+            self.window_user_count(keyword)
+        })
+    }
+
     /// Exact Jaccard edge correlation of two keywords over the window.
     pub fn exact_edge_correlation(&self, a: KeywordId, b: KeywordId) -> f64 {
-        let ua = self.window_user_set(a);
-        let ub = self.window_user_set(b);
-        if ua.is_empty() && ub.is_empty() {
-            return 0.0;
-        }
-        let inter = ua.iter().filter(|u| ub.contains(u)).count();
-        let union = ua.len() + ub.len() - inter;
-        inter as f64 / union as f64
+        dengraph_minhash::exact_jaccard(&self.window_user_set(a), &self.window_user_set(b))
     }
 
     /// Min-hash–estimated edge correlation of two keywords over the window.
@@ -190,8 +269,7 @@ impl WindowState {
 }
 
 /// The two-state (low/high) automaton state of a keyword.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KeywordState {
     /// Not bursty.
     #[default]
@@ -199,8 +277,6 @@ pub enum KeywordState {
     /// Bursty in some recent quantum (member of the AKG).
     High,
 }
-
-use serde::{Deserialize, Serialize};
 
 /// Tracks the low/high state of every keyword ever seen.
 #[derive(Debug, Default)]
@@ -222,9 +298,18 @@ impl KeywordStateMachine {
     /// Applies the burstiness test for one keyword in the current quantum:
     /// a keyword moves to the high state when at least `sigma` distinct
     /// users mentioned it this quantum.  Returns `(previous, new)` states.
-    pub fn observe(&mut self, keyword: KeywordId, users_this_quantum: usize, sigma: u32) -> (KeywordState, KeywordState) {
+    pub fn observe(
+        &mut self,
+        keyword: KeywordId,
+        users_this_quantum: usize,
+        sigma: u32,
+    ) -> (KeywordState, KeywordState) {
         let prev = self.state(keyword);
-        let new = if users_this_quantum >= sigma as usize { KeywordState::High } else { prev };
+        let new = if users_this_quantum >= sigma as usize {
+            KeywordState::High
+        } else {
+            prev
+        };
         if new == KeywordState::High {
             self.states.insert(keyword, KeywordState::High);
         }
@@ -239,7 +324,10 @@ impl KeywordStateMachine {
 
     /// Number of keywords currently in the high state.
     pub fn high_count(&self) -> usize {
-        self.states.values().filter(|s| **s == KeywordState::High).count()
+        self.states
+            .values()
+            .filter(|s| **s == KeywordState::High)
+            .count()
     }
 }
 
@@ -248,7 +336,11 @@ mod tests {
     use super::*;
 
     fn msg(user: u64, time: u64, kws: &[u32]) -> Message {
-        Message::new(UserId(user), time, kws.iter().map(|&k| KeywordId(k)).collect())
+        Message::new(
+            UserId(user),
+            time,
+            kws.iter().map(|&k| KeywordId(k)).collect(),
+        )
     }
 
     fn k(i: u32) -> KeywordId {
@@ -259,7 +351,12 @@ mod tests {
     fn quantum_record_counts_distinct_users() {
         let record = QuantumRecord::from_messages(
             0,
-            &[msg(1, 0, &[10, 11]), msg(1, 1, &[10]), msg(2, 2, &[10]), msg(3, 3, &[11])],
+            &[
+                msg(1, 0, &[10, 11]),
+                msg(1, 1, &[10]),
+                msg(2, 2, &[10]),
+                msg(3, 3, &[11]),
+            ],
         );
         assert_eq!(record.user_count(k(10)), 2);
         assert_eq!(record.user_count(k(11)), 2);
@@ -274,8 +371,12 @@ mod tests {
     #[test]
     fn window_slides_and_evicts() {
         let mut w = window(2);
-        assert!(w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10])])).is_none());
-        assert!(w.push(QuantumRecord::from_messages(1, &[msg(2, 1, &[10])])).is_none());
+        assert!(w
+            .push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10])]))
+            .is_none());
+        assert!(w
+            .push(QuantumRecord::from_messages(1, &[msg(2, 1, &[10])]))
+            .is_none());
         let evicted = w.push(QuantumRecord::from_messages(2, &[msg(3, 2, &[11])]));
         assert_eq!(evicted.unwrap().index, 0);
         assert_eq!(w.len(), 2);
@@ -285,8 +386,14 @@ mod tests {
     #[test]
     fn window_user_counts_union_across_quanta() {
         let mut w = window(3);
-        w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10]), msg(2, 1, &[10])]));
-        w.push(QuantumRecord::from_messages(1, &[msg(2, 2, &[10]), msg(3, 3, &[10])]));
+        w.push(QuantumRecord::from_messages(
+            0,
+            &[msg(1, 0, &[10]), msg(2, 1, &[10])],
+        ));
+        w.push(QuantumRecord::from_messages(
+            1,
+            &[msg(2, 2, &[10]), msg(3, 3, &[10])],
+        ));
         assert_eq!(w.window_user_count(k(10)), 3); // users 1, 2, 3
         assert_eq!(w.window_user_count(k(99)), 0);
     }
@@ -307,7 +414,11 @@ mod tests {
         let mut w = window(3);
         w.push(QuantumRecord::from_messages(
             0,
-            &[msg(1, 0, &[10, 11]), msg(2, 1, &[10, 11]), msg(3, 2, &[10, 11])],
+            &[
+                msg(1, 0, &[10, 11]),
+                msg(2, 1, &[10, 11]),
+                msg(3, 2, &[10, 11]),
+            ],
         ));
         assert!((w.exact_edge_correlation(k(10), k(11)) - 1.0).abs() < f64::EPSILON);
         assert!((w.estimated_edge_correlation(k(10), k(11)) - 1.0).abs() < f64::EPSILON);
@@ -316,7 +427,10 @@ mod tests {
     #[test]
     fn disjoint_user_sets_have_zero_correlation() {
         let mut w = window(3);
-        w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10]), msg(2, 1, &[11])]));
+        w.push(QuantumRecord::from_messages(
+            0,
+            &[msg(1, 0, &[10]), msg(2, 1, &[11])],
+        ));
         assert_eq!(w.exact_edge_correlation(k(10), k(11)), 0.0);
         assert_eq!(w.estimated_edge_correlation(k(10), k(11)), 0.0);
     }

@@ -61,7 +61,7 @@ pub mod ranking;
 
 pub use akg::{AkgMaintainer, GraphDelta};
 pub use cluster::{Cluster, ClusterId, ClusterMaintainer, ClusterRegistry};
-pub use config::DetectorConfig;
+pub use config::{DetectorConfig, Parallelism};
 pub use detector::{EventDetector, QuantumSummary};
 pub use event::{DetectedEvent, EventRecord, EventTracker};
 pub use ranking::cluster_rank;

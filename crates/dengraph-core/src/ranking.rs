@@ -82,8 +82,13 @@ mod tests {
         g.add_edge(n(2), n(3), weights);
         g.add_edge(n(1), n(3), weights);
         let nodes: FxHashSet<NodeId> = [n(1), n(2), n(3)].into_iter().collect();
-        let edges: FxHashSet<EdgeKey> =
-            [EdgeKey::new(n(1), n(2)), EdgeKey::new(n(2), n(3)), EdgeKey::new(n(1), n(3))].into_iter().collect();
+        let edges: FxHashSet<EdgeKey> = [
+            EdgeKey::new(n(1), n(2)),
+            EdgeKey::new(n(2), n(3)),
+            EdgeKey::new(n(1), n(3)),
+        ]
+        .into_iter()
+        .collect();
         (Cluster::new(ClusterId(0), nodes, edges, 0), g)
     }
 
@@ -176,6 +181,9 @@ mod tests {
     #[test]
     fn cluster_support_sums_node_supports() {
         let (c, _) = triangle_cluster(0.5);
-        assert_eq!(cluster_support(&c, &|node: NodeId| node.0 as usize), 1 + 2 + 3);
+        assert_eq!(
+            cluster_support(&c, &|node: NodeId| node.0 as usize),
+            1 + 2 + 3
+        );
     }
 }

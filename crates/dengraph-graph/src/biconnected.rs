@@ -85,7 +85,13 @@ impl<'g> LowLink<'g> {
                         frame.root_children += 1;
                     }
                     let neighbors = self.graph.neighbors(w).filter(|&x| allowed(x)).collect();
-                    stack.push(Frame { node: w, parent: Some(v), neighbors, next: 0, root_children: 0 });
+                    stack.push(Frame {
+                        node: w,
+                        parent: Some(v),
+                        neighbors,
+                        next: 0,
+                        root_children: 0,
+                    });
                 }
             } else {
                 // Post-order: propagate low-link to parent and pop components.
@@ -127,7 +133,10 @@ impl<'g> LowLink<'g> {
 
 /// Articulation points (cut vertices) of the subgraph induced by `allowed`
 /// nodes.  Pass `|_| true` for the whole graph.
-pub fn articulation_points_within<F: Fn(NodeId) -> bool>(graph: &DynamicGraph, allowed: F) -> FxHashSet<NodeId> {
+pub fn articulation_points_within<F: Fn(NodeId) -> bool>(
+    graph: &DynamicGraph,
+    allowed: F,
+) -> FxHashSet<NodeId> {
     let mut ll = LowLink::new(graph);
     let roots: Vec<NodeId> = graph.nodes().filter(|&n| allowed(n)).collect();
     for root in roots {
@@ -256,7 +265,10 @@ mod tests {
         assert!(!articulation_points(&g).contains(&n(3)));
         g.remove_node(n(9));
         let aps = articulation_points(&g);
-        assert!(aps.contains(&n(3)), "node 3 should become an articulation point");
+        assert!(
+            aps.contains(&n(3)),
+            "node 3 should become an articulation point"
+        );
         let comps = biconnected_components(&g);
         assert_eq!(comps.len(), 2);
     }
@@ -264,7 +276,10 @@ mod tests {
     #[test]
     fn disconnected_graph_handled_per_component() {
         let mut g = DynamicGraph::new();
-        edges(&mut g, &[(1, 2), (2, 3), (1, 3), (10, 11), (11, 12), (10, 12)]);
+        edges(
+            &mut g,
+            &[(1, 2), (2, 3), (1, 3), (10, 11), (11, 12), (10, 12)],
+        );
         g.add_node(n(99));
         assert!(articulation_points(&g).is_empty());
         assert_eq!(biconnected_components(&g).len(), 2);
@@ -312,7 +327,18 @@ mod tests {
     #[test]
     fn bridge_between_two_cycles_yields_three_components() {
         let mut g = DynamicGraph::new();
-        edges(&mut g, &[(1, 2), (2, 3), (1, 3), (3, 10), (10, 11), (11, 12), (10, 12)]);
+        edges(
+            &mut g,
+            &[
+                (1, 2),
+                (2, 3),
+                (1, 3),
+                (3, 10),
+                (10, 11),
+                (11, 12),
+                (10, 12),
+            ],
+        );
         let comps = biconnected_components(&g);
         assert_eq!(comps.len(), 3);
         let aps = articulation_points(&g);

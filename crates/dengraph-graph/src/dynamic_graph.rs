@@ -5,13 +5,11 @@
 //! and common-neighbour queries, and per-edge weights (the edge correlation
 //! of Section 3.2) that are updated in place.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fxhash::FxHashMap;
 use crate::node::NodeId;
 
 /// A normalised (smaller id first) undirected edge key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeKey(pub NodeId, pub NodeId);
 
 impl EdgeKey {
@@ -123,8 +121,12 @@ impl DynamicGraph {
 
     /// Updates the weight of an existing edge; returns `false` if absent.
     pub fn set_edge_weight(&mut self, a: NodeId, b: NodeId, weight: f64) -> bool {
-        let Some(adj_a) = self.adj.get_mut(&a) else { return false };
-        let Some(w) = adj_a.get_mut(&b) else { return false };
+        let Some(adj_a) = self.adj.get_mut(&a) else {
+            return false;
+        };
+        let Some(w) = adj_a.get_mut(&b) else {
+            return false;
+        };
         *w = weight;
         if let Some(w2) = self.adj.get_mut(&b).and_then(|m| m.get_mut(&a)) {
             *w2 = weight;
@@ -154,7 +156,10 @@ impl DynamicGraph {
 
     /// Iterates over `(neighbour, weight)` pairs of `n`.
     pub fn neighbors_weighted(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.adj.get(&n).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+        self.adj
+            .get(&n)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
     }
 
     /// Returns the common neighbours of `a` and `b`.
@@ -162,8 +167,16 @@ impl DynamicGraph {
         let (Some(na), Some(nb)) = (self.adj.get(&a), self.adj.get(&b)) else {
             return Vec::new();
         };
-        let (small, large) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
-        small.keys().filter(|k| large.contains_key(*k)).copied().collect()
+        let (small, large) = if na.len() <= nb.len() {
+            (na, nb)
+        } else {
+            (nb, na)
+        };
+        small
+            .keys()
+            .filter(|k| large.contains_key(*k))
+            .copied()
+            .collect()
     }
 
     /// Returns `true` if `a` and `b` have at least one common neighbour.
@@ -171,7 +184,11 @@ impl DynamicGraph {
         let (Some(na), Some(nb)) = (self.adj.get(&a), self.adj.get(&b)) else {
             return false;
         };
-        let (small, large) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
+        let (small, large) = if na.len() <= nb.len() {
+            (na, nb)
+        } else {
+            (nb, na)
+        };
         small.keys().any(|k| large.contains_key(k))
     }
 
@@ -212,7 +229,10 @@ impl DynamicGraph {
     }
 
     /// Builds the induced subgraph over `nodes` (keeping weights).
-    pub fn induced_subgraph<'a, I: IntoIterator<Item = &'a NodeId>>(&self, nodes: I) -> DynamicGraph {
+    pub fn induced_subgraph<'a, I: IntoIterator<Item = &'a NodeId>>(
+        &self,
+        nodes: I,
+    ) -> DynamicGraph {
         let keep: crate::fxhash::FxHashSet<NodeId> = nodes.into_iter().copied().collect();
         let mut sub = DynamicGraph::new();
         for &n in &keep {
@@ -314,7 +334,9 @@ mod tests {
         assert!(g.have_common_neighbor(n(1), n(2)));
         // nodes 3 and 4 share neighbours 1 and 2 even though they are not adjacent
         assert!(g.have_common_neighbor(n(3), n(4)));
-        assert!(!g.have_common_neighbor(n(5), n(2)) || g.common_neighbors(n(5), n(2)) == vec![n(1)]);
+        assert!(
+            !g.have_common_neighbor(n(5), n(2)) || g.common_neighbors(n(5), n(2)) == vec![n(1)]
+        );
     }
 
     #[test]
@@ -334,7 +356,11 @@ mod tests {
         edges.sort();
         assert_eq!(
             edges,
-            vec![EdgeKey::new(n(1), n(2)), EdgeKey::new(n(1), n(3)), EdgeKey::new(n(2), n(3))]
+            vec![
+                EdgeKey::new(n(1), n(2)),
+                EdgeKey::new(n(1), n(3)),
+                EdgeKey::new(n(2), n(3))
+            ]
         );
     }
 

@@ -8,7 +8,7 @@
 use crate::dynamic_graph::DynamicGraph;
 
 /// A snapshot of basic graph statistics.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphStats {
     /// Number of nodes.
     pub nodes: usize,
@@ -26,20 +26,30 @@ pub struct GraphStats {
 pub fn graph_stats(graph: &DynamicGraph) -> GraphStats {
     let nodes = graph.node_count();
     let edges = graph.edge_count();
-    let avg_degree = if nodes == 0 { 0.0 } else { 2.0 * edges as f64 / nodes as f64 };
+    let avg_degree = if nodes == 0 {
+        0.0
+    } else {
+        2.0 * edges as f64 / nodes as f64
+    };
     let max_degree = graph.nodes().map(|n| graph.degree(n)).max().unwrap_or(0);
     let density = if nodes < 2 {
         0.0
     } else {
         edges as f64 / (nodes as f64 * (nodes as f64 - 1.0) / 2.0)
     };
-    GraphStats { nodes, edges, avg_degree, max_degree, density }
+    GraphStats {
+        nodes,
+        edges,
+        avg_degree,
+        max_degree,
+        density,
+    }
 }
 
 /// The node and edge reduction ratios of a subgraph relative to its parent
 /// graph (the "AKG vs CKG" numbers of Section 7.4).  A ratio of 0.02 means
 /// the subgraph has 2 % of the parent's edges.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReductionRatios {
     /// `|V_sub| / |V_parent|` (0 when the parent has no nodes).
     pub node_ratio: f64,
@@ -59,7 +69,10 @@ pub fn reduction_ratios(parent: &DynamicGraph, subgraph: &DynamicGraph) -> Reduc
     } else {
         subgraph.edge_count() as f64 / parent.edge_count() as f64
     };
-    ReductionRatios { node_ratio, edge_ratio }
+    ReductionRatios {
+        node_ratio,
+        edge_ratio,
+    }
 }
 
 #[cfg(test)]

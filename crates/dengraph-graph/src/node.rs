@@ -1,12 +1,10 @@
 //! Node identifiers.
 
-use serde::{Deserialize, Serialize};
-
 /// A compact node identifier.
 ///
 /// The event-detection layer maps keyword ids onto node ids one-to-one, but
 /// the graph substrate itself is agnostic about what a node represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -149,7 +149,16 @@ mod tests {
     #[test]
     fn mqc_diameter_is_at_most_two() {
         // The Pei et al. result quoted in Theorem 1's proof: gamma >= 1/2 => diameter <= 2.
-        let g = graph(&[(1, 2), (1, 3), (1, 4), (2, 3), (2, 5), (3, 5), (4, 5), (4, 2)]);
+        let g = graph(&[
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 5),
+            (3, 5),
+            (4, 5),
+            (4, 2),
+        ]);
         let nodes = set(&[1, 2, 3, 4, 5]);
         if is_mqc(&g, &nodes) {
             assert!(diameter(&g, &nodes).unwrap() <= 2);

@@ -70,7 +70,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -328,7 +330,11 @@ mod tests {
         ]);
         for c in scp_clusters_global(&g) {
             let nodes: FxHashSet<NodeId> = c.nodes.iter().copied().collect();
-            assert!(subgraph_satisfies_scp(&g, &nodes), "cluster {:?} violates SCP", c.nodes);
+            assert!(
+                subgraph_satisfies_scp(&g, &nodes),
+                "cluster {:?} violates SCP",
+                c.nodes
+            );
             // Biconnected: no articulation point within the cluster's own edges.
             let mut sub = DynamicGraph::new();
             for e in &c.edges {

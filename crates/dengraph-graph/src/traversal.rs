@@ -108,7 +108,9 @@ where
 /// Is the subgraph induced by `nodes` connected?  (Vacuously true for
 /// empty or singleton sets.)
 pub fn is_connected_within(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> bool {
-    let Some(&start) = nodes.iter().next() else { return true };
+    let Some(&start) = nodes.iter().next() else {
+        return true;
+    };
     if nodes.len() == 1 {
         return true;
     }
@@ -117,7 +119,10 @@ pub fn is_connected_within(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> b
 }
 
 /// Connected components of the subgraph induced by `nodes`.
-pub fn connected_components_within(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> Vec<FxHashSet<NodeId>> {
+pub fn connected_components_within(
+    graph: &DynamicGraph,
+    nodes: &FxHashSet<NodeId>,
+) -> Vec<FxHashSet<NodeId>> {
     let mut remaining: FxHashSet<NodeId> = nodes.clone();
     let mut out = Vec::new();
     while let Some(&start) = remaining.iter().next() {
@@ -209,7 +214,12 @@ mod tests {
         far.remove_edge(n(6), n(2)).unwrap();
         far.add_edge(n(6), n(7), 1.0);
         far.add_edge(n(7), n(2), 1.0);
-        assert!(!edge_in_short_cycle_within(&far, n(1), n(2), &set(&[1, 2, 5, 6, 7])));
+        assert!(!edge_in_short_cycle_within(
+            &far,
+            n(1),
+            n(2),
+            &set(&[1, 2, 5, 6, 7])
+        ));
     }
 
     #[test]

@@ -1,0 +1,581 @@
+//! Minimal JSON support for dengraph.
+//!
+//! The build environment has no crates.io access, so trace serialisation
+//! and benchmark artefacts use this hand-written value model instead of
+//! `serde_json`.  It supports the full JSON grammar with one deliberate
+//! simplification: numbers are held as `f64` when fractional and as
+//! `i128` otherwise, which losslessly covers every integer the workspace
+//! serialises (`u64` user ids included).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integral number (covers u64 and i64 exactly).
+    Int(i128),
+    /// A fractional number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; key order is normalised (sorted) for stable output.
+    Obj(BTreeMap<String, Value>),
+}
+
+/// Error raised by [`parse`] or the typed accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was noticed (0 for
+    /// accessor errors).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON operations.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T> {
+    Err(JsonError {
+        message: message.into(),
+        offset,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Construction helpers
+// ---------------------------------------------------------------------------
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Arr(items.into_iter().collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Int(n as i128)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Int(n as i128)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Int(n as i128)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n as i128)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Float(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed accessors (used by the hand-written decoders)
+// ---------------------------------------------------------------------------
+
+impl Value {
+    /// The value of object key `key`.
+    pub fn get(&self, key: &str) -> Result<&Value> {
+        match self {
+            Value::Obj(map) => match map.get(key) {
+                Some(v) => Ok(v),
+                None => err(format!("missing key '{key}'"), 0),
+            },
+            _ => err(format!("expected object while reading key '{key}'"), 0),
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Value]> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => err("expected array", 0),
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => err("expected string", 0),
+        }
+    }
+
+    /// This value as a `u64`.
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            Value::Int(n) => u64::try_from(*n).map_err(|_| JsonError {
+                message: format!("integer {n} out of u64 range"),
+                offset: 0,
+            }),
+            _ => err("expected unsigned integer", 0),
+        }
+    }
+
+    /// This value as a `u32`.
+    pub fn as_u32(&self) -> Result<u32> {
+        match self {
+            Value::Int(n) => u32::try_from(*n).map_err(|_| JsonError {
+                message: format!("integer {n} out of u32 range"),
+                offset: 0,
+            }),
+            _ => err("expected unsigned integer", 0),
+        }
+    }
+
+    /// This value as a `usize`.
+    pub fn as_usize(&self) -> Result<usize> {
+        self.as_u64().map(|n| n as usize)
+    }
+
+    /// This value as an `f64` (integers convert losslessly when small).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            _ => err("expected number", 0),
+        }
+    }
+
+    /// This value as a `bool`.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => err("expected boolean", 0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's Display for f64 is the shortest round-trippable
+                // form; force a fractional marker so it re-parses as Float.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN / infinity
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialises a value to compact JSON.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected '{}'", b as char), self.pos)
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            err(format!("expected '{lit}'"), self.pos)
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string", self.pos),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError {
+                        message: "unterminated escape".into(),
+                        offset: self.pos,
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(JsonError {
+                                    message: "bad \\u escape".into(),
+                                    offset: self.pos,
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                                message: "bad \\u escape".into(),
+                                offset: self.pos,
+                            })?;
+                            self.pos += 4;
+                            // Surrogate pairs: only the BMP subset dengraph
+                            // emits is supported; lone surrogates error out.
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return err("unsupported surrogate escape", self.pos),
+                            }
+                        }
+                        other => {
+                            return err(format!("unknown escape '\\{}'", other as char), self.pos)
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
+                            message: "invalid utf-8".into(),
+                            offset: self.pos,
+                        })?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if fractional {
+            match text.parse::<f64>() {
+                Ok(f) => Ok(Value::Float(f)),
+                Err(_) => err(format!("bad number '{text}'"), start),
+            }
+        } else {
+            match text.parse::<i128>() {
+                Ok(n) => Ok(Value::Int(n)),
+                Err(_) => err(format!("bad number '{text}'"), start),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            None => err("unexpected end of input", self.pos),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return err("expected ',' or ']'", self.pos),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(map));
+                        }
+                        _ => return err("expected ',' or '}'", self.pos),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse(input: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return err("trailing characters after document", parser.pos);
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        for (text, value) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("42", Value::Int(42)),
+            ("-7", Value::Int(-7)),
+            ("1.5", Value::Float(1.5)),
+            ("\"hi\"", Value::Str("hi".into())),
+        ] {
+            assert_eq!(parse(text).unwrap(), value);
+            assert_eq!(parse(&to_string(&value)).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn round_trips_u64_exactly() {
+        let v = Value::from(u64::MAX);
+        assert_eq!(parse(&to_string(&v)).unwrap().as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn round_trips_f64_shortest_form() {
+        for f in [0.1, 1.0 / 3.0, 1e300, -2.5e-10, 160.0] {
+            let v = Value::Float(f);
+            assert_eq!(parse(&to_string(&v)).unwrap().as_f64().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let v = Value::obj([
+            ("name", Value::str("trace")),
+            ("count", Value::from(3u32)),
+            (
+                "items",
+                Value::arr([
+                    Value::from(1u32),
+                    Value::Null,
+                    Value::obj([("k", Value::Bool(true))]),
+                ]),
+            ),
+        ]);
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::str("a\"b\\c\nd\te\u{1}f");
+        let text = to_string(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+        assert!(text.contains("\\\""));
+        assert!(text.contains("\\u0001"));
+    }
+
+    #[test]
+    fn parses_whitespace_and_unicode() {
+        let v = parse(" { \"k\" : [ 1 , \"héllo\" ] } ").unwrap();
+        assert_eq!(
+            v.get("k").unwrap().as_arr().unwrap()[1].as_str().unwrap(),
+            "héllo"
+        );
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Value::str("é"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "\"open", "tru", "1.2.3", "{}extra", "{\"a\"}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn typed_accessors_check_types() {
+        let v = parse("{\"n\": 3, \"s\": \"x\"}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_u32().unwrap(), 3);
+        assert!(v.get("n").unwrap().as_str().is_err());
+        assert!(v.get("missing").is_err());
+        assert!(v.get("s").unwrap().as_u64().is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Batch sketch construction over keyword shards.
+//!
+//! The detector needs one window sketch per candidate keyword every
+//! quantum.  Each sketch only reads shared immutable state (the sliding
+//! window), so the batch fans out over keyword shards via
+//! [`dengraph_parallel::par_map`]; results come back in key order, which
+//! keeps the parallel pipeline bit-identical to the serial one.
+
+use dengraph_parallel::{par_map, Parallelism};
+
+use crate::hasher::UserHasher;
+use crate::sketch::MinHashSketch;
+
+/// Builds one sketch per key.  `fill` feeds the user ids of one key into
+/// its sketch (typically by walking a sliding window); it must be a pure
+/// function of the key and the shared state it captures.
+///
+/// Returns the sketches in the same order as `keys`.
+pub fn build_sketches<K, F>(
+    parallelism: Parallelism,
+    p: usize,
+    hasher: &UserHasher,
+    keys: &[K],
+    fill: F,
+) -> Vec<MinHashSketch>
+where
+    K: Sync,
+    F: Fn(&K, &UserHasher, &mut MinHashSketch) + Sync,
+{
+    par_map(parallelism, keys, |key| {
+        let mut sketch = MinHashSketch::new(p);
+        fill(key, hasher, &mut sketch);
+        sketch
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_matches_individual_construction() {
+        let hasher = UserHasher::new(0xFEED);
+        // Key k owns user ids k*100 .. k*100+k+1.
+        let keys: Vec<u64> = (0..200).collect();
+        let fill = |key: &u64, hasher: &UserHasher, sketch: &mut MinHashSketch| {
+            for id in 0..=*key {
+                sketch.insert(hasher, key * 100 + id);
+            }
+        };
+        let serial = build_sketches(Parallelism::Serial, 4, &hasher, &keys, fill);
+        let parallel = build_sketches(Parallelism::Threads(4), 4, &hasher, &keys, fill);
+        assert_eq!(serial, parallel);
+        for (key, sketch) in keys.iter().zip(&serial) {
+            let expected = MinHashSketch::from_ids(4, &hasher, (0..=*key).map(|id| key * 100 + id));
+            assert_eq!(*sketch, expected);
+        }
+    }
+
+    #[test]
+    fn empty_key_list_is_fine() {
+        let hasher = UserHasher::new(1);
+        let keys: Vec<u32> = vec![];
+        let sketches = build_sketches(Parallelism::Threads(8), 4, &hasher, &keys, |_, _, _| {});
+        assert!(sketches.is_empty());
+    }
+}

@@ -25,7 +25,9 @@ impl UserHasher {
         // splitmix64 finaliser with the seed folded in twice so that
         // seed=0 is still a non-trivial permutation.
         let mut z = id ^ self.seed.rotate_left(25) ^ 0x9E37_79B9_7F4A_7C15;
-        z = z.wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = z
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)

@@ -6,12 +6,13 @@
 //! events.
 
 use std::collections::HashSet;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
-/// Exact Jaccard coefficient `|A ∩ B| / |A ∪ B|` of two hash sets.
+/// Exact Jaccard coefficient `|A ∩ B| / |A ∪ B|` of two hash sets
+/// (generic over the hasher so `FxHashSet`s work too).
 ///
 /// Returns 0.0 when both sets are empty.
-pub fn exact_jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+pub fn exact_jaccard<T: Eq + Hash, S: BuildHasher>(a: &HashSet<T, S>, b: &HashSet<T, S>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 0.0;
     }
@@ -101,7 +102,10 @@ mod tests {
 
     #[test]
     fn empty_sets() {
-        assert_eq!(exact_jaccard::<u64>(&HashSet::new(), &HashSet::new()), 0.0);
+        assert_eq!(
+            exact_jaccard(&HashSet::<u64>::new(), &HashSet::<u64>::new()),
+            0.0
+        );
         assert_eq!(exact_jaccard(&set(&[1]), &HashSet::new()), 0.0);
         assert_eq!(exact_jaccard_sorted::<u64>(&[], &[]), 0.0);
         assert_eq!(exact_jaccard_sorted(&[1], &[]), 0.0);
@@ -111,7 +115,10 @@ mod tests {
     fn sorted_and_hashset_variants_agree() {
         let a = [1u64, 5, 9, 12, 40];
         let b = [5u64, 9, 13, 40, 77, 80];
-        let ja = exact_jaccard(&a.iter().copied().collect(), &b.iter().copied().collect());
+        let ja = exact_jaccard(
+            &a.iter().copied().collect::<HashSet<u64>>(),
+            &b.iter().copied().collect::<HashSet<u64>>(),
+        );
         let jb = exact_jaccard_sorted(&a, &b);
         assert!((ja - jb).abs() < f64::EPSILON);
     }

@@ -16,11 +16,15 @@
 //!   merge / overlap / estimation operations.
 //! * [`jaccard`] — exact Jaccard helpers used by tests, the evaluation
 //!   harness and the ablation benchmarks.
+//! * [`batch`] — batch sketch construction over keyword shards, fanned out
+//!   via `dengraph-parallel` with deterministic (input-order) results.
 
+pub mod batch;
 pub mod hasher;
 pub mod jaccard;
 pub mod sketch;
 
+pub use batch::build_sketches;
 pub use hasher::{HashFamily, UserHasher};
 pub use jaccard::{exact_jaccard, exact_jaccard_sorted, overlap_coefficient_sorted};
 pub use sketch::MinHashSketch;
@@ -30,7 +34,11 @@ pub use sketch::MinHashSketch;
 /// `p = min(sigma / 2, 1 / tau)`, clamped to at least 1.
 pub fn sketch_size(sigma: u32, tau: f64) -> usize {
     let from_sigma = (sigma as f64 / 2.0).floor();
-    let from_tau = if tau > 0.0 { (1.0 / tau).floor() } else { f64::MAX };
+    let from_tau = if tau > 0.0 {
+        (1.0 / tau).floor()
+    } else {
+        f64::MAX
+    };
     let p = from_sigma.min(from_tau).max(1.0);
     p as usize
 }

@@ -6,8 +6,6 @@
 //! the fraction of shared minima among the union's `p` smallest values is an
 //! unbiased estimator of the Jaccard coefficient.
 
-use serde::{Deserialize, Serialize};
-
 use crate::hasher::UserHasher;
 
 /// Bounded sketch holding the `p` smallest hash values seen so far.
@@ -15,7 +13,7 @@ use crate::hasher::UserHasher;
 /// Values are kept sorted ascending and de-duplicated, so membership and
 /// overlap checks are linear in `p` (which the paper fixes at a small
 /// constant, `min(σ/2, 1/τ)`, typically 2–5).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MinHashSketch {
     p: usize,
     minima: Vec<u64>,
@@ -25,7 +23,10 @@ impl MinHashSketch {
     /// Creates an empty sketch that keeps at most `p` minima (`p ≥ 1`).
     pub fn new(p: usize) -> Self {
         let p = p.max(1);
-        Self { p, minima: Vec::with_capacity(p) }
+        Self {
+            p,
+            minima: Vec::with_capacity(p),
+        }
     }
 
     /// The configured sketch size `p`.
@@ -120,23 +121,39 @@ impl MinHashSketch {
     /// The estimator treats the `p` smallest values of the *union* of both
     /// sketches as a uniform sample of the union and counts how many of
     /// those sampled values appear in both sets.
+    ///
+    /// Implemented as an allocation-free merge walk over the two sorted
+    /// minima lists — this runs once per candidate keyword pair per
+    /// quantum, which makes it one of the hottest spots of the detector.
     pub fn estimate_jaccard(&self, other: &MinHashSketch) -> f64 {
         if self.is_empty() && other.is_empty() {
             return 0.0;
         }
-        // p smallest values of the union of the stored minima.
-        let mut union: Vec<u64> = self.minima.iter().chain(other.minima.iter()).copied().collect();
-        union.sort_unstable();
-        union.dedup();
-        union.truncate(self.p.max(other.p));
-        if union.is_empty() {
+        // Walk the union's distinct values in ascending order, keeping the
+        // `max(p_a, p_b)` smallest, and count those present in both.
+        let cap = self.p.max(other.p);
+        let mut taken = 0usize;
+        let mut in_both = 0usize;
+        let mut i = 0;
+        let mut j = 0;
+        while taken < cap && (i < self.minima.len() || j < other.minima.len()) {
+            match (self.minima.get(i), other.minima.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    in_both += 1;
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => i += 1,
+                (Some(_), Some(_)) => j += 1,
+                (Some(_), None) => i += 1,
+                (None, _) => j += 1,
+            }
+            taken += 1;
+        }
+        if taken == 0 {
             return 0.0;
         }
-        let in_both = union
-            .iter()
-            .filter(|h| self.minima.binary_search(h).is_ok() && other.minima.binary_search(h).is_ok())
-            .count();
-        in_both as f64 / union.len() as f64
+        in_both as f64 / taken as f64
     }
 
     /// Clears the sketch while keeping its capacity.
@@ -216,7 +233,58 @@ mod tests {
         let a = MinHashSketch::from_ids(16, &h, set_a.iter().copied());
         let b = MinHashSketch::from_ids(16, &h, set_b.iter().copied());
         let est = a.estimate_jaccard(&b);
-        assert!((est - exact).abs() < 0.25, "estimate {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.25,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    /// The allocation-free merge walk must agree exactly with the naive
+    /// build-the-union reference estimator.
+    #[test]
+    fn merge_walk_matches_reference_estimator() {
+        fn reference(a: &MinHashSketch, b: &MinHashSketch) -> f64 {
+            if a.is_empty() && b.is_empty() {
+                return 0.0;
+            }
+            let mut union: Vec<u64> = a
+                .minima()
+                .iter()
+                .chain(b.minima().iter())
+                .copied()
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            union.truncate(a.capacity().max(b.capacity()));
+            if union.is_empty() {
+                return 0.0;
+            }
+            let in_both = union
+                .iter()
+                .filter(|h| {
+                    a.minima().binary_search(h).is_ok() && b.minima().binary_search(h).is_ok()
+                })
+                .count();
+            in_both as f64 / union.len() as f64
+        }
+        let h = hasher();
+        let cases: Vec<(usize, usize, std::ops::Range<u64>, std::ops::Range<u64>)> = vec![
+            (4, 4, 0..20, 10..30),
+            (2, 6, 0..0, 0..0),
+            (3, 3, 5..8, 5..8),
+            (5, 2, 0..100, 90..200),
+            (1, 1, 7..8, 9..10),
+        ];
+        for (pa, pb, ids_a, ids_b) in cases {
+            let a = MinHashSketch::from_ids(pa, &h, ids_a);
+            let b = MinHashSketch::from_ids(pb, &h, ids_b);
+            assert_eq!(a.estimate_jaccard(&b), reference(&a, &b), "p=({pa},{pb})");
+            assert_eq!(
+                b.estimate_jaccard(&a),
+                reference(&b, &a),
+                "p=({pb},{pa}) swapped"
+            );
+        }
     }
 
     #[test]

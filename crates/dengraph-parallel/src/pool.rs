@@ -1,0 +1,250 @@
+//! A persistent worker pool for sub-millisecond fork-join phases.
+//!
+//! The detector runs several independent-shard phases *per quantum*, and a
+//! quantum takes well under a millisecond — spawning OS threads per phase
+//! (as `std::thread::scope` does) costs more than the work itself.  This
+//! pool spawns its workers once per distinct thread count, parks them on a
+//! condvar, and dispatches borrowed-closure jobs through a shared queue
+//! with a completion latch, so a fork-join round trip costs microseconds.
+//!
+//! Pools are interned per thread count in a global registry and leaked on
+//! purpose: worker threads live for the process lifetime (idle workers are
+//! parked, not spinning), mirroring how a rayon global pool behaves.
+//!
+//! # Safety
+//! Jobs borrow the caller's stack frame (`items`, the map closure, result
+//! slots).  That is sound because [`Pool::run`] does not return until the
+//! completion latch has counted every submitted job — the borrowed frame
+//! outlives every job, exactly the guarantee `std::thread::scope` gives,
+//! enforced here by the latch instead of by `join`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A type-erased unit of work valid until its batch's latch releases.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts completed jobs of one [`Pool::run`] batch and wakes the caller.
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    mutex: Mutex<()>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(count),
+            panicked: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self) {
+        // The decrement happens under the mutex so the waiter cannot
+        // observe `remaining == 0` (and destroy the latch) while this
+        // thread is still about to touch the mutex/condvar.  Rust's std
+        // mutex supports the resulting unlock-then-immediate-destruction
+        // pattern; a bare fetch_sub before the lock would not (the waiter
+        // could wake between the decrement and the lock — use-after-free).
+        let _guard = self.mutex.lock().expect("latch mutex poisoned");
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut guard = self.mutex.lock().expect("latch mutex poisoned");
+        while self.remaining.load(Ordering::Acquire) > 0 {
+            guard = self.done.wait(guard).expect("latch mutex poisoned");
+        }
+    }
+}
+
+/// The shared job queue workers pull from.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// A persistent pool of parked worker threads.
+pub struct Pool {
+    queue: &'static Queue,
+    workers: usize,
+}
+
+fn run_job(job: Job, latch: &Latch) {
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+        latch.panicked.store(true, Ordering::Release);
+    }
+    latch.complete_one();
+}
+
+impl Pool {
+    fn new(workers: usize) -> Self {
+        let queue: &'static Queue = Box::leak(Box::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("dengraph-worker-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut jobs = queue.jobs.lock().expect("pool queue poisoned");
+                        loop {
+                            if let Some(entry) = jobs.pop_front() {
+                                break entry;
+                            }
+                            jobs = queue.available.wait(jobs).expect("pool queue poisoned");
+                        }
+                    };
+                    job();
+                })
+                .expect("failed to spawn pool worker");
+        }
+        Self { queue, workers }
+    }
+
+    /// Number of worker threads (not counting the participating caller).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every closure produced by `jobs` and returns once all have
+    /// finished.  The caller participates: while waiting it drains the
+    /// queue itself, so small batches finish without a context switch and
+    /// re-entrant use from a worker cannot deadlock.
+    ///
+    /// # Panics
+    /// Panics if any job panicked (after all jobs of the batch finished,
+    /// so borrowed state is never abandoned mid-batch).
+    pub fn run<'scope, I>(&self, jobs: I)
+    where
+        I: IntoIterator,
+        I::Item: FnOnce() + Send + 'scope,
+    {
+        let batch: Vec<Box<dyn FnOnce() + Send + 'scope>> = jobs
+            .into_iter()
+            .map(|job| Box::new(job) as Box<dyn FnOnce() + Send + 'scope>)
+            .collect();
+        let latch = Latch::new(batch.len());
+        {
+            let mut queue = self.queue.jobs.lock().expect("pool queue poisoned");
+            for job in batch {
+                // SAFETY: `run` blocks on the latch below until every job
+                // of this batch has executed, so the 'scope borrows inside
+                // the job outlive its execution.  The latch reference is
+                // likewise only used until `wait` returns.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+                let latch_ref: &'static Latch = unsafe { &*std::ptr::from_ref::<Latch>(&latch) };
+                queue.push_back(Box::new(move || run_job(job, latch_ref)));
+            }
+            self.queue.available.notify_all();
+        }
+        // Caller participation: drain whatever is still queued (this may
+        // execute jobs from overlapping batches, which is fine — each job
+        // reports to its own latch).
+        loop {
+            let job = self
+                .queue
+                .jobs
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_front();
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        latch.wait();
+        if latch.panicked.load(Ordering::Acquire) {
+            panic!("dengraph-parallel pool job panicked");
+        }
+    }
+}
+
+/// Returns the interned pool with `workers` worker threads, spawning it on
+/// first use.
+pub fn pool_for(workers: usize) -> &'static Pool {
+    static POOLS: OnceLock<Mutex<HashMap<usize, &'static Pool>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pools = pools.lock().expect("pool registry poisoned");
+    pools
+        .entry(workers)
+        .or_insert_with(|| Box::leak(Box::new(Pool::new(workers))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = pool_for(4);
+        let counter = AtomicU64::new(0);
+        pool.run((0..1000u64).map(|i| {
+            let counter = &counter;
+            move || {
+                counter.fetch_add(i + 1, Ordering::Relaxed);
+            }
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), (1..=1000).sum::<u64>());
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_run() {
+        let pool = pool_for(3);
+        let data: Vec<u64> = (0..100).collect();
+        let slots: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        pool.run(data.iter().enumerate().map(|(i, &x)| {
+            let slots = &slots;
+            move || slots[i].store(x * 2, Ordering::Relaxed)
+        }));
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        let a = pool_for(2) as *const Pool;
+        let b = pool_for(2) as *const Pool;
+        assert_eq!(a, b);
+        assert_ne!(a, pool_for(5) as *const Pool);
+        assert_eq!(pool_for(2).workers(), 2);
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_batch_completes() {
+        let pool = pool_for(2);
+        let completed = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run((0..10u32).map(|i| {
+                let completed = &completed;
+                move || {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(completed.load(Ordering::Relaxed), 9, "other jobs still ran");
+        // The pool must stay usable afterwards.
+        let counter = AtomicU64::new(0);
+        pool.run((0..4u64).map(|_| {
+            let counter = &counter;
+            move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -173,7 +173,10 @@ impl StreamGenerator {
                     if kws.len() < 2 {
                         // Every event message mentions at least two event keywords
                         // so spatial correlation can form.
-                        kws = active.choose_multiple(&mut rng, 2.min(active.len())).copied().collect();
+                        kws = active
+                            .choose_multiple(&mut rng, 2.min(active.len()))
+                            .copied()
+                            .collect();
                     }
                     // Mix in a little background noise.
                     if rng.gen_bool(0.3) {
@@ -238,7 +241,12 @@ mod tests {
             event_keyword_prob: 0.75,
             events: vec![EventScenario {
                 name: "earthquake strikes".into(),
-                keyword_names: vec!["earthquake".into(), "struck".into(), "turkey".into(), "eastern".into()],
+                keyword_names: vec![
+                    "earthquake".into(),
+                    "struck".into(),
+                    "turkey".into(),
+                    "eastern".into(),
+                ],
                 evolving_keyword_names: vec![("magnitude".into(), 2)],
                 start_round: 3,
                 duration_rounds: 5,
@@ -284,9 +292,18 @@ mod tests {
                     .count()
             })
             .collect();
-        assert!(per_round[..3].iter().all(|&c| c == 0), "no quake messages before round 3: {per_round:?}");
-        assert!(per_round[3..8].iter().sum::<usize>() > 0, "quake messages during the event");
-        assert!(per_round[8..].iter().all(|&c| c == 0), "no quake messages after the event");
+        assert!(
+            per_round[..3].iter().all(|&c| c == 0),
+            "no quake messages before round 3: {per_round:?}"
+        );
+        assert!(
+            per_round[3..8].iter().sum::<usize>() > 0,
+            "quake messages during the event"
+        );
+        assert!(
+            per_round[8..].iter().all(|&c| c == 0),
+            "no quake messages after the event"
+        );
     }
 
     #[test]
@@ -298,14 +315,21 @@ mod tests {
             .iter()
             .find(|m| m.keywords.contains(&magnitude))
             .map(|m| m.time / 50);
-        assert!(first_use.is_none() || first_use.unwrap() >= 5, "magnitude joins at round 5 or later");
+        assert!(
+            first_use.is_none() || first_use.unwrap() >= 5,
+            "magnitude joins at round 5 or later"
+        );
     }
 
     #[test]
     fn event_messages_mention_multiple_event_keywords() {
         let trace = StreamGenerator::new(tiny_profile()).generate();
         let quake = trace.interner.get("earthquake").unwrap();
-        for m in trace.messages.iter().filter(|m| m.keywords.contains(&quake)) {
+        for m in trace
+            .messages
+            .iter()
+            .filter(|m| m.keywords.contains(&quake))
+        {
             assert!(m.keywords.len() >= 2);
         }
     }

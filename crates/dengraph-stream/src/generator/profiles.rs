@@ -45,10 +45,16 @@ impl ProfileScale {
 /// Nominal generation-round size; matches the paper's nominal quantum Δ=160.
 pub const ROUND_SIZE: usize = 160;
 
-/// Realistic event templates: `(name, core keywords, evolving keywords)`.
-/// Each template is used at most once per trace; the remaining events are
-/// synthesised with unique keyword names.
-const EVENT_TEMPLATES: &[(&str, &[&str], &[(&str, u64)])] = &[
+/// One realistic template: `(name, core keywords, evolving keywords)`.
+type EventTemplate = (
+    &'static str,
+    &'static [&'static str],
+    &'static [(&'static str, u64)],
+);
+
+/// Realistic event templates.  Each template is used at most once per
+/// trace; the remaining events are synthesised with unique keyword names.
+const EVENT_TEMPLATES: &[EventTemplate] = &[
     (
         "earthquake strikes eastern turkey",
         &["earthquake", "struck", "eastern", "turkey"],
@@ -120,7 +126,9 @@ fn synthetic_event(
     peak: u32,
 ) -> EventScenario {
     let core: Vec<String> = (0..4).map(|j| format!("ev{idx:03}kw{j}")).collect();
-    let evolving: Vec<(String, u64)> = (4..6).map(|j| (format!("ev{idx:03}kw{j}"), 1 + (j as u64 % 3))).collect();
+    let evolving: Vec<(String, u64)> = (4..6)
+        .map(|j| (format!("ev{idx:03}kw{j}"), 1 + (j as u64 % 3)))
+        .collect();
     EventScenario {
         name: format!("synthetic event {idx}"),
         keyword_names: core,
@@ -173,14 +181,20 @@ fn build_profile(spec: ProfileSpec, seed: u64, scale: ProfileScale) -> StreamPro
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB10C_CAFE);
     let mut events = Vec::new();
     let mut idx = 0usize;
-    let push_events = |count: usize, kind: GroundTruthEventKind, rng: &mut ChaCha8Rng, events: &mut Vec<EventScenario>, idx: &mut usize| {
+    let push_events = |count: usize,
+                       kind: GroundTruthEventKind,
+                       rng: &mut ChaCha8Rng,
+                       events: &mut Vec<EventScenario>,
+                       idx: &mut usize| {
         for i in 0..count {
             // Roughly every third real event is *marginal*: a short, weak
             // burst close to the burstiness threshold.  These are the events
             // the paper loses at small quanta or strict correlation
             // thresholds, which is what gives Figures 7–10 their shape.
-            let marginal = matches!(kind, GroundTruthEventKind::Headline | GroundTruthEventKind::LocalOnly)
-                && i % 3 == 2;
+            let marginal = matches!(
+                kind,
+                GroundTruthEventKind::Headline | GroundTruthEventKind::LocalOnly
+            ) && i % 3 == 2;
             let duration = match kind {
                 GroundTruthEventKind::Spurious => rng.gen_range(1..=2),
                 _ if marginal => rng.gen_range(2..=4),
@@ -197,10 +211,34 @@ fn build_profile(spec: ProfileSpec, seed: u64, scale: ProfileScale) -> StreamPro
             *idx += 1;
         }
     };
-    push_events(spec.headline, GroundTruthEventKind::Headline, &mut rng, &mut events, &mut idx);
-    push_events(spec.local, GroundTruthEventKind::LocalOnly, &mut rng, &mut events, &mut idx);
-    push_events(spec.too_weak, GroundTruthEventKind::TooWeak, &mut rng, &mut events, &mut idx);
-    push_events(spec.spurious, GroundTruthEventKind::Spurious, &mut rng, &mut events, &mut idx);
+    push_events(
+        spec.headline,
+        GroundTruthEventKind::Headline,
+        &mut rng,
+        &mut events,
+        &mut idx,
+    );
+    push_events(
+        spec.local,
+        GroundTruthEventKind::LocalOnly,
+        &mut rng,
+        &mut events,
+        &mut idx,
+    );
+    push_events(
+        spec.too_weak,
+        GroundTruthEventKind::TooWeak,
+        &mut rng,
+        &mut events,
+        &mut idx,
+    );
+    push_events(
+        spec.spurious,
+        GroundTruthEventKind::Spurious,
+        &mut rng,
+        &mut events,
+        &mut idx,
+    );
 
     StreamProfile {
         name: spec.name.to_string(),
@@ -294,29 +332,67 @@ mod tests {
     fn tw_and_es_density_ratio_is_about_three() {
         let tw = tw_profile(1, ProfileScale::Medium);
         let es = es_profile(1, ProfileScale::Medium);
-        let tw_real =
-            tw.events.iter().filter(|e| !matches!(e.kind, GroundTruthEventKind::TooWeak | GroundTruthEventKind::Spurious)).count();
-        let es_real =
-            es.events.iter().filter(|e| !matches!(e.kind, GroundTruthEventKind::TooWeak | GroundTruthEventKind::Spurious)).count();
+        let tw_real = tw
+            .events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    GroundTruthEventKind::TooWeak | GroundTruthEventKind::Spurious
+                )
+            })
+            .count();
+        let es_real = es
+            .events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    GroundTruthEventKind::TooWeak | GroundTruthEventKind::Spurious
+                )
+            })
+            .count();
         assert_eq!(es_real, 3 * tw_real);
     }
 
     #[test]
     fn ground_truth_profile_matches_paper_structure() {
         let p = ground_truth_profile(1, ProfileScale::Medium);
-        let headlines = p.events.iter().filter(|e| e.kind == GroundTruthEventKind::Headline).count();
-        let weak = p.events.iter().filter(|e| e.kind == GroundTruthEventKind::TooWeak).count();
-        let local = p.events.iter().filter(|e| e.kind == GroundTruthEventKind::LocalOnly).count();
+        let headlines = p
+            .events
+            .iter()
+            .filter(|e| e.kind == GroundTruthEventKind::Headline)
+            .count();
+        let weak = p
+            .events
+            .iter()
+            .filter(|e| e.kind == GroundTruthEventKind::TooWeak)
+            .count();
+        let local = p
+            .events
+            .iter()
+            .filter(|e| e.kind == GroundTruthEventKind::LocalOnly)
+            .count();
         assert_eq!(headlines, 33);
         assert_eq!(weak, 27);
-        assert!(local >= 2 * headlines, "many more local events than headlines");
+        assert!(
+            local >= 2 * headlines,
+            "many more local events than headlines"
+        );
     }
 
     #[test]
     fn events_fit_inside_the_trace() {
-        for p in [tw_profile(3, ProfileScale::Small), es_profile(3, ProfileScale::Small)] {
+        for p in [
+            tw_profile(3, ProfileScale::Small),
+            es_profile(3, ProfileScale::Small),
+        ] {
             for e in &p.events {
-                assert!(e.start_round + e.duration_rounds <= p.rounds, "{} overruns", e.name);
+                assert!(
+                    e.start_round + e.duration_rounds <= p.rounds,
+                    "{} overruns",
+                    e.name
+                );
             }
         }
     }
@@ -326,7 +402,11 @@ mod tests {
         let p = es_profile(5, ProfileScale::Medium);
         let mut seen = std::collections::HashSet::new();
         for e in &p.events {
-            for k in e.keyword_names.iter().chain(e.evolving_keyword_names.iter().map(|(k, _)| k)) {
+            for k in e
+                .keyword_names
+                .iter()
+                .chain(e.evolving_keyword_names.iter().map(|(k, _)| k))
+            {
                 // Realistic templates may share a couple of generic words
                 // ("warning", "advisory"); synthetic ones never collide.
                 if k.starts_with("ev") {
@@ -338,8 +418,14 @@ mod tests {
 
     #[test]
     fn profiles_are_deterministic_in_their_seed() {
-        assert_eq!(tw_profile(9, ProfileScale::Small), tw_profile(9, ProfileScale::Small));
-        assert_ne!(tw_profile(9, ProfileScale::Small), tw_profile(10, ProfileScale::Small));
+        assert_eq!(
+            tw_profile(9, ProfileScale::Small),
+            tw_profile(9, ProfileScale::Small)
+        );
+        assert_ne!(
+            tw_profile(9, ProfileScale::Small),
+            tw_profile(10, ProfileScale::Small)
+        );
     }
 
     #[test]

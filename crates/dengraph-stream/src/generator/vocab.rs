@@ -23,8 +23,9 @@ impl ZipfVocabulary {
     /// `bg0001`, …) interned into `interner`, with Zipf exponent `s`.
     pub fn new(size: usize, s: f64, interner: &mut KeywordInterner) -> Self {
         let size = size.max(1);
-        let keywords: Vec<KeywordId> =
-            (0..size).map(|i| interner.intern(&format!("bg{i:05}"))).collect();
+        let keywords: Vec<KeywordId> = (0..size)
+            .map(|i| interner.intern(&format!("bg{i:05}")))
+            .collect();
         let weights: Vec<f64> = (1..=size).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -35,7 +36,10 @@ impl ZipfVocabulary {
                 acc
             })
             .collect();
-        Self { keywords, cumulative }
+        Self {
+            keywords,
+            cumulative,
+        }
     }
 
     /// Number of keywords in the vocabulary.
@@ -51,7 +55,10 @@ impl ZipfVocabulary {
     /// Samples one keyword according to the Zipf distribution.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> KeywordId {
         let u: f64 = rng.gen();
-        let idx = match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
             Ok(i) => i,
             Err(i) => i.min(self.keywords.len() - 1),
         };

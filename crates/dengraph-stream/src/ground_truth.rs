@@ -10,10 +10,9 @@
 //! labelling step.
 
 use dengraph_text::KeywordId;
-use serde::{Deserialize, Serialize};
 
 /// The kind of an injected event, mirroring the categories of Section 7.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GroundTruthEventKind {
     /// A real-world event that also has a "news headline" (the Google News
     /// analogue).  Counts towards recall.
@@ -32,7 +31,7 @@ pub enum GroundTruthEventKind {
 }
 
 /// One injected event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruthEvent {
     /// Dense event id within the trace.
     pub id: u32,
@@ -57,12 +56,15 @@ impl GroundTruthEvent {
     /// Returns `true` when this event should count in the recall
     /// denominator (headline or local-only, not too weak, not spurious).
     pub fn is_detectable_real_event(&self) -> bool {
-        matches!(self.kind, GroundTruthEventKind::Headline | GroundTruthEventKind::LocalOnly)
+        matches!(
+            self.kind,
+            GroundTruthEventKind::Headline | GroundTruthEventKind::LocalOnly
+        )
     }
 }
 
 /// The full ground truth of a generated trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroundTruth {
     /// All injected events, indexed by their id.
     pub events: Vec<GroundTruthEvent>,
@@ -139,10 +141,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let gt = GroundTruth { events: vec![event(0, GroundTruthEventKind::Headline)] };
-        let json = serde_json::to_string(&gt).unwrap();
-        let back: GroundTruth = serde_json::from_str(&json).unwrap();
+    fn json_round_trip() {
+        let gt = GroundTruth {
+            events: vec![event(0, GroundTruthEventKind::Headline)],
+        };
+        let json = dengraph_json::to_string(&crate::json::ground_truth_to_value(&gt));
+        let back =
+            crate::json::ground_truth_from_value(&dengraph_json::parse(&json).unwrap()).unwrap();
         assert_eq!(gt, back);
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod generator;
 pub mod ground_truth;
+pub mod json;
 pub mod message;
 pub mod quantum;
 pub mod trace;

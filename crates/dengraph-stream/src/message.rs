@@ -1,14 +1,13 @@
 //! The microblog message model.
 
 use dengraph_text::KeywordId;
-use serde::{Deserialize, Serialize};
 
 /// A unique microblog user.
 ///
 /// The paper computes edge correlation over *user* ids rather than message
 /// ids "so as to avoid the case of a single user flooding the same message
 /// multiple times" (Section 3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UserId(pub u64);
 
 impl UserId {
@@ -30,7 +29,7 @@ impl std::fmt::Display for UserId {
 /// `time` is a monotonically non-decreasing sequence number (the message
 /// index in the trace); the detector only relies on ordering, never on wall
 /// clock.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// The author.
     pub user: UserId,
@@ -43,7 +42,11 @@ pub struct Message {
 impl Message {
     /// Creates a message.
     pub fn new(user: UserId, time: u64, keywords: Vec<KeywordId>) -> Self {
-        Self { user, time, keywords }
+        Self {
+            user,
+            time,
+            keywords,
+        }
     }
 
     /// Returns `true` when the message carries no usable keywords.
@@ -72,10 +75,10 @@ mod tests {
     }
 
     #[test]
-    fn message_serde_round_trip() {
+    fn message_json_round_trip() {
         let m = Message::new(UserId(7), 3, vec![KeywordId(1)]);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Message = serde_json::from_str(&json).unwrap();
+        let json = dengraph_json::to_string(&crate::json::message_to_value(&m));
+        let back = crate::json::message_from_value(&dengraph_json::parse(&json).unwrap()).unwrap();
         assert_eq!(m, back);
     }
 }

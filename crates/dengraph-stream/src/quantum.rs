@@ -4,12 +4,10 @@
 //! (Table 2 uses 80–240 per quantum, the ground-truth study 800).  The
 //! sliding window spans `w` quanta and advances one quantum at a time.
 
-use serde::{Deserialize, Serialize};
-
 use crate::message::Message;
 
 /// One quantum: `index` counts quanta from the start of the stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Quantum {
     /// Zero-based quantum index.
     pub index: u64,
@@ -44,7 +42,12 @@ pub struct QuantumBatcher<I> {
 impl<I: Iterator<Item = Message>> QuantumBatcher<I> {
     /// Creates a batcher emitting quanta of `delta` messages (`delta ≥ 1`).
     pub fn new(inner: I, delta: usize) -> Self {
-        Self { inner, delta: delta.max(1), next_index: 0, done: false }
+        Self {
+            inner,
+            delta: delta.max(1),
+            next_index: 0,
+            done: false,
+        }
     }
 }
 
@@ -68,7 +71,10 @@ impl<I: Iterator<Item = Message>> Iterator for QuantumBatcher<I> {
         if messages.is_empty() {
             return None;
         }
-        let q = Quantum { index: self.next_index, messages };
+        let q = Quantum {
+            index: self.next_index,
+            messages,
+        };
         self.next_index += 1;
         Some(q)
     }
@@ -109,8 +115,10 @@ mod tests {
     #[test]
     fn order_is_preserved() {
         let quanta = batch_messages(&msgs(8), 3);
-        let times: Vec<u64> =
-            quanta.iter().flat_map(|q| q.messages.iter().map(|m| m.time)).collect();
+        let times: Vec<u64> = quanta
+            .iter()
+            .flat_map(|q| q.messages.iter().map(|m| m.time))
+            .collect();
         assert_eq!(times, (0..8).collect::<Vec<_>>());
     }
 

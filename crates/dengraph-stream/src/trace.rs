@@ -1,7 +1,6 @@
 //! In-memory traces and their statistics.
 
 use dengraph_text::KeywordInterner;
-use serde::{Deserialize, Serialize};
 
 use crate::ground_truth::GroundTruth;
 use crate::message::Message;
@@ -9,7 +8,7 @@ use crate::quantum::{batch_messages, Quantum};
 
 /// A fully generated (or loaded) trace: the message stream plus everything
 /// the evaluation needs to score a detector run against it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     /// Name of the generating profile.
     pub profile_name: String,
@@ -62,18 +61,18 @@ impl Trace {
     }
 
     /// Serialises the trace to JSON.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    pub fn to_json(&self) -> String {
+        dengraph_json::to_string(&crate::json::trace_to_value(self))
     }
 
     /// Loads a trace from JSON.
-    pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> dengraph_json::Result<Self> {
+        crate::json::trace_from_value(&dengraph_json::parse(json)?)
     }
 }
 
 /// Summary statistics of a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceStats {
     /// Total messages.
     pub messages: usize,
@@ -123,7 +122,7 @@ mod tests {
     fn json_round_trip_preserves_messages() {
         let mut t = small_trace();
         t.messages.truncate(50); // keep the fixture small
-        let json = t.to_json().unwrap();
+        let json = t.to_json();
         let back = Trace::from_json(&json).unwrap();
         assert_eq!(back.messages, t.messages);
         assert_eq!(back.profile_name, t.profile_name);

@@ -5,14 +5,13 @@
 //! stream inserts and removes hundreds of thousands of keywords per window
 //! and string keys would dominate both memory and hashing cost.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A compact identifier for an interned keyword.
 ///
 /// Ids are dense (`0..len`) and never reused within one interner, so they
 /// can index into side tables directly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KeywordId(pub u32);
 
 impl KeywordId {
@@ -30,7 +29,7 @@ impl std::fmt::Display for KeywordId {
 }
 
 /// A bidirectional `String ↔ KeywordId` map.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct KeywordInterner {
     by_name: HashMap<String, KeywordId>,
     by_id: Vec<String>,
@@ -48,7 +47,9 @@ impl KeywordInterner {
         if let Some(&id) = self.by_name.get(word) {
             return id;
         }
-        let id = KeywordId(u32::try_from(self.by_id.len()).expect("more than u32::MAX keywords interned"));
+        let id = KeywordId(
+            u32::try_from(self.by_id.len()).expect("more than u32::MAX keywords interned"),
+        );
         self.by_name.insert(word.to_string(), id);
         self.by_id.push(word.to_string());
         id

@@ -21,7 +21,12 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { keep_hashtags: true, keep_numbers: true, stem: true, min_token_len: 2 }
+        Self {
+            keep_hashtags: true,
+            keep_numbers: true,
+            stem: true,
+            min_token_len: 2,
+        }
     }
 }
 
@@ -41,7 +46,10 @@ impl KeywordPipeline {
 
     /// Creates a pipeline with an explicit configuration.
     pub fn with_config(config: PipelineConfig) -> Self {
-        Self { config, interner: KeywordInterner::new() }
+        Self {
+            config,
+            interner: KeywordInterner::new(),
+        }
     }
 
     /// Processes one message, returning its de-duplicated keyword ids in
@@ -104,7 +112,17 @@ mod tests {
     fn figure1_style_message() {
         let mut p = KeywordPipeline::new();
         let words = p.process_to_words("A massive earthquake struck eastern Turkey today");
-        assert_eq!(words, vec!["massive", "earthquake", "struck", "eastern", "turkey", "today"]);
+        assert_eq!(
+            words,
+            vec![
+                "massive",
+                "earthquake",
+                "struck",
+                "eastern",
+                "turkey",
+                "today"
+            ]
+        );
     }
 
     #[test]
@@ -126,9 +144,16 @@ mod tests {
     #[test]
     fn numbers_kept_and_droppable() {
         let mut keep = KeywordPipeline::new();
-        assert!(keep.process_to_words("magnitude 5.9").contains(&"5.9".to_string()));
-        let mut drop = KeywordPipeline::with_config(PipelineConfig { keep_numbers: false, ..Default::default() });
-        assert!(!drop.process_to_words("magnitude 5.9").contains(&"5.9".to_string()));
+        assert!(keep
+            .process_to_words("magnitude 5.9")
+            .contains(&"5.9".to_string()));
+        let mut drop = KeywordPipeline::with_config(PipelineConfig {
+            keep_numbers: false,
+            ..Default::default()
+        });
+        assert!(!drop
+            .process_to_words("magnitude 5.9")
+            .contains(&"5.9".to_string()));
     }
 
     #[test]

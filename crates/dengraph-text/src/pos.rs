@@ -27,23 +27,118 @@ pub enum WordClass {
 /// Words that are common in microblog chatter and clearly not nouns.
 /// The list is deliberately small: the heuristic defaults to `Noun`.
 const NON_NOUNS: &[&str] = &[
-    "awesome", "amazing", "massive", "moderate", "huge", "breaking", "live", "dead", "new",
-    "watch", "watching", "see", "seen", "look", "looking", "go", "going", "gone", "come",
-    "coming", "run", "running", "struck", "strike", "hit", "hits", "found", "find", "kill",
-    "kills", "killed", "die", "dies", "died", "win", "wins", "won", "lose", "loses", "lost",
-    "make", "makes", "made", "take", "takes", "took", "give", "gives", "gave", "say", "says",
-    "said", "tell", "tells", "told", "think", "thinks", "thought", "feel", "feels", "felt",
-    "really", "very", "quite", "totally", "seriously", "literally", "probably", "maybe",
-    "today", "tomorrow", "yesterday", "soon", "never", "always", "still", "already",
-    "good", "bad", "great", "terrible", "horrible", "sad", "happy", "angry", "scared",
-    "big", "small", "high", "low", "hot", "cold", "fast", "slow", "early", "late",
-    "issued", "reverses", "seeking", "pounds", "worth", "more", "than", "will",
+    "awesome",
+    "amazing",
+    "massive",
+    "moderate",
+    "huge",
+    "breaking",
+    "live",
+    "dead",
+    "new",
+    "watch",
+    "watching",
+    "see",
+    "seen",
+    "look",
+    "looking",
+    "go",
+    "going",
+    "gone",
+    "come",
+    "coming",
+    "run",
+    "running",
+    "struck",
+    "strike",
+    "hit",
+    "hits",
+    "found",
+    "find",
+    "kill",
+    "kills",
+    "killed",
+    "die",
+    "dies",
+    "died",
+    "win",
+    "wins",
+    "won",
+    "lose",
+    "loses",
+    "lost",
+    "make",
+    "makes",
+    "made",
+    "take",
+    "takes",
+    "took",
+    "give",
+    "gives",
+    "gave",
+    "say",
+    "says",
+    "said",
+    "tell",
+    "tells",
+    "told",
+    "think",
+    "thinks",
+    "thought",
+    "feel",
+    "feels",
+    "felt",
+    "really",
+    "very",
+    "quite",
+    "totally",
+    "seriously",
+    "literally",
+    "probably",
+    "maybe",
+    "today",
+    "tomorrow",
+    "yesterday",
+    "soon",
+    "never",
+    "always",
+    "still",
+    "already",
+    "good",
+    "bad",
+    "great",
+    "terrible",
+    "horrible",
+    "sad",
+    "happy",
+    "angry",
+    "scared",
+    "big",
+    "small",
+    "high",
+    "low",
+    "hot",
+    "cold",
+    "fast",
+    "slow",
+    "early",
+    "late",
+    "issued",
+    "reverses",
+    "seeking",
+    "pounds",
+    "worth",
+    "more",
+    "than",
+    "will",
 ];
 
 /// Noun-like suffixes used when a word is not in the lexicon and does not
 /// look like a verb/adverb.
-const NOUN_SUFFIXES: &[&str] =
-    &["tion", "sion", "ment", "ness", "ship", "hood", "ism", "ist", "ity", "age", "ance", "ence", "quake", "storm", "fire"];
+const NOUN_SUFFIXES: &[&str] = &[
+    "tion", "sion", "ment", "ness", "ship", "hood", "ism", "ist", "ity", "age", "ance", "ence",
+    "quake", "storm", "fire",
+];
 
 /// Suffixes that strongly suggest a non-noun.
 const NON_NOUN_SUFFIXES: &[&str] = &["ly", "ing", "ed", "ive", "ous", "ful", "able", "ible"];
@@ -117,7 +212,14 @@ mod tests {
     #[test]
     fn classic_nouns_are_nouns() {
         let h = NounHeuristic::new();
-        for w in ["earthquake", "turkey", "tornado", "senator", "election", "apple"] {
+        for w in [
+            "earthquake",
+            "turkey",
+            "tornado",
+            "senator",
+            "election",
+            "apple",
+        ] {
             assert_eq!(h.classify(w), WordClass::Noun, "{w}");
         }
     }

@@ -33,7 +33,10 @@ pub struct Token {
 impl Token {
     /// Convenience constructor used heavily in tests.
     pub fn new(text: impl Into<String>, kind: TokenKind) -> Self {
-        Self { text: text.into(), kind }
+        Self {
+            text: text.into(),
+            kind,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ fn classify_chunk(raw: &str, out: &mut Vec<Token>) {
                 TokenKind::Word
             }
         });
-        out.push(Token { text, kind: token_kind });
+        out.push(Token {
+            text,
+            kind: token_kind,
+        });
         current.clear();
     };
     while let Some(c) = chars.next() {
@@ -120,7 +126,12 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 pub fn keyword_tokens(text: &str) -> Vec<String> {
     tokenize(text)
         .into_iter()
-        .filter(|t| matches!(t.kind, TokenKind::Word | TokenKind::Hashtag | TokenKind::Number))
+        .filter(|t| {
+            matches!(
+                t.kind,
+                TokenKind::Word | TokenKind::Hashtag | TokenKind::Number
+            )
+        })
         .map(|t| t.text)
         .collect()
 }
@@ -140,7 +151,9 @@ mod tests {
     #[test]
     fn lowercases_everything() {
         let toks = tokenize("BREAKING NEWS Turkey");
-        assert!(toks.iter().all(|t| t.text.chars().all(|c| !c.is_uppercase())));
+        assert!(toks
+            .iter()
+            .all(|t| t.text.chars().all(|c| !c.is_uppercase())));
     }
 
     #[test]

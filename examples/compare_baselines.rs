@@ -11,7 +11,11 @@ use dengraph_stream::StreamGenerator;
 
 fn main() {
     let trace = StreamGenerator::new(tw_profile(7, ProfileScale::Small)).generate();
-    println!("trace: {} messages, {} injected events", trace.messages.len(), trace.ground_truth.events.len());
+    println!(
+        "trace: {} messages, {} injected events",
+        trace.messages.len(),
+        trace.ground_truth.events.len()
+    );
 
     let config = DetectorConfig::nominal().with_window_quanta(20);
     let cmp = compare_schemes(&trace, &config);
@@ -33,8 +37,20 @@ fn main() {
         );
     }
 
-    println!("\nadditional clusters in offline(+edges) vs SCP : {:+.1}%", cmp.additional_clusters_pct);
-    println!("additional events   in offline(+edges) vs SCP : {:+.1}%", cmp.additional_events_pct);
-    println!("offline BC clusters exactly matching SCP      : {:.1}%", cmp.exact_overlap_pct);
-    println!("incremental SCP clustering speed-up vs offline: {:.1}%", cmp.scp_speedup_pct);
+    println!(
+        "\nadditional clusters in offline(+edges) vs SCP : {:+.1}%",
+        cmp.additional_clusters_pct
+    );
+    println!(
+        "additional events   in offline(+edges) vs SCP : {:+.1}%",
+        cmp.additional_events_pct
+    );
+    println!(
+        "offline BC clusters exactly matching SCP      : {:.1}%",
+        cmp.exact_overlap_pct
+    );
+    println!(
+        "incremental SCP clustering speed-up vs offline: {:.1}%",
+        cmp.scp_speedup_pct
+    );
 }

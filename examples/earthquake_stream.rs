@@ -24,7 +24,12 @@ fn main() {
         event_keyword_prob: 0.75,
         events: vec![EventScenario {
             name: "earthquake strikes eastern turkey".into(),
-            keyword_names: vec!["earthquake".into(), "struck".into(), "eastern".into(), "turkey".into()],
+            keyword_names: vec![
+                "earthquake".into(),
+                "struck".into(),
+                "eastern".into(),
+                "turkey".into(),
+            ],
             evolving_keyword_names: vec![("magnitude".into(), 2), ("aftershock".into(), 4)],
             start_round: 8,
             duration_rounds: 14,
@@ -40,7 +45,9 @@ fn main() {
         trace.stats().distinct_keywords
     );
 
-    let config = DetectorConfig::nominal().with_quantum_size(160).with_window_quanta(20);
+    let config = DetectorConfig::nominal()
+        .with_quantum_size(160)
+        .with_window_quanta(20);
     let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
     let summaries = detector.run(&trace.messages);
 
@@ -50,18 +57,27 @@ fn main() {
         let top = summary.events.first();
         let description = top
             .map(|e| {
-                let words: Vec<&str> =
-                    e.keywords.iter().filter_map(|k| trace.interner.resolve(*k)).collect();
+                let words: Vec<&str> = e
+                    .keywords
+                    .iter()
+                    .filter_map(|k| trace.interner.resolve(*k))
+                    .collect();
                 format!("{:7.1}  {}", e.rank, words.join(" "))
             })
             .unwrap_or_else(|| "-".to_string());
-        println!("{:7} | {:8} | {}", summary.quantum, summary.live_clusters, description);
+        println!(
+            "{:7} | {:8} | {}",
+            summary.quantum, summary.live_clusters, description
+        );
     }
 
     println!("\n== discovered events ==");
     for record in detector.event_records() {
-        let words: Vec<&str> =
-            record.all_keywords.iter().filter_map(|k| trace.interner.resolve(*k)).collect();
+        let words: Vec<&str> = record
+            .all_keywords
+            .iter()
+            .filter_map(|k| trace.interner.resolve(*k))
+            .collect();
         println!(
             "{} | q{}..q{} | peak rank {:.1} | evolved: {} | {}",
             record.cluster_id,

@@ -4,19 +4,19 @@
 //! and the dashboard are separate components.
 //!
 //! Demonstrates that the detector is a plain single-writer state machine
-//! that composes naturally with `crossbeam` channels and `parking_lot`
-//! locks; the algorithms themselves need no global locking (Section 4.1's
-//! locality argument).
+//! that composes naturally with `std::sync::mpsc` channels and `RwLock`
+//! shared state; the algorithms themselves need no global locking
+//! (Section 4.1's locality argument).  The detector's own stages fan out
+//! internally via the [`Parallelism`] knob.
 //!
 //! Run with: `cargo run -p dengraph-examples --release --example live_pipeline`
 
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 
-use crossbeam::channel;
-use parking_lot::RwLock;
-
 use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_parallel::Parallelism;
 use dengraph_stream::generator::profiles::{es_profile, ProfileScale};
 use dengraph_stream::{Message, StreamGenerator};
 
@@ -30,9 +30,12 @@ struct Dashboard {
 fn main() {
     let trace = StreamGenerator::new(es_profile(99, ProfileScale::Small)).generate();
     let interner = trace.interner.clone();
-    println!("streaming {} messages through a producer/consumer pipeline", trace.messages.len());
+    println!(
+        "streaming {} messages through a producer/consumer pipeline",
+        trace.messages.len()
+    );
 
-    let (tx, rx) = channel::bounded::<Message>(1024);
+    let (tx, rx) = mpsc::sync_channel::<Message>(1024);
     let dashboard = Arc::new(RwLock::new(Dashboard::default()));
 
     // Producer: replays the trace into the channel.
@@ -48,7 +51,9 @@ fn main() {
     // Consumer: runs the detector and publishes the top events.
     let consumer_dashboard = Arc::clone(&dashboard);
     let consumer = thread::spawn(move || {
-        let config = DetectorConfig::nominal().with_window_quanta(20);
+        let config = DetectorConfig::nominal()
+            .with_window_quanta(20)
+            .with_parallelism(Parallelism::auto());
         let mut detector = EventDetector::new(config).with_interner(interner.clone());
         let mut processed = 0u64;
         for message in rx.iter() {
@@ -59,12 +64,18 @@ fn main() {
                     .iter()
                     .take(3)
                     .map(|e| {
-                        let words: Vec<&str> =
-                            e.keywords.iter().filter_map(|k| interner.resolve(*k)).collect();
+                        let words: Vec<&str> = e
+                            .keywords
+                            .iter()
+                            .filter_map(|k| interner.resolve(*k))
+                            .collect();
                         format!("[rank {:6.1}] {}", e.rank, words.join(" "))
                     })
                     .collect();
-                *consumer_dashboard.write() = Dashboard { quantum: summary.quantum, top_events };
+                *consumer_dashboard.write().expect("dashboard lock poisoned") = Dashboard {
+                    quantum: summary.quantum,
+                    top_events,
+                };
             }
         }
         detector.flush();
@@ -74,8 +85,11 @@ fn main() {
     producer.join().expect("producer thread panicked");
     let (events, processed) = consumer.join().expect("consumer thread panicked");
 
-    let final_view = dashboard.read().clone();
-    println!("\n== final dashboard state (quantum {}) ==", final_view.quantum);
+    let final_view = dashboard.read().expect("dashboard lock poisoned").clone();
+    println!(
+        "\n== final dashboard state (quantum {}) ==",
+        final_view.quantum
+    );
     for line in &final_view.top_events {
         println!("  {line}");
     }

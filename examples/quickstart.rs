@@ -33,7 +33,9 @@ fn main() {
     let messages: Vec<Message> = tweets
         .iter()
         .enumerate()
-        .map(|(time, (user, text))| Message::new(UserId(*user), time as u64, pipeline.process(text)))
+        .map(|(time, (user, text))| {
+            Message::new(UserId(*user), time as u64, pipeline.process(text))
+        })
         .collect();
 
     // 2. Configure the detector.  The thresholds are scaled down to the toy

@@ -1,8 +1,14 @@
 //! Property-based tests of the cluster registry invariants under random
 //! maintenance workloads, and of the detector's structural invariants when
 //! fed generated traces.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these properties run over seeded ChaCha8-generated edit scripts (same
+//! coverage; a failure names the offending case seed, which reproduces it
+//! exactly).
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use dengraph_core::akg::{keyword_of, GraphDelta};
 use dengraph_core::{ClusterMaintainer, DetectorConfig, EventDetector};
@@ -10,9 +16,18 @@ use dengraph_graph::{DynamicGraph, NodeId};
 use dengraph_stream::generator::{EventScenario, StreamGenerator, StreamProfile};
 use dengraph_stream::ground_truth::GroundTruthEventKind;
 
-/// Random edit scripts over a small node universe.
-fn edits(max_node: u32, max_len: usize) -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
-    proptest::collection::vec((0u8..3, 0..max_node, 0..max_node), 1..max_len)
+/// Random edit script over a small node universe.
+fn random_edits(rng: &mut ChaCha8Rng, max_node: u32, max_len: usize) -> Vec<(u8, u32, u32)> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0u32..3) as u8,
+                rng.gen_range(0..max_node),
+                rng.gen_range(0..max_node),
+            )
+        })
+        .collect()
 }
 
 fn apply(edits: &[(u8, u32, u32)]) -> (DynamicGraph, ClusterMaintainer) {
@@ -26,7 +41,11 @@ fn apply(edits: &[(u8, u32, u32)]) -> (DynamicGraph, ClusterMaintainer) {
                     graph.add_edge(NodeId(a), NodeId(b), 0.5);
                     maintainer.apply_deltas(
                         &graph,
-                        &[GraphDelta::EdgeAdded { a: NodeId(a), b: NodeId(b), weight: 0.5 }],
+                        &[GraphDelta::EdgeAdded {
+                            a: NodeId(a),
+                            b: NodeId(b),
+                            weight: 0.5,
+                        }],
                         quantum,
                     );
                 }
@@ -35,7 +54,10 @@ fn apply(edits: &[(u8, u32, u32)]) -> (DynamicGraph, ClusterMaintainer) {
                 if graph.remove_edge(NodeId(a), NodeId(b)).is_some() {
                     maintainer.apply_deltas(
                         &graph,
-                        &[GraphDelta::EdgeRemoved { a: NodeId(a), b: NodeId(b) }],
+                        &[GraphDelta::EdgeRemoved {
+                            a: NodeId(a),
+                            b: NodeId(b),
+                        }],
                         quantum,
                     );
                 }
@@ -45,42 +67,57 @@ fn apply(edits: &[(u8, u32, u32)]) -> (DynamicGraph, ClusterMaintainer) {
     (graph, maintainer)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Registry indexes stay consistent and every cluster is a valid aMQC
-    /// after arbitrary maintenance sequences.
-    #[test]
-    fn registry_invariants_hold_after_random_edits(script in edits(10, 100)) {
+/// Registry indexes stay consistent and every cluster is a valid aMQC
+/// after arbitrary maintenance sequences.
+#[test]
+fn registry_invariants_hold_after_random_edits() {
+    for case in 0..48u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC1A5_0000 + case);
+        let script = random_edits(&mut rng, 10, 100);
         let (graph, maintainer) = apply(&script);
-        prop_assert!(maintainer.registry().check_invariants().is_ok(),
-            "{:?}", maintainer.registry().check_invariants());
+        assert!(
+            maintainer.registry().check_invariants().is_ok(),
+            "case {case}: {:?}",
+            maintainer.registry().check_invariants()
+        );
         for cluster in maintainer.clusters() {
             // Every cluster edge must still exist in the graph.
             for e in &cluster.edges {
-                prop_assert!(graph.contains_edge(e.0, e.1), "cluster edge {e:?} missing from graph");
+                assert!(
+                    graph.contains_edge(e.0, e.1),
+                    "case {case}: cluster edge {e:?} missing from graph"
+                );
             }
-            // Clusters are edge-disjoint.
         }
         // Edge-disjointness across clusters.
         let mut seen = std::collections::HashSet::new();
         for cluster in maintainer.clusters() {
             for e in &cluster.edges {
-                prop_assert!(seen.insert(*e), "edge {e:?} owned by two clusters");
+                assert!(
+                    seen.insert(*e),
+                    "case {case}: edge {e:?} owned by two clusters"
+                );
             }
         }
     }
+}
 
-    /// Cluster membership (used for AKG hysteresis) agrees with the cluster
-    /// contents.
-    #[test]
-    fn node_membership_index_is_consistent(script in edits(8, 60)) {
+/// Cluster membership (used for AKG hysteresis) agrees with the cluster
+/// contents.
+#[test]
+fn node_membership_index_is_consistent() {
+    for case in 0..48u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x3E3B_0000 + case);
+        let script = random_edits(&mut rng, 8, 60);
         let (_, maintainer) = apply(&script);
         let registry = maintainer.registry();
         for cluster in maintainer.clusters() {
             for node in &cluster.nodes {
-                prop_assert!(registry.is_cluster_member(*node));
-                prop_assert!(registry.clusters_of_node(*node).contains(&cluster.id));
+                assert!(registry.is_cluster_member(*node), "case {case}");
+                assert!(
+                    registry.clusters_of_node(*node).contains(&cluster.id),
+                    "case {case}"
+                );
             }
         }
     }
@@ -123,7 +160,9 @@ fn detector_reports_only_valid_clusters() {
         seed: 7,
     };
     let trace = StreamGenerator::new(profile).generate();
-    let config = DetectorConfig::nominal().with_quantum_size(120).with_window_quanta(15);
+    let config = DetectorConfig::nominal()
+        .with_quantum_size(120)
+        .with_window_quanta(15);
     let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
 
     for quantum in trace.quanta(120) {
@@ -131,11 +170,17 @@ fn detector_reports_only_valid_clusters() {
         // Registry invariants after every quantum.
         assert!(detector.clusters().registry().check_invariants().is_ok());
         for event in &summary.events {
-            let cluster = detector.clusters().get(event.cluster_id).expect("reported cluster must be live");
+            let cluster = detector
+                .clusters()
+                .get(event.cluster_id)
+                .expect("reported cluster must be live");
             assert!(cluster.satisfies_scp());
             assert_eq!(cluster.size(), event.keywords.len());
             for &node in &cluster.nodes {
-                assert!(detector.akg().contains_node(node), "cluster node missing from AKG");
+                assert!(
+                    detector.akg().contains_node(node),
+                    "cluster node missing from AKG"
+                );
                 assert!(event.keywords.contains(&keyword_of(node)));
             }
             assert!(event.rank > 0.0);

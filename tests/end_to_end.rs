@@ -26,23 +26,41 @@ fn test_config() -> DetectorConfig {
 #[test]
 fn tw_trace_precision_and_recall_are_high() {
     let report = run_detector_on_trace(&small_tw(), &test_config());
-    assert!(report.scores.recall >= 0.6, "recall too low: {:?}", report.scores);
-    assert!(report.scores.precision >= 0.6, "precision too low: {:?}", report.scores);
+    assert!(
+        report.scores.recall >= 0.6,
+        "recall too low: {:?}",
+        report.scores
+    );
+    assert!(
+        report.scores.precision >= 0.6,
+        "precision too low: {:?}",
+        report.scores
+    );
     assert!(report.scores.reported_events >= report.scores.truth_events_found);
 }
 
 #[test]
 fn es_trace_precision_and_recall_are_high() {
     let report = run_detector_on_trace(&small_es(), &test_config());
-    assert!(report.scores.recall >= 0.6, "recall too low: {:?}", report.scores);
-    assert!(report.scores.precision >= 0.6, "precision too low: {:?}", report.scores);
+    assert!(
+        report.scores.recall >= 0.6,
+        "recall too low: {:?}",
+        report.scores
+    );
+    assert!(
+        report.scores.precision >= 0.6,
+        "precision too low: {:?}",
+        report.scores
+    );
 }
 
 #[test]
 fn relaxing_tau_does_not_reduce_recall() {
     let trace = small_tw();
-    let strict = run_detector_on_trace(&trace, &test_config().with_edge_correlation_threshold(0.25));
-    let relaxed = run_detector_on_trace(&trace, &test_config().with_edge_correlation_threshold(0.10));
+    let strict =
+        run_detector_on_trace(&trace, &test_config().with_edge_correlation_threshold(0.25));
+    let relaxed =
+        run_detector_on_trace(&trace, &test_config().with_edge_correlation_threshold(0.10));
     assert!(
         relaxed.scores.truth_events_found >= strict.scores.truth_events_found,
         "relaxed tau found {} events, strict tau found {}",
@@ -57,7 +75,11 @@ fn discovered_clusters_stay_small_and_focused() {
     // Paper: average cluster size between ~4.5 and ~10 keywords depending on
     // parameters; it must never balloon to the size of the AKG.
     assert!(report.quality.avg_cluster_size >= 3.0);
-    assert!(report.quality.avg_cluster_size <= 12.0, "avg cluster size {}", report.quality.avg_cluster_size);
+    assert!(
+        report.quality.avg_cluster_size <= 12.0,
+        "avg cluster size {}",
+        report.quality.avg_cluster_size
+    );
 }
 
 #[test]
@@ -75,7 +97,10 @@ fn akg_is_orders_of_magnitude_smaller_than_ckg() {
             max_ratio = max_ratio.max(edge_ratio);
         }
     }
-    assert!(max_ratio < 0.10, "AKG edges should stay well below 10% of CKG edges, got {max_ratio}");
+    assert!(
+        max_ratio < 0.10,
+        "AKG edges should stay well below 10% of CKG edges, got {max_ratio}"
+    );
 }
 
 #[test]
@@ -84,7 +109,11 @@ fn throughput_exceeds_stream_rates_by_a_wide_margin() {
     // The paper's 2012 machine managed >4000 msgs/sec on the TW trace; even
     // a debug build on current hardware should beat Twitter's 2012 rate of
     // ~2300 msgs/sec.  Keep the bound loose so CI boxes do not flake.
-    assert!(report.messages_per_sec > 500.0, "throughput {:.0} msgs/sec", report.messages_per_sec);
+    assert!(
+        report.messages_per_sec > 500.0,
+        "throughput {:.0} msgs/sec",
+        report.messages_per_sec
+    );
 }
 
 #[test]
@@ -104,13 +133,21 @@ fn es_trace_is_slower_per_message_than_tw_trace() {
 fn scheme_comparison_favours_scp_clusters() {
     let cmp = compare_schemes(&small_tw(), &test_config());
     // The offline +edges baseline reports many more clusters …
-    assert!(cmp.additional_clusters_pct > 0.0, "Ac = {}", cmp.additional_clusters_pct);
+    assert!(
+        cmp.additional_clusters_pct > 0.0,
+        "Ac = {}",
+        cmp.additional_clusters_pct
+    );
     // … at much lower precision.
     assert!(cmp.biconnected_plus_edges.precision < cmp.scp.precision);
     // SCP recall should be at least as good as the plain biconnected baseline's.
     assert!(cmp.scp.recall + 1e-9 >= cmp.biconnected.recall);
     // A large share of offline BC clusters coincide exactly with SCP clusters.
-    assert!(cmp.exact_overlap_pct > 40.0, "exact overlap {}%", cmp.exact_overlap_pct);
+    assert!(
+        cmp.exact_overlap_pct > 40.0,
+        "exact overlap {}%",
+        cmp.exact_overlap_pct
+    );
 }
 
 #[test]

@@ -21,7 +21,13 @@ fn k(i: u32) -> KeywordId {
 
 /// One quantum with `users` messages carrying `keywords`, padded with
 /// one-off chatter.
-fn quantum(cfg: &DetectorConfig, users: u64, user_base: u64, keywords: &[u32], salt: u64) -> Vec<Message> {
+fn quantum(
+    cfg: &DetectorConfig,
+    users: u64,
+    user_base: u64,
+    keywords: &[u32],
+    salt: u64,
+) -> Vec<Message> {
     let mut msgs = Vec::new();
     for u in 0..users {
         msgs.push(Message::new(
@@ -33,7 +39,11 @@ fn quantum(cfg: &DetectorConfig, users: u64, user_base: u64, keywords: &[u32], s
     let mut filler = 0u64;
     while msgs.len() < cfg.quantum_size {
         let id = 2_000_000 + salt * 10_000 + filler;
-        msgs.push(Message::new(UserId(id), id, vec![k(200_000 + (id % 40_000) as u32)]));
+        msgs.push(Message::new(
+            UserId(id),
+            id,
+            vec![k(200_000 + (id % 40_000) as u32)],
+        ));
         filler += 1;
     }
     msgs
@@ -57,7 +67,10 @@ fn late_keyword_joins_the_cluster_like_figure_1() {
     // Next quantum the magnitude ("5.9") appears alongside the old keywords.
     let summary = feed(&mut det, quantum(&cfg, 6, 200, &[1, 2, 3, 4, 5], 1)).unwrap();
     assert_eq!(summary.events.len(), 1);
-    assert!(summary.events[0].keywords.contains(&k(5)), "the late keyword must join the cluster");
+    assert!(
+        summary.events[0].keywords.contains(&k(5)),
+        "the late keyword must join the cluster"
+    );
     let records = det.event_records();
     assert_eq!(records.len(), 1);
     assert!(records[0].evolved());
@@ -74,11 +87,19 @@ fn two_stories_with_shared_vocabulary_merge_into_one_event() {
     // Story A users and story B users post in the same quantum.
     for u in 0..4u64 {
         msgs.push(Message::new(UserId(100 + u), u, vec![k(1), k(2), k(3)]));
-        msgs.push(Message::new(UserId(200 + u), 50 + u, vec![k(11), k(12), k(13)]));
+        msgs.push(Message::new(
+            UserId(200 + u),
+            50 + u,
+            vec![k(11), k(12), k(13)],
+        ));
     }
     while msgs.len() < cfg.quantum_size {
         let id = 3_000_000 + msgs.len() as u64;
-        msgs.push(Message::new(UserId(id), id, vec![k(300_000 + id as u32 % 1000)]));
+        msgs.push(Message::new(
+            UserId(id),
+            id,
+            vec![k(300_000 + id as u32 % 1000)],
+        ));
     }
     feed(&mut det, msgs);
     assert_eq!(det.clusters().cluster_count(), 2);
@@ -94,17 +115,27 @@ fn two_stories_with_shared_vocabulary_merge_into_one_event() {
 fn rank_follows_the_build_up_and_wind_down_of_the_event() {
     // Use a short window so the node weights (window user counts) follow
     // the event's intensity curve instead of accumulating forever.
-    let cfg = DetectorConfig { window_quanta: 3, ..config() };
+    let cfg = DetectorConfig {
+        window_quanta: 3,
+        ..config()
+    };
     let mut det = EventDetector::new(cfg.clone());
     let intensities = [3u64, 6, 9, 9, 6, 3];
     let mut ranks = Vec::new();
     for (q, &users) in intensities.iter().enumerate() {
-        let summary = feed(&mut det, quantum(&cfg, users, 100 * (q as u64 + 1), &[1, 2, 3], q as u64)).unwrap();
+        let summary = feed(
+            &mut det,
+            quantum(&cfg, users, 100 * (q as u64 + 1), &[1, 2, 3], q as u64),
+        )
+        .unwrap();
         ranks.push(summary.events.first().map(|e| e.rank).unwrap_or(0.0));
     }
     let peak = ranks.iter().cloned().fold(f64::MIN, f64::max);
     let peak_index = ranks.iter().position(|&r| r == peak).unwrap();
-    assert!(peak_index >= 1 && peak_index <= 4, "peak should fall in the middle, ranks: {ranks:?}");
+    assert!(
+        (1..=4).contains(&peak_index),
+        "peak should fall in the middle, ranks: {ranks:?}"
+    );
     assert!(ranks[0] < peak, "rank must build up");
     assert!(*ranks.last().unwrap() < peak, "rank must wind down");
 }
@@ -124,8 +155,14 @@ fn spurious_burst_is_flagged_by_the_posthoc_heuristic() {
     let records = det.event_records();
     assert_eq!(records.len(), 2);
     let spurious: Vec<bool> = records.iter().map(|r| r.is_spurious_posthoc()).collect();
-    assert!(spurious.contains(&true), "the ad burst must be flagged spurious");
-    assert!(spurious.contains(&false), "the real event must not be flagged");
+    assert!(
+        spurious.contains(&true),
+        "the ad burst must be flagged spurious"
+    );
+    assert!(
+        spurious.contains(&false),
+        "the real event must not be flagged"
+    );
     assert_eq!(det.non_spurious_event_records().len(), 1);
 }
 
@@ -138,11 +175,19 @@ fn higher_support_events_rank_above_lower_support_events() {
         msgs.push(Message::new(UserId(100 + u), u, vec![k(1), k(2), k(3)]));
     }
     for u in 0..3u64 {
-        msgs.push(Message::new(UserId(300 + u), 60 + u, vec![k(21), k(22), k(23)]));
+        msgs.push(Message::new(
+            UserId(300 + u),
+            60 + u,
+            vec![k(21), k(22), k(23)],
+        ));
     }
     while msgs.len() < cfg.quantum_size {
         let id = 4_000_000 + msgs.len() as u64;
-        msgs.push(Message::new(UserId(id), id, vec![k(400_000 + id as u32 % 1000)]));
+        msgs.push(Message::new(
+            UserId(id),
+            id,
+            vec![k(400_000 + id as u32 % 1000)],
+        ));
     }
     let summary = feed(&mut det, msgs).unwrap();
     assert_eq!(summary.events.len(), 2);

@@ -1,0 +1,95 @@
+//! The parallel pipeline's contract: for any trace, configuration and
+//! thread count, the sharded pipeline emits **identical** `QuantumSummary`
+//! events to the serial path.  Determinism comes from construction — every
+//! parallel phase is read-only and collected in input order, and every
+//! mutation phase applies in canonical order — and this test is the gate
+//! that keeps it that way.
+
+use dengraph_core::{DetectorConfig, EventDetector, Parallelism, QuantumSummary};
+use dengraph_stream::generator::profiles::{es_profile, tw_profile, ProfileScale};
+use dengraph_stream::{StreamGenerator, Trace};
+
+fn run(trace: &Trace, config: &DetectorConfig) -> Vec<QuantumSummary> {
+    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    detector.run(&trace.messages)
+}
+
+/// Byte-level comparison of everything a summary reports.  `Debug` output
+/// covers every field, including the full f64 rank values (Rust's float
+/// formatting is shortest-round-trip, so two ranks print identically iff
+/// they are bit-identical).
+fn canonical(summaries: &[QuantumSummary]) -> String {
+    format!("{summaries:#?}")
+}
+
+fn assert_parallel_matches_serial(trace: &Trace, base: DetectorConfig, label: &str) {
+    let serial = run(trace, &base.clone().with_parallelism(Parallelism::Serial));
+    for threads in [2usize, 4, 8] {
+        let parallel = run(
+            trace,
+            &base.clone().with_parallelism(Parallelism::Threads(threads)),
+        );
+        assert_eq!(
+            canonical(&serial),
+            canonical(&parallel),
+            "{label}: {threads}-thread run diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn tw_profile_is_deterministic_across_thread_counts() {
+    let trace = StreamGenerator::new(tw_profile(31, ProfileScale::Small)).generate();
+    assert_parallel_matches_serial(
+        &trace,
+        DetectorConfig::nominal().with_window_quanta(20),
+        "tw",
+    );
+}
+
+#[test]
+fn es_profile_is_deterministic_across_thread_counts() {
+    let trace = StreamGenerator::new(es_profile(32, ProfileScale::Small)).generate();
+    assert_parallel_matches_serial(
+        &trace,
+        DetectorConfig::nominal().with_window_quanta(20),
+        "es",
+    );
+}
+
+#[test]
+fn exact_edge_correlation_path_is_deterministic() {
+    let trace = StreamGenerator::new(tw_profile(33, ProfileScale::Small)).generate();
+    let config = DetectorConfig {
+        exact_edge_correlation: true,
+        ..DetectorConfig::nominal().with_window_quanta(20)
+    };
+    assert_parallel_matches_serial(&trace, config, "exact-ec");
+}
+
+#[test]
+fn non_nominal_thresholds_are_deterministic() {
+    let trace = StreamGenerator::new(es_profile(34, ProfileScale::Small)).generate();
+    let config = DetectorConfig::nominal()
+        .with_quantum_size(120)
+        .with_edge_correlation_threshold(0.1)
+        .with_high_state_threshold(3)
+        .with_window_quanta(12);
+    assert_parallel_matches_serial(&trace, config, "thresholds");
+}
+
+#[test]
+fn event_records_match_between_serial_and_parallel() {
+    let trace = StreamGenerator::new(tw_profile(35, ProfileScale::Small)).generate();
+    let config = DetectorConfig::nominal().with_window_quanta(20);
+    let mut serial = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    serial.run(&trace.messages);
+    let mut parallel = EventDetector::new(config.with_parallelism(Parallelism::Threads(4)))
+        .with_interner(trace.interner.clone());
+    parallel.run(&trace.messages);
+    assert_eq!(
+        format!("{:#?}", serial.event_records()),
+        format!("{:#?}", parallel.event_records()),
+        "long-term event records diverged"
+    );
+}

@@ -20,15 +20,29 @@ fn k(i: u32) -> KeywordId {
 
 /// A quantum where `users` distinct users post the keyword set, padded with
 /// unique one-off chatter up to the quantum size.
-fn quantum(cfg: &DetectorConfig, users: u64, user_base: u64, keywords: &[u32], salt: u64) -> Vec<Message> {
+fn quantum(
+    cfg: &DetectorConfig,
+    users: u64,
+    user_base: u64,
+    keywords: &[u32],
+    salt: u64,
+) -> Vec<Message> {
     let mut msgs = Vec::new();
     for u in 0..users {
-        msgs.push(Message::new(UserId(user_base + u), salt * 1000 + u, keywords.iter().map(|&i| k(i)).collect()));
+        msgs.push(Message::new(
+            UserId(user_base + u),
+            salt * 1000 + u,
+            keywords.iter().map(|&i| k(i)).collect(),
+        ));
     }
     let mut filler = 0u64;
     while msgs.len() < cfg.quantum_size {
         let id = 1_000_000 + salt * 10_000 + filler;
-        msgs.push(Message::new(UserId(id), id, vec![k(100_000 + (id % 50_000) as u32)]));
+        msgs.push(Message::new(
+            UserId(id),
+            id,
+            vec![k(100_000 + (id % 50_000) as u32)],
+        ));
         filler += 1;
     }
     msgs
@@ -50,7 +64,11 @@ fn event_survives_while_inside_the_window_and_expires_after() {
     // One quiet quantum: the keywords are still inside the window, the
     // cluster keeps existing (hysteresis keeps the nodes in the AKG).
     feed(&mut det, quantum(&cfg, 0, 0, &[], 1));
-    assert_eq!(det.clusters().cluster_count(), 1, "cluster must survive inside the window");
+    assert_eq!(
+        det.clusters().cluster_count(),
+        1,
+        "cluster must survive inside the window"
+    );
 
     // Enough quiet quanta to push the burst outside the window: everything
     // is cleaned up.
@@ -58,7 +76,11 @@ fn event_survives_while_inside_the_window_and_expires_after() {
         feed(&mut det, quantum(&cfg, 0, 0, &[], salt));
     }
     assert_eq!(det.clusters().cluster_count(), 0);
-    assert_eq!(det.akg().node_count(), 0, "stale keywords must leave the AKG");
+    assert_eq!(
+        det.akg().node_count(),
+        0,
+        "stale keywords must leave the AKG"
+    );
 }
 
 #[test]
@@ -86,7 +108,11 @@ fn keyword_reappearing_within_the_window_refreshes_the_event() {
     feed(&mut det, quantum(&cfg, 6, 500, &[1, 2, 3], 2));
     assert_eq!(det.clusters().cluster_count(), 1);
     let records = det.event_records();
-    assert_eq!(records.len(), 1, "the re-burst must map onto the same event record");
+    assert_eq!(
+        records.len(),
+        1,
+        "the re-burst must map onto the same event record"
+    );
     assert!(records[0].last_seen >= 2);
 }
 
@@ -102,19 +128,37 @@ fn quantum_size_controls_burstiness_sensitivity() {
                 let user = 100 + i / 10;
                 msgs.push(Message::new(UserId(user), i, vec![k(1), k(2), k(3)]));
             } else {
-                msgs.push(Message::new(UserId(10_000 + i), i, vec![k(1000 + i as u32)]));
+                msgs.push(Message::new(
+                    UserId(10_000 + i),
+                    i,
+                    vec![k(1000 + i as u32)],
+                ));
             }
         }
         msgs
     };
-    let small = DetectorConfig { quantum_size: 20, ..config(5) };
-    let large = DetectorConfig { quantum_size: 40, ..config(5) };
+    let small = DetectorConfig {
+        quantum_size: 20,
+        ..config(5)
+    };
+    let large = DetectorConfig {
+        quantum_size: 40,
+        ..config(5)
+    };
     let mut det_small = EventDetector::new(small);
     let mut det_large = EventDetector::new(large);
     det_small.run(&build_messages());
     det_large.run(&build_messages());
-    assert_eq!(det_small.event_records().len(), 0, "split across quanta: below the burstiness threshold");
-    assert_eq!(det_large.event_records().len(), 1, "single quantum: bursty enough to form the event");
+    assert_eq!(
+        det_small.event_records().len(),
+        0,
+        "split across quanta: below the burstiness threshold"
+    );
+    assert_eq!(
+        det_large.event_records().len(),
+        1,
+        "single quantum: bursty enough to form the event"
+    );
 }
 
 #[test]

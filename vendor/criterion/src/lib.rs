@@ -1,0 +1,314 @@
+//! Workspace-internal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this micro-crate
+//! re-implements the API shape the workspace's benches use — groups,
+//! `bench_with_input`, `iter`/`iter_batched`, throughput annotation and the
+//! `criterion_group!`/`criterion_main!` macros — on top of plain
+//! `std::time::Instant` wall-clock timing.  It reports mean/min per
+//! iteration and element throughput to stdout; statistical analysis,
+//! HTML reports and comparison baselines are out of scope.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value sink.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` should size its batches (accepted for API
+/// compatibility; this harness always runs one setup per routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. messages) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-iteration timing callback handle.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let budget = Duration::from_millis(500);
+        let mut spent = Duration::ZERO;
+        for i in 0..self.target_samples.max(1) {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            spent += elapsed;
+            self.samples.push(elapsed);
+            if spent > budget && i >= 2 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = Duration::from_millis(500);
+        let mut spent = Duration::ZERO;
+        for i in 0..self.target_samples.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            spent += elapsed;
+            self.samples.push(elapsed);
+            if spent > budget && i >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let mut line = format!(
+        "bench {name:<55} mean {:>12?}  min {:>12?}  ({} samples)",
+        mean,
+        min,
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let (units, label) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            line.push_str(&format!("  {:>12.0} {label}", units as f64 / secs));
+        }
+    }
+    println!("{line}");
+}
+
+/// Shared harness state: sample-count default and the CLI name filter.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards its trailing arguments; accept the subset
+        // criterion itself understands (a name filter plus --bench/--exact
+        // style flags, which we ignore).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            filter,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            samples: &mut samples,
+            target_samples: self.default_samples,
+        });
+        report(name, &samples, None);
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how many units one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut samples = Vec::new();
+        let target = self.sample_size.unwrap_or(self.criterion.default_samples);
+        f(&mut Bencher {
+            samples: &mut samples,
+            target_samples: target,
+        });
+        report(&full, &samples, self.throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: BenchmarkId, f: F) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (reporting happens per benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a set of [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", 100).to_string(), "build/100");
+        assert_eq!(BenchmarkId::from_parameter("tw").to_string(), "tw");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            default_samples: 2,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+        c.bench_function("yes-match-me", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(ran);
+    }
+}
