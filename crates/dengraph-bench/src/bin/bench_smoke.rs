@@ -1,13 +1,20 @@
 //! CI bench smoke: runs the end-to-end detector over a tiny synthetic TW
-//! trace, serial and sharded, and writes a `BENCH_pr.json` artifact with
-//! msgs/sec for each — the first point of the repo's performance
-//! trajectory.  Keep the workload small: this runs on every pull request.
+//! trace and writes a `BENCH_pr.json` artifact tracking the repo's two
+//! headline ratios per PR:
+//!
+//! * **serial vs sharded** (the `Parallelism` knob) — msgs/sec at 1 and 4
+//!   threads, and
+//! * **rebuild vs incremental window index** (the `WindowIndexMode` knob)
+//!   — msgs/sec with per-read window walks vs the incremental per-keyword
+//!   index.
+//!
+//! Keep the workload small: this runs on every pull request.
 //!
 //! Usage: `cargo run -p dengraph-bench --release --bin bench_smoke [out.json]`
 
 use dengraph_bench::{build_trace, TraceKind};
 use dengraph_core::evaluation::measure_throughput;
-use dengraph_core::{DetectorConfig, Parallelism};
+use dengraph_core::{DetectorConfig, Parallelism, WindowIndexMode};
 use dengraph_json::Value;
 use dengraph_stream::generator::profiles::ProfileScale;
 
@@ -25,17 +32,26 @@ fn main() {
 
     // One untimed warm-up run, then the best of three per variant, so a
     // noisy CI neighbour cannot sink the number.
-    let best = |parallelism: Parallelism| {
-        let config = base.clone().with_parallelism(parallelism);
+    let best = |config: DetectorConfig| {
         measure_throughput(&trace, &config);
         (0..3)
             .map(|_| measure_throughput(&trace, &config))
             .map(|r| r.messages_per_sec)
             .fold(0.0f64, f64::max)
     };
-    let serial = best(Parallelism::Serial);
-    let parallel = best(Parallelism::Threads(PARALLEL_THREADS));
-    let speedup = parallel / serial;
+    // The default configuration (incremental index, serial) anchors both
+    // comparisons.
+    let serial = best(base.clone());
+    let parallel = best(
+        base.clone()
+            .with_parallelism(Parallelism::Threads(PARALLEL_THREADS)),
+    );
+    let rebuild = best(
+        base.clone()
+            .with_window_index_mode(WindowIndexMode::Rebuild),
+    );
+    let parallel_speedup = parallel / serial;
+    let window_index_speedup = serial / rebuild;
     let hardware_threads = Parallelism::auto().threads();
 
     let report = Value::obj([
@@ -46,7 +62,10 @@ fn main() {
         ("serial_msgs_per_sec", Value::from(serial)),
         ("parallel_threads", Value::from(PARALLEL_THREADS)),
         ("parallel_msgs_per_sec", Value::from(parallel)),
-        ("speedup", Value::from(speedup)),
+        ("speedup", Value::from(parallel_speedup)),
+        ("rebuild_window_msgs_per_sec", Value::from(rebuild)),
+        ("incremental_window_msgs_per_sec", Value::from(serial)),
+        ("window_index_speedup", Value::from(window_index_speedup)),
     ]);
     let json = dengraph_json::to_string(&report);
     std::fs::write(&out_path, &json).expect("failed to write bench artifact");
@@ -54,6 +73,10 @@ fn main() {
     println!("{json}");
     println!(
         "\nserial {serial:.0} msgs/s, {PARALLEL_THREADS}-thread {parallel:.0} msgs/s \
-         ({speedup:.2}x on {hardware_threads} hardware threads) -> {out_path}"
+         ({parallel_speedup:.2}x on {hardware_threads} hardware threads)"
+    );
+    println!(
+        "window index: rebuild {rebuild:.0} msgs/s, incremental {serial:.0} msgs/s \
+         ({window_index_speedup:.2}x) -> {out_path}"
     );
 }

@@ -88,10 +88,14 @@ pub struct AkgQuantumStats {
 /// edge scoring: one min-hash sketch per keyword, or the exact window user
 /// set when the config asks for exact Jaccard.
 ///
-/// Building the cache walks the window once per involved keyword (fanned
-/// out over keyword shards); scoring a pair then touches only the two
-/// cached entries.  Both construction and lookup are pure reads, so the
-/// score phase can run on any number of threads with identical results.
+/// Under [`WindowIndexMode::Incremental`](crate::keyword_state::WindowIndexMode)
+/// (the default) each entry is an O(p) clone of the window's cached
+/// per-keyword sketch (or an O(set) copy of its indexed user set); under
+/// `Rebuild` building an entry walks all `w` window quanta.  Either way
+/// construction fans out over keyword shards and scoring a pair touches
+/// only the two cached entries.  Both construction and lookup are pure
+/// reads, so the score phase can run on any number of threads with
+/// identical results.
 enum CorrelationCache {
     /// Min-hash sketches (the paper's estimator, Section 3.2.2).
     Sketches {

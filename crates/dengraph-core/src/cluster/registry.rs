@@ -54,12 +54,19 @@ impl ClusterRegistry {
         self.edge_index.get(&edge).copied()
     }
 
-    /// The clusters containing this node (possibly several).
+    /// The clusters containing this node (possibly several), sorted by id.
+    /// The underlying index is an `FxHashSet`; sorting here keeps every
+    /// downstream consumer (e.g. the node-deletion repair order, and hence
+    /// fresh-id assignment after splits) independent of hash-iteration
+    /// order.
     pub fn clusters_of_node(&self, node: NodeId) -> Vec<ClusterId> {
-        self.node_index
+        let mut ids: Vec<ClusterId> = self
+            .node_index
             .get(&node)
             .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
     }
 
     /// Is the node a member of at least one cluster?  (This is the
@@ -382,6 +389,32 @@ mod tests {
         assert!(out.is_empty());
         assert!(r.is_empty());
         assert!(r.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn clusters_of_node_is_sorted_by_id() {
+        let mut r = ClusterRegistry::new();
+        // Many clusters sharing node 1 (pairwise edge-disjoint triangles).
+        let mut ids = Vec::new();
+        for i in 0..16u32 {
+            ids.push(
+                r.insert_new(
+                    [n(1), n(100 + 2 * i), n(101 + 2 * i)].into_iter().collect(),
+                    [
+                        e(1, 100 + 2 * i),
+                        e(100 + 2 * i, 101 + 2 * i),
+                        e(1, 101 + 2 * i),
+                    ]
+                    .into_iter()
+                    .collect(),
+                    0,
+                ),
+            );
+        }
+        let got = r.clusters_of_node(n(1));
+        let mut expected = ids.clone();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
     }
 
     #[test]

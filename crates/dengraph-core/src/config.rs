@@ -5,6 +5,8 @@
 
 pub use dengraph_parallel::Parallelism;
 
+pub use crate::keyword_state::WindowIndexMode;
+
 /// All tunable parameters of the event detector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectorConfig {
@@ -50,6 +52,13 @@ pub struct DetectorConfig {
     /// to [`Parallelism::Serial`]; this knob only trades wall-clock time
     /// for cores.
     pub parallelism: Parallelism,
+    /// How the sliding window serves per-keyword aggregates (window
+    /// sketches, window user sets/counts, recency).  `Incremental`
+    /// maintains a per-keyword index updated in O(Δ) per slide;
+    /// `Rebuild` walks all `w` quanta per read (the ablation baseline).
+    /// Both modes are bit-identical in output and compose with
+    /// [`Self::parallelism`].
+    pub window_index_mode: WindowIndexMode,
 }
 
 impl Default for DetectorConfig {
@@ -65,6 +74,7 @@ impl Default for DetectorConfig {
             rank_threshold_factor: 1.0,
             require_noun: true,
             parallelism: Parallelism::Serial,
+            window_index_mode: WindowIndexMode::Incremental,
         }
     }
 }
@@ -112,6 +122,12 @@ impl DetectorConfig {
     /// Sets the pipeline parallelism (builder style).
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the window index mode (builder style).
+    pub fn with_window_index_mode(mut self, mode: WindowIndexMode) -> Self {
+        self.window_index_mode = mode;
         self
     }
 
@@ -192,11 +208,21 @@ mod tests {
             .with_quantum_size(80)
             .with_edge_correlation_threshold(0.25)
             .with_high_state_threshold(6)
-            .with_window_quanta(20);
+            .with_window_quanta(20)
+            .with_window_index_mode(WindowIndexMode::Rebuild);
         assert_eq!(c.quantum_size, 80);
         assert_eq!(c.high_state_threshold, 6);
         assert_eq!(c.window_quanta, 20);
         assert!((c.edge_correlation_threshold - 0.25).abs() < f64::EPSILON);
+        assert_eq!(c.window_index_mode, WindowIndexMode::Rebuild);
+    }
+
+    #[test]
+    fn incremental_window_index_is_the_default() {
+        assert_eq!(
+            DetectorConfig::nominal().window_index_mode,
+            WindowIndexMode::Incremental
+        );
     }
 
     #[test]

@@ -69,10 +69,11 @@ impl EventDetector {
     /// [`DetectorConfig::validate`]).
     pub fn new(config: DetectorConfig) -> Self {
         config.validate().expect("invalid detector configuration");
-        let window = WindowState::new(
+        let window = WindowState::with_mode(
             config.window_quanta,
             config.sketch_size(),
             UserHasher::new(0x5EED_CAFE),
+            config.window_index_mode,
         );
         Self {
             akg: AkgMaintainer::new(config.clone()),
@@ -271,10 +272,12 @@ impl EventDetector {
                 keywords,
             });
         }
+        // Best rank first; equal ranks tie-break on cluster id so the
+        // report order never depends on hash-map iteration order.
         events.sort_by(|a, b| {
             b.rank
-                .partial_cmp(&a.rank)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.rank)
+                .then(a.cluster_id.cmp(&b.cluster_id))
         });
         events
     }
@@ -438,6 +441,47 @@ mod tests {
             .collect();
         assert!(keyword_sets.contains(&vec![k(1), k(2), k(3)]));
         assert!(keyword_sets.contains(&vec![k(11), k(12), k(13)]));
+    }
+
+    /// Regression: two simultaneous events with identical rank must be
+    /// ordered by cluster id, not by `FxHashMap` iteration order.
+    #[test]
+    fn equal_rank_events_are_ordered_by_cluster_id() {
+        let config = cfg();
+        let mut det = EventDetector::new(config.clone());
+        // Two structurally identical bursts in one quantum: same user
+        // count, same keyword count, fully correlated within each burst —
+        // their ranks are bit-identical.
+        let mut msgs = Vec::new();
+        for u in 0..5u64 {
+            msgs.push(Message::new(UserId(100 + u), u, vec![k(1), k(2), k(3)]));
+            msgs.push(Message::new(
+                UserId(200 + u),
+                50 + u,
+                vec![k(11), k(12), k(13)],
+            ));
+        }
+        while msgs.len() < config.quantum_size {
+            let id = 900 + msgs.len() as u64;
+            msgs.push(Message::new(
+                UserId(id),
+                id,
+                vec![KeywordId(7_000 + id as u32)],
+            ));
+        }
+        let summaries = det.push_message_all(msgs);
+        let events = &summaries[0].events;
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].rank, events[1].rank,
+            "the fixture must produce an exact rank tie"
+        );
+        assert!(
+            events[0].cluster_id < events[1].cluster_id,
+            "equal-rank events must be ordered by cluster id, got {:?} then {:?}",
+            events[0].cluster_id,
+            events[1].cluster_id
+        );
     }
 
     #[test]

@@ -123,10 +123,11 @@ impl OfflineEventTracker {
 
 /// Runs the full scheme comparison over one trace.
 pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparison {
-    let mut window = WindowState::new(
+    let mut window = WindowState::with_mode(
         config.window_quanta,
         config.sketch_size(),
         UserHasher::new(0x5EED_CAFE),
+        config.window_index_mode,
     );
     let mut akg = AkgMaintainer::new(config.clone());
     let mut scp_clusters = ClusterMaintainer::new();
@@ -173,6 +174,10 @@ pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparis
             scp_snapshot.push((c.sorted_nodes(), rank, cluster_support(c, &support)));
         }
         scp_time += start.elapsed().as_secs_f64();
+        // `clusters()` iterates an FxHashMap; sort each snapshot by node
+        // set so downstream synthetic-id assignment and record ordering
+        // never see hash-iteration order.
+        scp_snapshot.sort_by(|a, b| a.0.cmp(&b.0));
         scp_snapshots += scp_snapshot.len();
         for (nodes, rank, support_value) in &scp_snapshot {
             scp_quality.add(nodes.len(), *rank);
@@ -210,6 +215,10 @@ pub fn compare_schemes(trace: &Trace, config: &DetectorConfig) -> SchemeComparis
             bce_snapshot.push(entry);
         }
         offline_time += start.elapsed().as_secs_f64();
+        // Same hash-order shielding for the offline baselines (the BC
+        // decomposition walks hash-ordered adjacency maps).
+        bc_snapshot.sort_by(|a, b| a.0.cmp(&b.0));
+        bce_snapshot.sort_by(|a, b| a.0.cmp(&b.0));
 
         bc_snapshots += bc_snapshot.len();
         bce_snapshots += bce_snapshot.len();

@@ -12,14 +12,25 @@
 //!   cluster support in the ranking function), and
 //! * the most recent quantum in which it occurred (for stale removal).
 //!
-//! All of this is maintained incrementally: each quantum contributes one
-//! immutable [`QuantumRecord`]; sliding the window simply drops the oldest
-//! record, so no per-keyword "subtraction" is ever needed.
+//! Each quantum contributes one immutable [`QuantumRecord`]; sliding the
+//! window simply drops the oldest record.  How the per-keyword aggregates
+//! are produced from those records is governed by [`WindowIndexMode`]:
+//!
+//! * [`WindowIndexMode::Rebuild`] — every read walks all `w` records (the
+//!   naive cache-build cost the paper's incremental AKG design avoids;
+//!   kept as the ablation baseline),
+//! * [`WindowIndexMode::Incremental`] — a [`WindowIndex`] keeps, per
+//!   keyword, a refcounted window user multiset, per-quantum sub-sketches
+//!   merged into a cached window sketch, and a recency mark, all updated
+//!   in O(Δ) as the window slides, so reads are O(1) / O(set size).
+//!
+//! Both modes are **bit-identical**: same sketches, same counts, same
+//! user sets (`tests/window_index_equivalence.rs` gates this).
 
 use std::collections::VecDeque;
 
 use dengraph_graph::fxhash::{FxHashMap, FxHashSet};
-use dengraph_minhash::{MinHashSketch, UserHasher};
+use dengraph_minhash::{EpochSketchStore, MinHashSketch, UserHasher};
 use dengraph_parallel::{par_chunks, par_map, Parallelism};
 use dengraph_stream::{Message, UserId};
 use dengraph_text::KeywordId;
@@ -90,6 +101,96 @@ impl QuantumRecord {
     }
 }
 
+/// How the sliding window serves per-keyword aggregate reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowIndexMode {
+    /// Rebuild every aggregate from scratch by walking all `w` quanta per
+    /// read (the ablation baseline).
+    Rebuild,
+    /// Maintain a per-keyword incremental index updated in O(Δ) per slide
+    /// (refcounted user multisets + merged per-quantum sub-sketches).
+    #[default]
+    Incremental,
+}
+
+/// Per-keyword incremental state over the current window.
+#[derive(Debug)]
+struct KeywordWindowEntry {
+    /// user → number of window quanta in which the user mentioned the
+    /// keyword.  The key set is exactly the window user set; its size the
+    /// window user count.
+    users: FxHashMap<UserId, u32>,
+    /// One sub-sketch per window quantum containing the keyword, merged
+    /// into a cached window sketch.
+    sketches: EpochSketchStore,
+    /// Most recent quantum index in which the keyword occurred.
+    last_seen: u64,
+}
+
+/// The incremental window index: everything [`WindowState`] serves per
+/// keyword, kept hot instead of recomputed.  An entry exists iff the
+/// keyword occurs somewhere in the window, so staleness is a lookup miss.
+#[derive(Debug)]
+struct WindowIndex {
+    sketch_size: usize,
+    entries: FxHashMap<KeywordId, KeywordWindowEntry>,
+}
+
+impl WindowIndex {
+    fn new(sketch_size: usize) -> Self {
+        Self {
+            sketch_size,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    /// Folds one freshly pushed quantum into the index: O(Δ) over the
+    /// record's (keyword, user) pairs.
+    fn insert_record(&mut self, record: &QuantumRecord, hasher: &UserHasher) {
+        for (&keyword, users) in &record.keyword_users {
+            let entry = self
+                .entries
+                .entry(keyword)
+                .or_insert_with(|| KeywordWindowEntry {
+                    users: FxHashMap::default(),
+                    sketches: EpochSketchStore::new(self.sketch_size),
+                    last_seen: record.index,
+                });
+            let mut sub = MinHashSketch::new(self.sketch_size);
+            for &u in users {
+                *entry.users.entry(u).or_insert(0) += 1;
+                sub.insert(hasher, u.raw());
+            }
+            entry.sketches.push(record.index, sub);
+            entry.last_seen = record.index;
+        }
+    }
+
+    /// Removes one evicted quantum's contributions: O(Δ) decrements plus a
+    /// sub-sketch re-merge for each touched keyword.
+    fn remove_record(&mut self, record: &QuantumRecord) {
+        for (&keyword, users) in &record.keyword_users {
+            let Some(entry) = self.entries.get_mut(&keyword) else {
+                debug_assert!(false, "evicted keyword missing from window index");
+                continue;
+            };
+            for u in users {
+                if let Some(count) = entry.users.get_mut(u) {
+                    *count -= 1;
+                    if *count == 0 {
+                        entry.users.remove(u);
+                    }
+                }
+            }
+            entry.sketches.evict_through(record.index);
+            if entry.users.is_empty() {
+                debug_assert!(entry.sketches.is_empty());
+                self.entries.remove(&keyword);
+            }
+        }
+    }
+}
+
 /// The sliding window over the last `w` quanta.
 #[derive(Debug)]
 pub struct WindowState {
@@ -97,29 +198,60 @@ pub struct WindowState {
     capacity: usize,
     hasher: UserHasher,
     sketch_size: usize,
+    index: Option<WindowIndex>,
 }
 
 impl WindowState {
     /// Creates an empty window of `capacity` quanta using sketches of `p`
-    /// minima hashed with `hasher`.
+    /// minima hashed with `hasher`, in the default (incremental) mode.
     pub fn new(capacity: usize, sketch_size: usize, hasher: UserHasher) -> Self {
+        Self::with_mode(capacity, sketch_size, hasher, WindowIndexMode::default())
+    }
+
+    /// Creates an empty window with an explicit [`WindowIndexMode`].
+    pub fn with_mode(
+        capacity: usize,
+        sketch_size: usize,
+        hasher: UserHasher,
+        mode: WindowIndexMode,
+    ) -> Self {
         Self {
             window: VecDeque::with_capacity(capacity + 1),
             capacity: capacity.max(1),
             hasher,
             sketch_size,
+            index: match mode {
+                WindowIndexMode::Rebuild => None,
+                WindowIndexMode::Incremental => Some(WindowIndex::new(sketch_size)),
+            },
+        }
+    }
+
+    /// The active index mode.
+    pub fn mode(&self) -> WindowIndexMode {
+        if self.index.is_some() {
+            WindowIndexMode::Incremental
+        } else {
+            WindowIndexMode::Rebuild
         }
     }
 
     /// Pushes the record of a new quantum.  Returns the record that slid
     /// out of the window, if the window was already full.
     pub fn push(&mut self, record: QuantumRecord) -> Option<QuantumRecord> {
+        if let Some(index) = &mut self.index {
+            index.insert_record(&record, &self.hasher);
+        }
         self.window.push_back(record);
-        if self.window.len() > self.capacity {
+        let evicted = if self.window.len() > self.capacity {
             self.window.pop_front()
         } else {
             None
+        };
+        if let (Some(index), Some(old)) = (&mut self.index, &evicted) {
+            index.remove_record(old);
         }
+        evicted
     }
 
     /// Number of quanta currently held.
@@ -144,6 +276,13 @@ impl WindowState {
 
     /// Distinct users that mentioned `keyword` anywhere in the window.
     pub fn window_user_set(&self, keyword: KeywordId) -> FxHashSet<UserId> {
+        if let Some(index) = &self.index {
+            return index
+                .entries
+                .get(&keyword)
+                .map(|e| e.users.keys().copied().collect())
+                .unwrap_or_default();
+        }
         let mut users = FxHashSet::default();
         for record in &self.window {
             if let Some(s) = record.keyword_users.get(&keyword) {
@@ -156,11 +295,21 @@ impl WindowState {
     /// Number of distinct users that mentioned `keyword` in the window —
     /// the node weight `w_i` of the ranking function.
     pub fn window_user_count(&self, keyword: KeywordId) -> usize {
+        if let Some(index) = &self.index {
+            return index.entries.get(&keyword).map_or(0, |e| e.users.len());
+        }
         self.window_user_set(keyword).len()
     }
 
     /// The min-hash sketch of `keyword`'s window user set.
     pub fn window_sketch(&self, keyword: KeywordId) -> MinHashSketch {
+        if let Some(index) = &self.index {
+            return index
+                .entries
+                .get(&keyword)
+                .map(|e| e.sketches.merged().clone())
+                .unwrap_or_else(|| MinHashSketch::new(self.sketch_size));
+        }
         let mut sketch = MinHashSketch::new(self.sketch_size);
         for record in &self.window {
             if let Some(users) = record.keyword_users.get(&keyword) {
@@ -180,6 +329,13 @@ impl WindowState {
         keywords: &[KeywordId],
         parallelism: Parallelism,
     ) -> Vec<MinHashSketch> {
+        if self.index.is_some() {
+            // Cached-sketch clones; still sharded so huge candidate sets
+            // fan out, but each shard item is O(p) instead of O(w · Δ).
+            return par_map(parallelism, keywords, |&keyword| {
+                self.window_sketch(keyword)
+            });
+        }
         dengraph_minhash::build_sketches(
             parallelism,
             self.sketch_size,
@@ -240,6 +396,12 @@ impl WindowState {
 
     /// The most recent quantum index in which `keyword` occurred, if any.
     pub fn last_seen(&self, keyword: KeywordId) -> Option<u64> {
+        if let Some(index) = &self.index {
+            // The recency mark can only outlive its record if every record
+            // containing the keyword was evicted — in which case the entry
+            // itself is gone.  So the mark is always in-window.
+            return index.entries.get(&keyword).map(|e| e.last_seen);
+        }
         self.window
             .iter()
             .rev()
@@ -255,6 +417,9 @@ impl WindowState {
 
     /// Every keyword occurring anywhere in the window.
     pub fn keywords_in_window(&self) -> FxHashSet<KeywordId> {
+        if let Some(index) = &self.index {
+            return index.entries.keys().copied().collect();
+        }
         let mut all = FxHashSet::default();
         for record in &self.window {
             all.extend(record.keywords());
@@ -279,9 +444,13 @@ pub enum KeywordState {
 }
 
 /// Tracks the low/high state of every keyword ever seen.
+///
+/// Only high-state keywords carry information (low is the default), so the
+/// machine stores exactly the set of High keywords: membership is the
+/// state, and the set size is the high count.
 #[derive(Debug, Default)]
 pub struct KeywordStateMachine {
-    states: FxHashMap<KeywordId, KeywordState>,
+    high: FxHashSet<KeywordId>,
 }
 
 impl KeywordStateMachine {
@@ -292,7 +461,11 @@ impl KeywordStateMachine {
 
     /// Current state of a keyword (Low if never seen).
     pub fn state(&self, keyword: KeywordId) -> KeywordState {
-        self.states.get(&keyword).copied().unwrap_or_default()
+        if self.high.contains(&keyword) {
+            KeywordState::High
+        } else {
+            KeywordState::Low
+        }
     }
 
     /// Applies the burstiness test for one keyword in the current quantum:
@@ -310,8 +483,8 @@ impl KeywordStateMachine {
         } else {
             prev
         };
-        if new == KeywordState::High {
-            self.states.insert(keyword, KeywordState::High);
+        if prev == KeywordState::Low && new == KeywordState::High {
+            self.high.insert(keyword);
         }
         (prev, new)
     }
@@ -319,15 +492,12 @@ impl KeywordStateMachine {
     /// Forces a keyword back to the low state (used when it is removed from
     /// the AKG by stale removal or lazy update).
     pub fn demote(&mut self, keyword: KeywordId) {
-        self.states.remove(&keyword);
+        self.high.remove(&keyword);
     }
 
     /// Number of keywords currently in the high state.
     pub fn high_count(&self) -> usize {
-        self.states
-            .values()
-            .filter(|s| **s == KeywordState::High)
-            .count()
+        self.high.len()
     }
 }
 
@@ -443,6 +613,93 @@ mod tests {
         let kws = w.keywords_in_window();
         assert!(kws.contains(&k(10)) && kws.contains(&k(11)));
         assert_eq!(w.window_message_count(), 2);
+    }
+
+    /// Builds the same random-ish record stream into one window per mode
+    /// and checks every per-keyword read agrees bit-for-bit.
+    fn assert_modes_agree(capacity: usize, quanta: &[Vec<Message>]) {
+        let hasher = || UserHasher::new(0xFACE);
+        let mut rebuild = WindowState::with_mode(capacity, 4, hasher(), WindowIndexMode::Rebuild);
+        let mut incremental =
+            WindowState::with_mode(capacity, 4, hasher(), WindowIndexMode::Incremental);
+        for (q, msgs) in quanta.iter().enumerate() {
+            let record = QuantumRecord::from_messages(q as u64, msgs);
+            let ev_a = rebuild.push(record.clone());
+            let ev_b = incremental.push(record);
+            assert_eq!(ev_a.map(|r| r.index), ev_b.map(|r| r.index));
+            let mut keywords: Vec<KeywordId> = rebuild.keywords_in_window().into_iter().collect();
+            keywords.push(k(999_999)); // a keyword never in the window
+            keywords.sort_unstable();
+            assert_eq!(keywords.len() - 1, incremental.keywords_in_window().len());
+            for &kw in &keywords {
+                assert_eq!(
+                    rebuild.window_user_set(kw),
+                    incremental.window_user_set(kw),
+                    "user set diverged for {kw:?} at quantum {q}"
+                );
+                assert_eq!(
+                    rebuild.window_user_count(kw),
+                    incremental.window_user_count(kw)
+                );
+                assert_eq!(
+                    rebuild.window_sketch(kw),
+                    incremental.window_sketch(kw),
+                    "sketch diverged for {kw:?} at quantum {q}"
+                );
+                assert_eq!(rebuild.last_seen(kw), incremental.last_seen(kw));
+                assert_eq!(rebuild.is_stale(kw), incremental.is_stale(kw));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_index_matches_rebuild_reads() {
+        // A keyword-heavy stream with overlap across quanta, re-bursts,
+        // an empty quantum and full eviction cycles.
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut quanta: Vec<Vec<Message>> = Vec::new();
+        for q in 0..24u64 {
+            if q % 7 == 6 {
+                quanta.push(Vec::new()); // empty quantum: pure slide
+                continue;
+            }
+            let msgs: Vec<Message> = (0..12)
+                .map(|m| {
+                    let user = next() % 9;
+                    let kws: Vec<u32> = (0..1 + next() % 3).map(|_| (next() % 7) as u32).collect();
+                    msg(user, q * 100 + m, &kws)
+                })
+                .collect();
+            quanta.push(msgs);
+        }
+        for capacity in [1, 2, 5] {
+            assert_modes_agree(capacity, &quanta);
+        }
+    }
+
+    #[test]
+    fn both_modes_report_their_mode() {
+        let w = WindowState::new(2, 4, UserHasher::new(1));
+        assert_eq!(w.mode(), WindowIndexMode::Incremental);
+        let w = WindowState::with_mode(2, 4, UserHasher::new(1), WindowIndexMode::Rebuild);
+        assert_eq!(w.mode(), WindowIndexMode::Rebuild);
+    }
+
+    #[test]
+    fn rebuild_mode_behaves_like_incremental_on_the_basics() {
+        let mut w = WindowState::with_mode(2, 4, UserHasher::new(7), WindowIndexMode::Rebuild);
+        w.push(QuantumRecord::from_messages(0, &[msg(1, 0, &[10])]));
+        w.push(QuantumRecord::from_messages(1, &[msg(2, 1, &[10])]));
+        assert_eq!(w.window_user_count(k(10)), 2);
+        w.push(QuantumRecord::from_messages(2, &[msg(3, 2, &[11])]));
+        assert_eq!(w.window_user_count(k(10)), 1);
+        assert_eq!(w.last_seen(k(10)), Some(1));
     }
 
     #[test]

@@ -64,4 +64,5 @@ pub use cluster::{Cluster, ClusterId, ClusterMaintainer, ClusterRegistry};
 pub use config::{DetectorConfig, Parallelism};
 pub use detector::{EventDetector, QuantumSummary};
 pub use event::{DetectedEvent, EventRecord, EventTracker};
+pub use keyword_state::WindowIndexMode;
 pub use ranking::cluster_rank;

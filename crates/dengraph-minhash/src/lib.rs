@@ -18,16 +18,20 @@
 //!   harness and the ablation benchmarks.
 //! * [`batch`] — batch sketch construction over keyword shards, fanned out
 //!   via `dengraph-parallel` with deterministic (input-order) results.
+//! * [`store`] — [`EpochSketchStore`], a mergeable per-epoch sub-sketch
+//!   store for incremental sliding-window sketch maintenance.
 
 pub mod batch;
 pub mod hasher;
 pub mod jaccard;
 pub mod sketch;
+pub mod store;
 
 pub use batch::build_sketches;
 pub use hasher::{HashFamily, UserHasher};
 pub use jaccard::{exact_jaccard, exact_jaccard_sorted, overlap_coefficient_sorted};
 pub use sketch::MinHashSketch;
+pub use store::EpochSketchStore;
 
 /// Computes the sketch size `p` from the high-state threshold `sigma` and
 /// the edge-correlation threshold `tau`, per Section 3.2.2:

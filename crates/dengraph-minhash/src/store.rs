@@ -1,0 +1,163 @@
+//! Mergeable per-epoch sub-sketch store.
+//!
+//! A "p minima" sketch of a union equals the merge of the per-part
+//! sketches: the p smallest hash values of `A ∪ B` are each among the p
+//! smallest of `A` or of `B`.  [`EpochSketchStore`] exploits this to keep a
+//! sliding-window sketch incrementally: one immutable sub-sketch per epoch
+//! (quantum), plus an eagerly maintained merge of all live sub-sketches.
+//!
+//! * pushing an epoch merges its sub-sketch into the cached union in
+//!   O(p log p) — no rebuild;
+//! * evicting the oldest epoch re-merges the survivors in O(epochs · p),
+//!   the only operation a bounded-minima sketch cannot do by subtraction.
+//!
+//! Because merging is commutative, associative and idempotent, the cached
+//! union is **bit-identical** to a sketch built from scratch over every id
+//! of every live epoch — the property the detector's incremental window
+//! index relies on.
+
+use std::collections::VecDeque;
+
+use crate::sketch::MinHashSketch;
+
+/// Per-epoch sub-sketches with an eagerly maintained merged union.
+#[derive(Debug, Clone)]
+pub struct EpochSketchStore {
+    p: usize,
+    epochs: VecDeque<(u64, MinHashSketch)>,
+    merged: MinHashSketch,
+}
+
+impl EpochSketchStore {
+    /// Creates an empty store whose sketches keep `p` minima.
+    pub fn new(p: usize) -> Self {
+        Self {
+            p,
+            epochs: VecDeque::new(),
+            merged: MinHashSketch::new(p),
+        }
+    }
+
+    /// The configured sketch size `p`.
+    pub fn capacity(&self) -> usize {
+        self.p
+    }
+
+    /// Number of live epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Returns `true` when no epoch is stored.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The most recently pushed epoch, if any.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        self.epochs.back().map(|(e, _)| *e)
+    }
+
+    /// Appends one epoch's sub-sketch and folds it into the cached union.
+    /// Epochs must arrive in increasing order.
+    pub fn push(&mut self, epoch: u64, sketch: MinHashSketch) {
+        debug_assert!(
+            self.latest_epoch().is_none_or(|last| epoch > last),
+            "epochs must be pushed in increasing order"
+        );
+        self.merged.merge(&sketch);
+        self.epochs.push_back((epoch, sketch));
+    }
+
+    /// Drops every stored epoch `≤ epoch` (they leave from the front, the
+    /// store being a FIFO over a sliding window) and re-merges the
+    /// survivors.  Returns `true` when anything was evicted.
+    pub fn evict_through(&mut self, epoch: u64) -> bool {
+        let mut evicted = false;
+        while self.epochs.front().is_some_and(|(e, _)| *e <= epoch) {
+            self.epochs.pop_front();
+            evicted = true;
+        }
+        if evicted {
+            self.merged.clear();
+            for (_, sub) in &self.epochs {
+                self.merged.merge(sub);
+            }
+        }
+        evicted
+    }
+
+    /// The union sketch over every live epoch.  Bit-identical to a sketch
+    /// built from scratch over the ids of all live epochs.
+    pub fn merged(&self) -> &MinHashSketch {
+        &self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hasher::UserHasher;
+
+    fn hasher() -> UserHasher {
+        UserHasher::new(0xE40C)
+    }
+
+    #[test]
+    fn merged_matches_from_scratch_construction() {
+        let h = hasher();
+        let mut store = EpochSketchStore::new(4);
+        let epochs: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![3, 4], vec![50, 51, 52, 53]];
+        for (e, ids) in epochs.iter().enumerate() {
+            store.push(
+                e as u64,
+                MinHashSketch::from_ids(4, &h, ids.iter().copied()),
+            );
+        }
+        let all: Vec<u64> = epochs.iter().flatten().copied().collect();
+        assert_eq!(*store.merged(), MinHashSketch::from_ids(4, &h, all));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.latest_epoch(), Some(2));
+    }
+
+    #[test]
+    fn eviction_rebuilds_the_union_of_survivors() {
+        let h = hasher();
+        let mut store = EpochSketchStore::new(3);
+        store.push(0, MinHashSketch::from_ids(3, &h, [1, 2, 3]));
+        store.push(1, MinHashSketch::from_ids(3, &h, [10, 11]));
+        store.push(2, MinHashSketch::from_ids(3, &h, [20]));
+        assert!(store.evict_through(0));
+        assert_eq!(
+            *store.merged(),
+            MinHashSketch::from_ids(3, &h, [10, 11, 20]),
+            "epoch 0's ids must vanish from the union"
+        );
+        // Nothing at or below epoch 0 remains.
+        assert!(!store.evict_through(0));
+    }
+
+    #[test]
+    fn evicting_everything_leaves_an_empty_union() {
+        let h = hasher();
+        let mut store = EpochSketchStore::new(2);
+        store.push(5, MinHashSketch::from_ids(2, &h, [1]));
+        assert!(store.evict_through(5));
+        assert!(store.is_empty());
+        assert!(store.merged().is_empty());
+        assert_eq!(store.merged().capacity(), 2);
+        assert_eq!(store.latest_epoch(), None);
+    }
+
+    #[test]
+    fn incremental_push_equals_batch_union_under_overlap() {
+        // Heavily overlapping epochs: idempotent merging must not double
+        // count and must keep exactly the p smallest distinct hashes.
+        let h = hasher();
+        let mut store = EpochSketchStore::new(5);
+        for e in 0..10u64 {
+            store.push(e, MinHashSketch::from_ids(5, &h, e..e + 20));
+        }
+        assert_eq!(*store.merged(), MinHashSketch::from_ids(5, &h, 0..29));
+    }
+}

@@ -1,0 +1,197 @@
+//! The incremental window index's contract: for any trace, window length
+//! and parallelism profile, `WindowIndexMode::Incremental` (refcounted
+//! window user multisets + merged per-quantum sub-sketches) emits
+//! **bit-identical** output to `WindowIndexMode::Rebuild` (walk all `w`
+//! quanta per read).  Identity is checked at two levels: the full
+//! `QuantumSummary` stream (events, ranks, AKG delta statistics) through
+//! the detector, and the raw window reads (sketches, user sets, counts,
+//! recency) through `WindowState` itself under seeded ChaCha8 workloads.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use dengraph_core::keyword_state::{QuantumRecord, WindowState};
+use dengraph_core::{DetectorConfig, EventDetector, Parallelism, QuantumSummary, WindowIndexMode};
+use dengraph_minhash::UserHasher;
+use dengraph_stream::generator::profiles::{es_profile, tw_profile, ProfileScale};
+use dengraph_stream::{Message, StreamGenerator, Trace, UserId};
+use dengraph_text::KeywordId;
+
+fn run(trace: &Trace, config: &DetectorConfig) -> Vec<QuantumSummary> {
+    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    detector.run(&trace.messages)
+}
+
+/// Byte-level comparison of everything a summary reports (Debug output
+/// covers every field; float formatting is shortest-round-trip, so two
+/// ranks print identically iff they are bit-identical).
+fn canonical(summaries: &[QuantumSummary]) -> String {
+    format!("{summaries:#?}")
+}
+
+#[test]
+fn incremental_matches_rebuild_across_window_sizes_and_parallelism() {
+    let traces = [
+        StreamGenerator::new(tw_profile(41, ProfileScale::Small)).generate(),
+        StreamGenerator::new(es_profile(42, ProfileScale::Small)).generate(),
+    ];
+    for trace in &traces {
+        for window_quanta in [4usize, 12, 20] {
+            let base = DetectorConfig::nominal().with_window_quanta(window_quanta);
+            let rebuild = run(
+                trace,
+                &base
+                    .clone()
+                    .with_window_index_mode(WindowIndexMode::Rebuild),
+            );
+            for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+                let incremental = run(
+                    trace,
+                    &base
+                        .clone()
+                        .with_window_index_mode(WindowIndexMode::Incremental)
+                        .with_parallelism(parallelism),
+                );
+                assert_eq!(
+                    canonical(&rebuild),
+                    canonical(&incremental),
+                    "{}: incremental({parallelism}) diverged from rebuild at w={window_quanta}",
+                    trace.profile_name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_edge_correlation_ablation_matches_across_modes() {
+    let trace = StreamGenerator::new(tw_profile(43, ProfileScale::Small)).generate();
+    let base = DetectorConfig {
+        exact_edge_correlation: true,
+        ..DetectorConfig::nominal().with_window_quanta(12)
+    };
+    let rebuild = run(
+        &trace,
+        &base
+            .clone()
+            .with_window_index_mode(WindowIndexMode::Rebuild),
+    );
+    let incremental = run(
+        &trace,
+        &base.with_window_index_mode(WindowIndexMode::Incremental),
+    );
+    assert_eq!(canonical(&rebuild), canonical(&incremental));
+}
+
+#[test]
+fn long_term_event_records_match_across_modes() {
+    let trace = StreamGenerator::new(es_profile(44, ProfileScale::Small)).generate();
+    let records = |mode: WindowIndexMode| {
+        let config = DetectorConfig::nominal()
+            .with_window_quanta(12)
+            .with_window_index_mode(mode);
+        let mut det = EventDetector::new(config).with_interner(trace.interner.clone());
+        det.run(&trace.messages);
+        format!("{:#?}", det.event_records())
+    };
+    assert_eq!(
+        records(WindowIndexMode::Rebuild),
+        records(WindowIndexMode::Incremental),
+        "long-term event records diverged between window index modes"
+    );
+}
+
+/// Raw window reads under random workloads: one window per mode fed the
+/// same seeded ChaCha8 record stream, every per-keyword read compared
+/// after every slide.  This pins the *sketch* identity directly (the
+/// detector-level tests only observe sketches through admitted edges).
+#[test]
+fn window_reads_are_bit_identical_under_random_workloads() {
+    for case in 0..24u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x71D0_0000 + case);
+        let capacity = rng.gen_range(1..8usize);
+        let sketch_size = rng.gen_range(2..20usize);
+        let mut rebuild = WindowState::with_mode(
+            capacity,
+            sketch_size,
+            UserHasher::new(0xBEEF),
+            WindowIndexMode::Rebuild,
+        );
+        let mut incremental = WindowState::with_mode(
+            capacity,
+            sketch_size,
+            UserHasher::new(0xBEEF),
+            WindowIndexMode::Incremental,
+        );
+        let quanta = rng.gen_range(5..20u64);
+        for q in 0..quanta {
+            // Occasionally an entirely empty quantum: pure slide.
+            let message_count = if rng.gen_range(0..5u32) == 0 {
+                0
+            } else {
+                rng.gen_range(1..40usize)
+            };
+            let messages: Vec<Message> = (0..message_count)
+                .map(|m| {
+                    let user = UserId(rng.gen_range(0..15u64));
+                    let keywords: Vec<KeywordId> = (0..rng.gen_range(1..4u32))
+                        .map(|_| KeywordId(rng.gen_range(0..10u32)))
+                        .collect();
+                    Message::new(user, q * 1000 + m as u64, keywords)
+                })
+                .collect();
+            let record = QuantumRecord::from_messages(q, &messages);
+            rebuild.push(record.clone());
+            incremental.push(record);
+
+            assert_eq!(
+                {
+                    let mut k: Vec<KeywordId> = rebuild.keywords_in_window().into_iter().collect();
+                    k.sort_unstable();
+                    k
+                },
+                {
+                    let mut k: Vec<KeywordId> =
+                        incremental.keywords_in_window().into_iter().collect();
+                    k.sort_unstable();
+                    k
+                },
+                "case {case}: keyword sets diverged at quantum {q}"
+            );
+            // Probe every keyword in the universe, including absent ones.
+            for kw in (0..10u32).map(KeywordId) {
+                assert_eq!(
+                    rebuild.window_sketch(kw),
+                    incremental.window_sketch(kw),
+                    "case {case}: sketch diverged for {kw:?} at quantum {q}"
+                );
+                assert_eq!(
+                    rebuild.window_user_set(kw),
+                    incremental.window_user_set(kw),
+                    "case {case}: user set diverged for {kw:?} at quantum {q}"
+                );
+                assert_eq!(
+                    rebuild.window_user_count(kw),
+                    incremental.window_user_count(kw)
+                );
+                assert_eq!(rebuild.last_seen(kw), incremental.last_seen(kw));
+                assert_eq!(rebuild.is_stale(kw), incremental.is_stale(kw));
+            }
+            // And the pairwise correlations the AKG consumes.
+            for a in (0..10u32).map(KeywordId) {
+                for b in (a.0 + 1..10u32).map(KeywordId) {
+                    assert!(
+                        rebuild.estimated_edge_correlation(a, b)
+                            == incremental.estimated_edge_correlation(a, b),
+                        "case {case}: estimated EC diverged for ({a:?},{b:?})"
+                    );
+                    assert!(
+                        rebuild.exact_edge_correlation(a, b)
+                            == incremental.exact_edge_correlation(a, b),
+                        "case {case}: exact EC diverged for ({a:?},{b:?})"
+                    );
+                }
+            }
+        }
+    }
+}
