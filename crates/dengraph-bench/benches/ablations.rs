@@ -6,11 +6,14 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use dengraph_bench::{build_trace, TraceKind};
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorBuilder, DetectorConfig};
 use dengraph_stream::generator::profiles::ProfileScale;
 
 fn run(trace: &dengraph_stream::Trace, config: DetectorConfig) -> usize {
-    let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config)
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
     detector.run(&trace.messages).len()
 }
 

@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use dengraph_bench::{build_trace, TraceKind};
-use dengraph_core::{DetectorConfig, EventDetector, Parallelism};
+use dengraph_core::{DetectorBuilder, DetectorConfig, Parallelism};
 use dengraph_stream::generator::profiles::ProfileScale;
 
 fn bench_detector(c: &mut Criterion) {
@@ -20,8 +20,10 @@ fn bench_detector(c: &mut Criterion) {
             |b, trace| {
                 b.iter(|| {
                     let config = DetectorConfig::nominal().with_window_quanta(20);
-                    let mut detector =
-                        EventDetector::new(config).with_interner(trace.interner.clone());
+                    let mut detector = DetectorBuilder::from_config(config)
+                        .interner(trace.interner.clone())
+                        .build()
+                        .expect("valid config");
                     let summaries = detector.run(&trace.messages);
                     black_box(summaries.len())
                 })
@@ -42,7 +44,10 @@ fn bench_quantum_sizes(c: &mut Criterion) {
                 let config = DetectorConfig::nominal()
                     .with_quantum_size(delta)
                     .with_window_quanta(20);
-                let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+                let mut detector = DetectorBuilder::from_config(config)
+                    .interner(trace.interner.clone())
+                    .build()
+                    .expect("valid config");
                 black_box(detector.run(&trace.messages).len())
             })
         });
@@ -72,8 +77,10 @@ fn bench_parallelism(c: &mut Criterion) {
                     let config = DetectorConfig::nominal()
                         .with_window_quanta(20)
                         .with_parallelism(parallelism);
-                    let mut detector =
-                        EventDetector::new(config).with_interner(trace.interner.clone());
+                    let mut detector = DetectorBuilder::from_config(config)
+                        .interner(trace.interner.clone())
+                        .build()
+                        .expect("valid config");
                     black_box(detector.run(&trace.messages).len())
                 })
             },

@@ -12,9 +12,13 @@
 //!
 //! Usage: `cargo run -p dengraph-bench --release --bin bench_smoke [out.json]`
 
+use std::time::Instant;
+
 use dengraph_bench::{build_trace, TraceKind};
 use dengraph_core::evaluation::measure_throughput;
-use dengraph_core::{DetectorConfig, Parallelism, WindowIndexMode};
+use dengraph_core::{
+    Checkpoint, DetectorBuilder, DetectorConfig, DetectorSession, Parallelism, WindowIndexMode,
+};
 use dengraph_json::Value;
 use dengraph_stream::generator::profiles::ProfileScale;
 
@@ -54,6 +58,29 @@ fn main() {
     let window_index_speedup = serial / rebuild;
     let hardware_threads = Parallelism::auto().threads();
 
+    // Checkpoint round trip over the end-of-trace session state: snapshot
+    // size plus serialise/restore wall-clock, best of three.
+    let mut session = DetectorBuilder::from_config(base.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("bench config is valid");
+    session.run(&trace.messages);
+    let mut checkpoint_bytes = 0usize;
+    let mut checkpoint_ms = f64::INFINITY;
+    let mut restore_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let text = session.checkpoint().to_json_string();
+        checkpoint_ms = checkpoint_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        checkpoint_bytes = text.len();
+        let start = Instant::now();
+        let restored =
+            DetectorSession::restore(&Checkpoint::from_json_str(&text).expect("checkpoint parses"))
+                .expect("checkpoint restores");
+        restore_ms = restore_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(restored.quanta_processed(), session.quanta_processed());
+    }
+
     let report = Value::obj([
         ("bench", Value::str("detector_throughput_smoke")),
         ("profile", Value::str(&trace.profile_name)),
@@ -66,6 +93,9 @@ fn main() {
         ("rebuild_window_msgs_per_sec", Value::from(rebuild)),
         ("incremental_window_msgs_per_sec", Value::from(serial)),
         ("window_index_speedup", Value::from(window_index_speedup)),
+        ("checkpoint_bytes", Value::from(checkpoint_bytes)),
+        ("checkpoint_ms", Value::from(checkpoint_ms)),
+        ("restore_ms", Value::from(restore_ms)),
     ]);
     let json = dengraph_json::to_string(&report);
     std::fs::write(&out_path, &json).expect("failed to write bench artifact");
@@ -78,5 +108,9 @@ fn main() {
     println!(
         "window index: rebuild {rebuild:.0} msgs/s, incremental {serial:.0} msgs/s \
          ({window_index_speedup:.2}x) -> {out_path}"
+    );
+    println!(
+        "checkpoint: {checkpoint_bytes} bytes, serialise {checkpoint_ms:.2} ms, \
+         restore {restore_ms:.2} ms"
     );
 }

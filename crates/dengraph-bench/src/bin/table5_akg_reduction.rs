@@ -10,7 +10,7 @@
 
 use dengraph_bench::{build_trace, emit_report, scale_from_env, TablePrinter, TraceKind};
 use dengraph_core::ckg::CkgTracker;
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorBuilder, DetectorConfig};
 
 fn main() {
     let scale = scale_from_env();
@@ -33,7 +33,10 @@ fn main() {
     for kind in [TraceKind::TimeWindow, TraceKind::EventSpecific] {
         let trace = build_trace(kind, scale);
         let config = DetectorConfig::nominal();
-        let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+        let mut detector = DetectorBuilder::from_config(config.clone())
+            .interner(trace.interner.clone())
+            .build()
+            .expect("valid config");
         let mut ckg = CkgTracker::new(config.window_quanta);
 
         let quanta = trace.quanta(config.quantum_size);

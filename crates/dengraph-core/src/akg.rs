@@ -84,6 +84,33 @@ pub struct AkgQuantumStats {
     pub nodes_removed: usize,
 }
 
+impl AkgQuantumStats {
+    /// Serialises the statistics to a [`dengraph_json::Value`].
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("bursty_keywords", Value::from(self.bursty_keywords)),
+            ("pairs_evaluated", Value::from(self.pairs_evaluated)),
+            ("edges_added", Value::from(self.edges_added)),
+            ("edges_removed", Value::from(self.edges_removed)),
+            ("nodes_added", Value::from(self.nodes_added)),
+            ("nodes_removed", Value::from(self.nodes_removed)),
+        ])
+    }
+
+    /// Reconstructs statistics serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            bursty_keywords: value.get("bursty_keywords")?.as_usize()?,
+            pairs_evaluated: value.get("pairs_evaluated")?.as_usize()?,
+            edges_added: value.get("edges_added")?.as_usize()?,
+            edges_removed: value.get("edges_removed")?.as_usize()?,
+            nodes_added: value.get("nodes_added")?.as_usize()?,
+            nodes_removed: value.get("nodes_removed")?.as_usize()?,
+        })
+    }
+}
+
 /// Per-quantum cache of the window state each candidate keyword needs for
 /// edge scoring: one min-hash sketch per keyword, or the exact window user
 /// set when the config asks for exact Jaccard.
@@ -182,6 +209,31 @@ impl AkgMaintainer {
     /// Current state of a keyword.
     pub fn keyword_state(&self, keyword: KeywordId) -> KeywordState {
         self.states.state(keyword)
+    }
+
+    /// Serialises the maintainer's state (graph, keyword automaton, last
+    /// stats).  The configuration is *not* included — it is shared detector
+    /// state and travels once at the checkpoint's top level.
+    pub fn to_json(&self) -> dengraph_json::Value {
+        dengraph_json::Value::obj([
+            ("graph", self.graph.to_json()),
+            ("states", self.states.to_json()),
+            ("last_stats", self.last_stats.to_json()),
+        ])
+    }
+
+    /// Reconstructs a maintainer serialised by [`Self::to_json`] under the
+    /// given configuration.
+    pub fn from_json(
+        config: DetectorConfig,
+        value: &dengraph_json::Value,
+    ) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            config,
+            graph: DynamicGraph::from_json(value.get("graph")?)?,
+            states: KeywordStateMachine::from_json(value.get("states")?)?,
+            last_stats: AkgQuantumStats::from_json(value.get("last_stats")?)?,
+        })
     }
 
     /// Processes one quantum.  `window` must already contain `record` as its

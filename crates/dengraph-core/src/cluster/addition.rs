@@ -59,16 +59,23 @@ pub fn edge_addition(
         "edge must be inserted into the graph before EdgeAddition"
     );
     let mut candidates: Vec<Candidate> = Vec::new();
-    // Phase 1: enumerate short cycles through (n1, n2).
-    let n1_neighbors: Vec<NodeId> = graph.neighbors(n1).filter(|&x| x != n2).collect();
-    let n2_neighbors: FxHashSet<NodeId> = graph.neighbors(n2).filter(|&x| x != n1).collect();
+    // Phase 1: enumerate short cycles through (n1, n2).  Neighbour lists
+    // are sorted before iteration: candidate order feeds the absorb chain
+    // below, and absorbing in adjacency-map order would make fresh
+    // cluster-id assignment depend on the map's insertion history (which a
+    // checkpoint restore does not reproduce).
+    let mut n1_neighbors: Vec<NodeId> = graph.neighbors(n1).filter(|&x| x != n2).collect();
+    n1_neighbors.sort_unstable();
+    let mut n2_sorted: Vec<NodeId> = graph.neighbors(n2).filter(|&x| x != n1).collect();
+    n2_sorted.sort_unstable();
+    let n2_neighbors: FxHashSet<NodeId> = n2_sorted.iter().copied().collect();
     for &n3 in &n1_neighbors {
         // Triangle n1–n2–n3.
         if n2_neighbors.contains(&n3) {
             candidates.push(triangle_candidate(n1, n2, n3));
         }
         // 4-cycles n1–n2–n4–n3–n1.
-        for &n4 in &n2_neighbors {
+        for &n4 in &n2_sorted {
             if n4 != n3 && graph.contains_edge(n3, n4) {
                 candidates.push(square_candidate(n2, n1, n3, n4));
             }
@@ -99,7 +106,10 @@ pub fn node_addition(
     n: NodeId,
     quantum: u64,
 ) -> Vec<ClusterId> {
-    let neighbors: Vec<NodeId> = graph.neighbors(n).collect();
+    // Sorted for the same reason as in `edge_addition`: the absorb order
+    // must not depend on adjacency-map insertion history.
+    let mut neighbors: Vec<NodeId> = graph.neighbors(n).collect();
+    neighbors.sort_unstable();
     if neighbors.len() < 2 {
         // "If the incoming node shows correlation with zero or one node, we
         // simply add that node (and edge) in G and do nothing."
@@ -116,7 +126,9 @@ pub fn node_addition(
             }
             // Rule R1: the two neighbours share another common neighbour n4
             // — 4-cycle n, n2, n4, n3.
-            for n4 in graph.common_neighbors(n2, n3) {
+            let mut common = graph.common_neighbors(n2, n3);
+            common.sort_unstable();
+            for n4 in common {
                 if n4 == n {
                     continue;
                 }

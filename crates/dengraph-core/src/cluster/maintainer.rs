@@ -27,8 +27,31 @@ pub struct MaintenanceStats {
     pub clusters_touched: usize,
 }
 
+impl MaintenanceStats {
+    /// Serialises the statistics to a [`dengraph_json::Value`].
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("edge_additions", Value::from(self.edge_additions)),
+            ("edge_deletions", Value::from(self.edge_deletions)),
+            ("node_removals", Value::from(self.node_removals)),
+            ("clusters_touched", Value::from(self.clusters_touched)),
+        ])
+    }
+
+    /// Reconstructs statistics serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            edge_additions: value.get("edge_additions")?.as_usize()?,
+            edge_deletions: value.get("edge_deletions")?.as_usize()?,
+            node_removals: value.get("node_removals")?.as_usize()?,
+            clusters_touched: value.get("clusters_touched")?.as_usize()?,
+        })
+    }
+}
+
 /// Applies AKG deltas to the cluster registry.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct ClusterMaintainer {
     registry: ClusterRegistry,
     last_stats: MaintenanceStats,
@@ -63,6 +86,22 @@ impl ClusterMaintainer {
     /// Looks up a cluster.
     pub fn get(&self, id: ClusterId) -> Option<&Cluster> {
         self.registry.get(id)
+    }
+
+    /// Serialises the maintainer (registry plus last stats).
+    pub fn to_json(&self) -> dengraph_json::Value {
+        dengraph_json::Value::obj([
+            ("registry", self.registry.to_json()),
+            ("last_stats", self.last_stats.to_json()),
+        ])
+    }
+
+    /// Reconstructs a maintainer serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            registry: ClusterRegistry::from_json(value.get("registry")?)?,
+            last_stats: MaintenanceStats::from_json(value.get("last_stats")?)?,
+        })
     }
 
     /// Applies one quantum's worth of AKG deltas.  `graph` must be the AKG

@@ -166,6 +166,62 @@ impl Cluster {
             .iter()
             .all(|e| self.has_alternate_path(e.0, e.1, 3))
     }
+
+    /// Serialises the cluster (id, sorted nodes, sorted edges, lifecycle
+    /// quanta) to a [`dengraph_json::Value`].
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        let mut edges: Vec<EdgeKey> = self.edges.iter().copied().collect();
+        edges.sort_unstable();
+        Value::obj([
+            ("id", Value::from(self.id.0)),
+            (
+                "nodes",
+                Value::arr(self.sorted_nodes().into_iter().map(|n| Value::from(n.0))),
+            ),
+            (
+                "edges",
+                Value::arr(
+                    edges
+                        .into_iter()
+                        .map(|e| Value::arr([Value::from(e.0 .0), Value::from(e.1 .0)])),
+                ),
+            ),
+            ("born_quantum", Value::from(self.born_quantum)),
+            ("updated_quantum", Value::from(self.updated_quantum)),
+        ])
+    }
+
+    /// Reconstructs a cluster serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let nodes: FxHashSet<NodeId> = value
+            .get("nodes")?
+            .as_arr()?
+            .iter()
+            .map(|n| n.as_u32().map(NodeId))
+            .collect::<dengraph_json::Result<_>>()?;
+        let mut edges: FxHashSet<EdgeKey> = FxHashSet::default();
+        for edge in value.get("edges")?.as_arr()? {
+            let parts = edge.as_arr()?;
+            if parts.len() != 2 {
+                return Err(dengraph_json::JsonError {
+                    message: format!("edge pair has {} elements", parts.len()),
+                    offset: 0,
+                });
+            }
+            edges.insert(EdgeKey::new(
+                NodeId(parts[0].as_u32()?),
+                NodeId(parts[1].as_u32()?),
+            ));
+        }
+        Ok(Self {
+            id: ClusterId(value.get("id")?.as_u64()?),
+            nodes,
+            edges,
+            born_quantum: value.get("born_quantum")?.as_u64()?,
+            updated_quantum: value.get("updated_quantum")?.as_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use dengraph_graph::NodeId;
 use super::{Cluster, ClusterId};
 
 /// Owns every live cluster plus the edge and node indexes.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct ClusterRegistry {
     clusters: FxHashMap<ClusterId, Cluster>,
     edge_index: FxHashMap<EdgeKey, ClusterId>,
@@ -227,6 +227,70 @@ impl ClusterRegistry {
         }
     }
 
+    /// Serialises the registry: the next fresh id plus every live cluster,
+    /// sorted by id.  The edge and node indexes are derived data and are
+    /// rebuilt by [`Self::from_json`].
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        let mut ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
+        ids.sort_unstable();
+        Value::obj([
+            ("next_id", Value::from(self.next_id)),
+            (
+                "clusters",
+                Value::arr(ids.into_iter().map(|id| self.clusters[&id].to_json())),
+            ),
+        ])
+    }
+
+    /// Reconstructs a registry serialised by [`Self::to_json`], rebuilding
+    /// both indexes from the cluster contents.  Rejects documents whose id
+    /// space is inconsistent — a duplicate cluster id, or a `next_id` not
+    /// strictly above every live id — since either would let a fresh id
+    /// collide with (and silently corrupt) an existing cluster after
+    /// restore.
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let mut registry = Self::new();
+        for encoded in value.get("clusters")?.as_arr()? {
+            let cluster = Cluster::from_json(encoded)?;
+            for e in &cluster.edges {
+                if registry.edge_index.insert(*e, cluster.id).is_some() {
+                    return Err(dengraph_json::JsonError {
+                        message: format!("edge {e:?} owned by two serialised clusters"),
+                        offset: 0,
+                    });
+                }
+            }
+            for n in &cluster.nodes {
+                registry
+                    .node_index
+                    .entry(*n)
+                    .or_default()
+                    .insert(cluster.id);
+            }
+            let id = cluster.id;
+            if registry.clusters.insert(id, cluster).is_some() {
+                return Err(dengraph_json::JsonError {
+                    message: format!("cluster id {id} serialised twice"),
+                    offset: 0,
+                });
+            }
+        }
+        registry.next_id = value.get("next_id")?.as_u64()?;
+        if let Some(max_id) = registry.clusters.keys().max() {
+            if registry.next_id <= max_id.0 {
+                return Err(dengraph_json::JsonError {
+                    message: format!(
+                        "next_id {} is not above the highest live cluster id {max_id}",
+                        registry.next_id
+                    ),
+                    offset: 0,
+                });
+            }
+        }
+        Ok(registry)
+    }
+
     /// Checks the internal invariants (each edge owned by exactly the
     /// cluster the index says; node index consistent; clusters satisfy SCP
     /// and have ≥ 3 nodes).  Used by tests and debug assertions.
@@ -415,6 +479,19 @@ mod tests {
         let mut expected = ids.clone();
         expected.sort_unstable();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn json_decode_rejects_inconsistent_id_spaces() {
+        let mut r = ClusterRegistry::new();
+        let (nodes, edges) = triangle(1, 2, 3);
+        r.insert_new(nodes, edges, 0);
+        let good = dengraph_json::to_string(&r.to_json());
+        assert!(ClusterRegistry::from_json(&dengraph_json::parse(&good).unwrap()).is_ok());
+        // next_id at (or below) a live id would let a fresh id collide.
+        let stale = good.replace("\"next_id\":1", "\"next_id\":0");
+        assert_ne!(good, stale);
+        assert!(ClusterRegistry::from_json(&dengraph_json::parse(&stale).unwrap()).is_err());
     }
 
     #[test]

@@ -7,6 +7,53 @@ pub use dengraph_parallel::Parallelism;
 
 pub use crate::keyword_state::WindowIndexMode;
 
+/// A typed description of what is wrong with a [`DetectorConfig`].
+///
+/// Returned by [`DetectorConfig::validate`] and
+/// [`DetectorBuilder::build`](crate::session::DetectorBuilder::build), so
+/// callers can match on the exact failure instead of parsing a panic
+/// message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `quantum_size` is 0 — no quantum would ever complete.
+    ZeroQuantumSize,
+    /// `window_quanta` is 0 — the window could hold nothing.
+    ZeroWindowQuanta,
+    /// `high_state_threshold` is 0 — every keyword would always be bursty.
+    ZeroHighStateThreshold,
+    /// `min_sketch_size` is 0 — min-hash sketches need at least one minimum.
+    ZeroSketchWidth,
+    /// `edge_correlation_threshold` lies outside `[0, 1]` (or is NaN).
+    EdgeCorrelationOutOfRange(f64),
+    /// `rank_threshold_factor` is negative or NaN.
+    RankThresholdFactorOutOfRange(f64),
+    /// `Parallelism::Threads(0)` — the worker pool would hang forever
+    /// waiting for a thread that does not exist.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroQuantumSize => write!(f, "quantum_size must be at least 1"),
+            ConfigError::ZeroWindowQuanta => write!(f, "window_quanta must be at least 1"),
+            ConfigError::ZeroHighStateThreshold => {
+                write!(f, "high_state_threshold must be at least 1")
+            }
+            ConfigError::ZeroSketchWidth => write!(f, "min_sketch_size must be at least 1"),
+            ConfigError::EdgeCorrelationOutOfRange(v) => {
+                write!(f, "edge_correlation_threshold must lie in [0, 1], got {v}")
+            }
+            ConfigError::RankThresholdFactorOutOfRange(v) => {
+                write!(f, "rank_threshold_factor must be non-negative, got {v}")
+            }
+            ConfigError::ZeroThreads => write!(f, "parallelism thread count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// All tunable parameters of the event detector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectorConfig {
@@ -156,28 +203,123 @@ impl DetectorConfig {
         self.minimum_cluster_rank() * self.rank_threshold_factor
     }
 
-    /// Validates the configuration, returning a human-readable error when a
+    /// Validates the configuration, returning a typed [`ConfigError`] when a
     /// parameter is out of range.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// Every degenerate value that used to slip through and panic or hang
+    /// deep in the pipeline is rejected here: zero quantum/window/σ sizes,
+    /// a zero sketch width, out-of-range or NaN thresholds, and a
+    /// zero-thread worker pool.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.quantum_size == 0 {
-            return Err("quantum_size must be at least 1".into());
+            return Err(ConfigError::ZeroQuantumSize);
         }
         if self.window_quanta == 0 {
-            return Err("window_quanta must be at least 1".into());
+            return Err(ConfigError::ZeroWindowQuanta);
         }
         if self.high_state_threshold == 0 {
-            return Err("high_state_threshold must be at least 1".into());
+            return Err(ConfigError::ZeroHighStateThreshold);
+        }
+        if self.min_sketch_size == 0 {
+            return Err(ConfigError::ZeroSketchWidth);
         }
         if !(0.0..=1.0).contains(&self.edge_correlation_threshold) {
-            return Err("edge_correlation_threshold must lie in [0, 1]".into());
+            return Err(ConfigError::EdgeCorrelationOutOfRange(
+                self.edge_correlation_threshold,
+            ));
         }
-        if self.rank_threshold_factor < 0.0 {
-            return Err("rank_threshold_factor must be non-negative".into());
+        if self.rank_threshold_factor.is_nan() || self.rank_threshold_factor < 0.0 {
+            return Err(ConfigError::RankThresholdFactorOutOfRange(
+                self.rank_threshold_factor,
+            ));
         }
         if let Parallelism::Threads(0) = self.parallelism {
-            return Err("parallelism thread count must be at least 1".into());
+            return Err(ConfigError::ZeroThreads);
         }
         Ok(())
+    }
+
+    /// Serialises the configuration to a [`dengraph_json::Value`].
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("quantum_size", Value::from(self.quantum_size)),
+            (
+                "high_state_threshold",
+                Value::from(self.high_state_threshold),
+            ),
+            (
+                "edge_correlation_threshold",
+                Value::from(self.edge_correlation_threshold),
+            ),
+            ("window_quanta", Value::from(self.window_quanta)),
+            (
+                "exact_edge_correlation",
+                Value::from(self.exact_edge_correlation),
+            ),
+            ("min_sketch_size", Value::from(self.min_sketch_size)),
+            ("hysteresis", Value::from(self.hysteresis)),
+            (
+                "rank_threshold_factor",
+                Value::from(self.rank_threshold_factor),
+            ),
+            ("require_noun", Value::from(self.require_noun)),
+            (
+                "parallelism",
+                match self.parallelism {
+                    Parallelism::Serial => Value::str("serial"),
+                    Parallelism::Threads(n) => Value::from(n),
+                },
+            ),
+            (
+                "window_index_mode",
+                match self.window_index_mode {
+                    WindowIndexMode::Rebuild => Value::str("rebuild"),
+                    WindowIndexMode::Incremental => Value::str("incremental"),
+                },
+            ),
+        ])
+    }
+
+    /// Reconstructs a configuration serialised by [`Self::to_json`].  The
+    /// result is *not* validated — callers that accept external input should
+    /// follow up with [`Self::validate`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let parallelism = match value.get("parallelism")? {
+            v if v.as_str().is_ok() => match v.as_str()? {
+                "serial" => Parallelism::Serial,
+                other => {
+                    return Err(dengraph_json::JsonError {
+                        message: format!("unknown parallelism '{other}'"),
+                        offset: 0,
+                    })
+                }
+            },
+            v => Parallelism::Threads(v.as_usize()?),
+        };
+        let window_index_mode = match value.get("window_index_mode")?.as_str()? {
+            "rebuild" => WindowIndexMode::Rebuild,
+            "incremental" => WindowIndexMode::Incremental,
+            other => {
+                return Err(dengraph_json::JsonError {
+                    message: format!("unknown window_index_mode '{other}'"),
+                    offset: 0,
+                })
+            }
+        };
+        Ok(Self {
+            quantum_size: value.get("quantum_size")?.as_usize()?,
+            high_state_threshold: value.get("high_state_threshold")?.as_u32()?,
+            edge_correlation_threshold: value.get("edge_correlation_threshold")?.as_f64()?,
+            window_quanta: value.get("window_quanta")?.as_usize()?,
+            exact_edge_correlation: value.get("exact_edge_correlation")?.as_bool()?,
+            min_sketch_size: value.get("min_sketch_size")?.as_usize()?,
+            hysteresis: value.get("hysteresis")?.as_bool()?,
+            rank_threshold_factor: value.get("rank_threshold_factor")?.as_f64()?,
+            require_noun: value.get("require_noun")?.as_bool()?,
+            parallelism,
+            window_index_mode,
+        })
     }
 }
 
@@ -258,48 +400,119 @@ mod tests {
     }
 
     #[test]
-    fn validation_catches_bad_values() {
-        assert!(DetectorConfig {
-            quantum_size: 0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DetectorConfig {
-            window_quanta: 0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DetectorConfig {
-            high_state_threshold: 0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DetectorConfig {
-            edge_correlation_threshold: 1.5,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DetectorConfig {
-            rank_threshold_factor: -1.0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(DetectorConfig {
-            parallelism: Parallelism::Threads(0),
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
+    fn validation_reports_the_exact_degenerate_value() {
+        assert_eq!(
+            DetectorConfig {
+                quantum_size: 0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroQuantumSize)
+        );
+        assert_eq!(
+            DetectorConfig {
+                window_quanta: 0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroWindowQuanta)
+        );
+        assert_eq!(
+            DetectorConfig {
+                high_state_threshold: 0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroHighStateThreshold)
+        );
+        assert_eq!(
+            DetectorConfig {
+                min_sketch_size: 0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroSketchWidth)
+        );
+        assert_eq!(
+            DetectorConfig {
+                edge_correlation_threshold: 1.5,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::EdgeCorrelationOutOfRange(1.5))
+        );
+        assert_eq!(
+            DetectorConfig {
+                rank_threshold_factor: -1.0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::RankThresholdFactorOutOfRange(-1.0))
+        );
+        assert_eq!(
+            DetectorConfig {
+                parallelism: Parallelism::Threads(0),
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroThreads)
+        );
         assert!(DetectorConfig {
             parallelism: Parallelism::Threads(4),
             ..Default::default()
         }
         .validate()
         .is_ok());
+    }
+
+    /// Regression: NaN thresholds used to slip through the range checks
+    /// (`NaN < 0.0` is false) and poison every downstream rank comparison.
+    #[test]
+    fn validation_rejects_nan_thresholds() {
+        assert!(matches!(
+            DetectorConfig {
+                edge_correlation_threshold: f64::NAN,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::EdgeCorrelationOutOfRange(_))
+        ));
+        assert!(matches!(
+            DetectorConfig {
+                rank_threshold_factor: f64::NAN,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::RankThresholdFactorOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn config_errors_display_the_parameter() {
+        assert!(ConfigError::ZeroQuantumSize.to_string().contains("quantum"));
+        assert!(ConfigError::EdgeCorrelationOutOfRange(2.0)
+            .to_string()
+            .contains("2"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        for config in [
+            DetectorConfig::nominal(),
+            DetectorConfig::ground_truth_study(),
+            DetectorConfig {
+                exact_edge_correlation: true,
+                hysteresis: false,
+                require_noun: false,
+                rank_threshold_factor: 1.25,
+                parallelism: Parallelism::Threads(4),
+                window_index_mode: WindowIndexMode::Rebuild,
+                ..DetectorConfig::nominal()
+            },
+        ] {
+            let text = dengraph_json::to_string(&config.to_json());
+            let back = DetectorConfig::from_json(&dengraph_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, config);
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! 4. ranks every live cluster ([`crate::ranking`], Section 6), filters by
 //!    the rank threshold and the noun requirement (Section 7.2.2), and
 //! 5. reports the surviving clusters as this quantum's emerging events,
-//!    feeding the long-term [`EventTracker`](crate::event::EventTracker).
+//!    feeding the long-term [`EventTracker`].
 
 use dengraph_minhash::UserHasher;
 use dengraph_stream::{Message, Quantum};
@@ -27,7 +27,7 @@ use crate::keyword_state::{QuantumRecord, WindowState};
 use crate::ranking::{cluster_rank, cluster_support};
 
 /// Summary of one processed quantum.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantumSummary {
     /// Quantum index (0-based).
     pub quantum: u64,
@@ -45,6 +45,63 @@ pub struct QuantumSummary {
     pub akg_nodes: usize,
     /// Number of AKG edges after this quantum.
     pub akg_edges: usize,
+    /// The quantum that slid out of the window while processing this one,
+    /// if the window was already full ([`EventSink::on_slide`]
+    /// notifications derive from this).
+    ///
+    /// [`EventSink::on_slide`]: crate::session::EventSink::on_slide
+    pub evicted_quantum: Option<u64>,
+}
+
+impl QuantumSummary {
+    /// Serialises the summary to a [`dengraph_json::Value`] (the shape
+    /// [`JsonLinesSink`](crate::session::JsonLinesSink) writes).
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("quantum", Value::from(self.quantum)),
+            ("messages", Value::from(self.messages)),
+            (
+                "events",
+                Value::arr(self.events.iter().map(|e| e.to_json())),
+            ),
+            ("akg_stats", self.akg_stats.to_json()),
+            ("maintenance_stats", self.maintenance_stats.to_json()),
+            ("live_clusters", Value::from(self.live_clusters)),
+            ("akg_nodes", Value::from(self.akg_nodes)),
+            ("akg_edges", Value::from(self.akg_edges)),
+            (
+                "evicted_quantum",
+                match self.evicted_quantum {
+                    Some(q) => Value::from(q),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Reconstructs a summary serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            quantum: value.get("quantum")?.as_u64()?,
+            messages: value.get("messages")?.as_usize()?,
+            events: value
+                .get("events")?
+                .as_arr()?
+                .iter()
+                .map(DetectedEvent::from_json)
+                .collect::<dengraph_json::Result<_>>()?,
+            akg_stats: AkgQuantumStats::from_json(value.get("akg_stats")?)?,
+            maintenance_stats: MaintenanceStats::from_json(value.get("maintenance_stats")?)?,
+            live_clusters: value.get("live_clusters")?.as_usize()?,
+            akg_nodes: value.get("akg_nodes")?.as_usize()?,
+            akg_edges: value.get("akg_edges")?.as_usize()?,
+            evicted_quantum: value
+                .get_opt("evicted_quantum")?
+                .map(|v| v.as_u64())
+                .transpose()?,
+        })
+    }
 }
 
 /// The streaming event detector.
@@ -61,18 +118,36 @@ pub struct EventDetector {
     total_messages: u64,
 }
 
+/// The fixed seed of the window's user hasher.  Part of the detector's
+/// deterministic identity: checkpoints record it, and a restored session
+/// hashes users exactly as the original did.
+const WINDOW_HASHER_SEED: u64 = 0x5EED_CAFE;
+
 impl EventDetector {
     /// Creates a detector with the given configuration.
     ///
     /// # Panics
     /// Panics if the configuration is invalid (see
     /// [`DetectorConfig::validate`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `dengraph_core::DetectorBuilder`, whose `build()` returns a typed \
+                `ConfigError` instead of panicking on bad configuration"
+    )]
     pub fn new(config: DetectorConfig) -> Self {
         config.validate().expect("invalid detector configuration");
+        Self::from_config(config)
+    }
+
+    /// Creates a detector from an already-validated configuration.  Callers
+    /// outside this crate go through
+    /// [`DetectorBuilder`](crate::session::DetectorBuilder), which enforces
+    /// validation.
+    pub(crate) fn from_config(config: DetectorConfig) -> Self {
         let window = WindowState::with_mode(
             config.window_quanta,
             config.sketch_size(),
-            UserHasher::new(0x5EED_CAFE),
+            UserHasher::new(WINDOW_HASHER_SEED),
             config.window_index_mode,
         );
         Self {
@@ -89,8 +164,13 @@ impl EventDetector {
     }
 
     /// Creates a detector with the nominal configuration of Table 2.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `dengraph_core::DetectorBuilder::new().build()` (the builder defaults \
+                to the nominal configuration of Table 2)"
+    )]
     pub fn with_nominal_config() -> Self {
-        Self::new(DetectorConfig::nominal())
+        Self::from_config(DetectorConfig::nominal())
     }
 
     /// Enables the noun-based precision filter by supplying the keyword
@@ -119,6 +199,11 @@ impl EventDetector {
     /// The long-term event records accumulated so far.
     pub fn event_records(&self) -> Vec<&EventRecord> {
         self.tracker.records()
+    }
+
+    /// The long-term record of one event, if it has ever been reported.
+    pub fn event_record(&self, cluster_id: crate::cluster::ClusterId) -> Option<&EventRecord> {
+        self.tracker.get(cluster_id)
     }
 
     /// Event records not flagged spurious by the post-hoc heuristic.
@@ -188,7 +273,7 @@ impl EventDetector {
         // 1. Aggregate and slide the window (fanned out over message
         //    chunks per the configured parallelism).
         let record = QuantumRecord::from_messages_with(quantum, messages, self.config.parallelism);
-        self.window.push(record.clone());
+        let evicted_quantum = self.window.push(record.clone()).map(|r| r.index);
 
         // 2. AKG maintenance.  The hysteresis callback consults the cluster
         //    registry as it stood at the end of the previous quantum.
@@ -218,7 +303,136 @@ impl EventDetector {
             akg_nodes: self.akg.graph().node_count(),
             akg_edges: self.akg.graph().edge_count(),
             events,
+            evicted_quantum,
         }
+    }
+
+    /// Serialises the complete detector state — configuration, sliding
+    /// window (records + incremental index), AKG graph and keyword
+    /// automaton, cluster registry, event tracker, the partially filled
+    /// message buffer and the quantum counters — to a
+    /// [`dengraph_json::Value`].
+    ///
+    /// [`Self::from_json`] reconstructs a detector whose subsequent output
+    /// is bit-identical to this one continuing uninterrupted; the
+    /// session-level wrapper is
+    /// [`DetectorSession::checkpoint`](crate::session::DetectorSession::checkpoint).
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("format", Value::str("dengraph-detector-state")),
+            ("version", Value::from(1u32)),
+            ("config", self.config.to_json()),
+            ("window", self.window.to_json()),
+            ("akg", self.akg.to_json()),
+            ("clusters", self.clusters.to_json()),
+            ("tracker", self.tracker.to_json()),
+            (
+                "interner",
+                match &self.noun_filter {
+                    Some((interner, _)) => {
+                        Value::arr(interner.iter().map(|(_, word)| Value::str(word)))
+                    }
+                    None => Value::Null,
+                },
+            ),
+            (
+                "buffer",
+                Value::arr(
+                    self.buffer
+                        .iter()
+                        .map(dengraph_stream::json::message_to_value),
+                ),
+            ),
+            ("next_quantum", Value::from(self.next_quantum)),
+            ("total_messages", Value::from(self.total_messages)),
+        ])
+    }
+
+    /// Reconstructs a detector serialised by [`Self::to_json`].  The
+    /// embedded configuration is re-validated, so a tampered or corrupted
+    /// checkpoint cannot smuggle a degenerate configuration past
+    /// [`DetectorConfig::validate`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let config = DetectorConfig::from_json(value.get("config")?)?;
+        config.validate().map_err(|e| dengraph_json::JsonError {
+            message: format!("invalid configuration in checkpoint: {e}"),
+            offset: 0,
+        })?;
+        Self::from_json_validated(config, value)
+    }
+
+    /// Decodes the full detector state under an already-decoded and
+    /// -validated configuration (the session restore path, which surfaces
+    /// configuration failures as a typed error before calling this).
+    pub(crate) fn from_json_validated(
+        config: DetectorConfig,
+        value: &dengraph_json::Value,
+    ) -> dengraph_json::Result<Self> {
+        match value.get("format")?.as_str()? {
+            "dengraph-detector-state" => {}
+            other => {
+                return Err(dengraph_json::JsonError {
+                    message: format!("unknown checkpoint format '{other}'"),
+                    offset: 0,
+                })
+            }
+        }
+        let version = value.get("version")?.as_u32()?;
+        if version != 1 {
+            return Err(dengraph_json::JsonError {
+                message: format!("unsupported checkpoint version {version}"),
+                offset: 0,
+            });
+        }
+        let noun_filter = match value.get_opt("interner")? {
+            Some(words) => {
+                let mut interner = KeywordInterner::new();
+                for word in words.as_arr()? {
+                    interner.intern(word.as_str()?);
+                }
+                Some((interner, NounHeuristic::new()))
+            }
+            None => None,
+        };
+        let window = WindowState::from_json(value.get("window")?)?;
+        // The window's geometry is derived state; a checkpoint whose window
+        // contradicts its own (validated) configuration is corrupt, and
+        // restoring it would silently change slide/sketch behaviour.
+        if window.capacity() != config.window_quanta
+            || window.sketch_size() != config.sketch_size()
+            || window.mode() != config.window_index_mode
+        {
+            return Err(dengraph_json::JsonError {
+                message: format!(
+                    "window geometry (capacity {}, sketch size {}, mode {:?}) contradicts \
+                     the embedded configuration (window_quanta {}, sketch size {}, mode {:?})",
+                    window.capacity(),
+                    window.sketch_size(),
+                    window.mode(),
+                    config.window_quanta,
+                    config.sketch_size(),
+                    config.window_index_mode,
+                ),
+                offset: 0,
+            });
+        }
+        Ok(Self {
+            window,
+            akg: AkgMaintainer::from_json(config.clone(), value.get("akg")?)?,
+            clusters: ClusterMaintainer::from_json(value.get("clusters")?)?,
+            tracker: EventTracker::from_json(value.get("tracker")?)?,
+            noun_filter,
+            buffer: value
+                .get("buffer")?
+                .as_arr()?
+                .iter()
+                .map(dengraph_stream::json::message_from_value)
+                .collect::<dengraph_json::Result<_>>()?,
+            next_quantum: value.get("next_quantum")?.as_u64()?,
+            total_messages: value.get("total_messages")?.as_u64()?,
+            config,
+        })
     }
 
     /// Ranks every live cluster and applies the reporting filters.
@@ -285,6 +499,11 @@ impl EventDetector {
 
 #[cfg(test)]
 mod tests {
+    // These unit tests pin the behaviour of the deprecated panic-on-error
+    // constructors for as long as they exist; new code goes through
+    // `DetectorBuilder` (see `crate::session`).
+    #![allow(deprecated)]
+
     use super::*;
     use dengraph_stream::UserId;
 

@@ -2,7 +2,7 @@
 //!
 //! * [`matching`] — matching discovered events against the injected ground
 //!   truth.
-//! * [`precision_recall`] — precision / recall / F1 (Figures 7–10).
+//! * [`mod@precision_recall`] — precision / recall / F1 (Figures 7–10).
 //! * [`quality`] — average cluster size and rank (Section 7.2.4).
 //! * [`comparison`] — SCP vs offline biconnected clustering (Table 3, §7.3).
 //! * [`throughput`] — messages/second (Table 4).
@@ -22,10 +22,10 @@ use dengraph_stream::ground_truth::GroundTruthEventKind;
 use dengraph_stream::Trace;
 
 use crate::config::DetectorConfig;
-use crate::detector::EventDetector;
 use crate::evaluation::matching::{best_match, match_records};
 use crate::evaluation::precision_recall::{precision_recall, PrecisionRecall};
 use crate::evaluation::quality::{quality_stats, QualityStats};
+use crate::session::DetectorBuilder;
 
 pub use comparison::{compare_schemes, SchemeComparison, SchemeReport};
 pub use matching::MatchReport;
@@ -61,7 +61,10 @@ pub struct DetectorRunReport {
 
 /// Runs the streaming detector over `trace` and scores it.
 pub fn run_detector_on_trace(trace: &Trace, config: &DetectorConfig) -> DetectorRunReport {
-    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("evaluation configs are validated upstream");
     let start = std::time::Instant::now();
     let summaries = detector.run(&trace.messages);
     let elapsed_secs = start.elapsed().as_secs_f64();
@@ -127,7 +130,10 @@ pub struct GroundTruthReport {
 /// Runs the detector over a ground-truth style trace and reproduces the
 /// structure of the Section 7.1 study.
 pub fn ground_truth_report(trace: &Trace, config: &DetectorConfig) -> GroundTruthReport {
-    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("evaluation configs are validated upstream");
     detector.run(&trace.messages);
     let records = detector.event_records();
     let match_report = match_records(&records, &trace.ground_truth);

@@ -11,7 +11,7 @@ use std::time::Instant;
 use dengraph_stream::Trace;
 
 use crate::config::DetectorConfig;
-use crate::detector::EventDetector;
+use crate::session::DetectorBuilder;
 
 /// Result of one throughput measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +30,10 @@ pub struct ThroughputReport {
 
 /// Runs the detector over the whole trace and measures throughput.
 pub fn measure_throughput(trace: &Trace, config: &DetectorConfig) -> ThroughputReport {
-    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("throughput configs are validated upstream");
     let start = Instant::now();
     detector.run(&trace.messages);
     let elapsed = start.elapsed();

@@ -10,9 +10,22 @@
 //! considered spurious".
 
 use dengraph_graph::fxhash::FxHashMap;
+use dengraph_json::Value;
 use dengraph_text::KeywordId;
 
 use crate::cluster::ClusterId;
+
+fn keywords_to_json(keywords: &[KeywordId]) -> Value {
+    Value::arr(keywords.iter().map(|k| Value::from(k.0)))
+}
+
+fn keywords_from_json(value: &Value) -> dengraph_json::Result<Vec<KeywordId>> {
+    value
+        .as_arr()?
+        .iter()
+        .map(|k| k.as_u32().map(KeywordId))
+        .collect()
+}
 
 /// A per-quantum snapshot of a reported event (one ranked cluster).
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +40,30 @@ pub struct DetectedEvent {
     pub rank: f64,
     /// Total support (distinct-user weight) behind the cluster.
     pub support: usize,
+}
+
+impl DetectedEvent {
+    /// Serialises the snapshot to a [`dengraph_json::Value`].
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("cluster_id", Value::from(self.cluster_id.0)),
+            ("quantum", Value::from(self.quantum)),
+            ("keywords", keywords_to_json(&self.keywords)),
+            ("rank", Value::from(self.rank)),
+            ("support", Value::from(self.support)),
+        ])
+    }
+
+    /// Reconstructs a snapshot serialised by [`Self::to_json`].
+    pub fn from_json(value: &Value) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            cluster_id: ClusterId(value.get("cluster_id")?.as_u64()?),
+            quantum: value.get("quantum")?.as_u64()?,
+            keywords: keywords_from_json(value.get("keywords")?)?,
+            rank: value.get("rank")?.as_f64()?,
+            support: value.get("support")?.as_usize()?,
+        })
+    }
 }
 
 /// The full history of one event across quanta.
@@ -49,7 +86,8 @@ pub struct EventRecord {
     /// Highest support ever reached.
     pub peak_support: usize,
     /// Size of the keyword set at the first report (used by the evolution
-    /// test; not serialised).
+    /// test; checkpoints preserve it so a restored tracker keeps judging
+    /// evolution exactly as the uninterrupted run would).
     pub initial_size: usize,
 }
 
@@ -83,10 +121,58 @@ impl EventRecord {
         }
         self.rank_history.windows(2).all(|w| w[1].1 <= w[0].1)
     }
+
+    /// Serialises the full record, `initial_size` included.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("cluster_id", Value::from(self.cluster_id.0)),
+            ("first_seen", Value::from(self.first_seen)),
+            ("last_seen", Value::from(self.last_seen)),
+            ("keywords", keywords_to_json(&self.keywords)),
+            ("all_keywords", keywords_to_json(&self.all_keywords)),
+            (
+                "rank_history",
+                Value::arr(
+                    self.rank_history
+                        .iter()
+                        .map(|&(q, r)| Value::arr([Value::from(q), Value::from(r)])),
+                ),
+            ),
+            ("peak_rank", Value::from(self.peak_rank)),
+            ("peak_support", Value::from(self.peak_support)),
+            ("initial_size", Value::from(self.initial_size)),
+        ])
+    }
+
+    /// Reconstructs a record serialised by [`Self::to_json`].
+    pub fn from_json(value: &Value) -> dengraph_json::Result<Self> {
+        let mut rank_history = Vec::new();
+        for pair in value.get("rank_history")?.as_arr()? {
+            let parts = pair.as_arr()?;
+            if parts.len() != 2 {
+                return Err(dengraph_json::JsonError {
+                    message: format!("rank history pair has {} elements", parts.len()),
+                    offset: 0,
+                });
+            }
+            rank_history.push((parts[0].as_u64()?, parts[1].as_f64()?));
+        }
+        Ok(Self {
+            cluster_id: ClusterId(value.get("cluster_id")?.as_u64()?),
+            first_seen: value.get("first_seen")?.as_u64()?,
+            last_seen: value.get("last_seen")?.as_u64()?,
+            keywords: keywords_from_json(value.get("keywords")?)?,
+            all_keywords: keywords_from_json(value.get("all_keywords")?)?,
+            rank_history,
+            peak_rank: value.get("peak_rank")?.as_f64()?,
+            peak_support: value.get("peak_support")?.as_usize()?,
+            initial_size: value.get("initial_size")?.as_usize()?,
+        })
+    }
 }
 
 /// Accumulates [`DetectedEvent`] snapshots into [`EventRecord`]s.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct EventTracker {
     records: FxHashMap<ClusterId, EventRecord>,
 }
@@ -153,6 +239,32 @@ impl EventTracker {
             .into_iter()
             .filter(|r| !r.is_spurious_posthoc())
             .collect()
+    }
+
+    /// The record of the event anchored to `cluster_id`, if any.
+    pub fn get(&self, cluster_id: ClusterId) -> Option<&EventRecord> {
+        self.records.get(&cluster_id)
+    }
+
+    /// Serialises every record, ordered by cluster id for a canonical
+    /// encoding.
+    pub fn to_json(&self) -> Value {
+        let mut ids: Vec<ClusterId> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        Value::obj([(
+            "records",
+            Value::arr(ids.into_iter().map(|id| self.records[&id].to_json())),
+        )])
+    }
+
+    /// Reconstructs a tracker serialised by [`Self::to_json`].
+    pub fn from_json(value: &Value) -> dengraph_json::Result<Self> {
+        let mut records = FxHashMap::default();
+        for encoded in value.get("records")?.as_arr()? {
+            let record = EventRecord::from_json(encoded)?;
+            records.insert(record.cluster_id, record);
+        }
+        Ok(Self { records })
     }
 }
 

@@ -19,7 +19,7 @@
 //! * [`WindowIndexMode::Rebuild`] — every read walks all `w` records (the
 //!   naive cache-build cost the paper's incremental AKG design avoids;
 //!   kept as the ablation baseline),
-//! * [`WindowIndexMode::Incremental`] — a [`WindowIndex`] keeps, per
+//! * [`WindowIndexMode::Incremental`] — a `WindowIndex` keeps, per
 //!   keyword, a refcounted window user multiset, per-quantum sub-sketches
 //!   merged into a cached window sketch, and a recency mark, all updated
 //!   in O(Δ) as the window slides, so reads are O(1) / O(set size).
@@ -36,7 +36,7 @@ use dengraph_stream::{Message, UserId};
 use dengraph_text::KeywordId;
 
 /// Per-quantum aggregation of the stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantumRecord {
     /// Quantum index.
     pub index: u64,
@@ -99,6 +99,56 @@ impl QuantumRecord {
     pub fn keywords(&self) -> impl Iterator<Item = KeywordId> + '_ {
         self.keyword_users.keys().copied()
     }
+
+    /// Serialises the record to a [`dengraph_json::Value`]: the quantum
+    /// index, message count, and one `[keyword, [users…]]` pair per keyword
+    /// (keywords and users sorted, so the encoding is canonical).
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        let mut keywords: Vec<KeywordId> = self.keywords().collect();
+        keywords.sort_unstable();
+        Value::obj([
+            ("index", Value::from(self.index)),
+            ("message_count", Value::from(self.message_count)),
+            (
+                "keywords",
+                Value::arr(keywords.into_iter().map(|k| {
+                    let mut users: Vec<UserId> = self.keyword_users[&k].iter().copied().collect();
+                    users.sort_unstable();
+                    Value::arr([
+                        Value::from(k.0),
+                        Value::arr(users.into_iter().map(|u| Value::from(u.0))),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Reconstructs a record serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let mut keyword_users: FxHashMap<KeywordId, FxHashSet<UserId>> = FxHashMap::default();
+        for pair in value.get("keywords")?.as_arr()? {
+            let parts = pair.as_arr()?;
+            if parts.len() != 2 {
+                return Err(dengraph_json::JsonError {
+                    message: format!("keyword pair has {} elements", parts.len()),
+                    offset: 0,
+                });
+            }
+            let keyword = KeywordId(parts[0].as_u32()?);
+            let users: FxHashSet<UserId> = parts[1]
+                .as_arr()?
+                .iter()
+                .map(|u| u.as_u64().map(UserId))
+                .collect::<dengraph_json::Result<_>>()?;
+            keyword_users.insert(keyword, users);
+        }
+        Ok(Self {
+            index: value.get("index")?.as_u64()?,
+            keyword_users,
+            message_count: value.get("message_count")?.as_usize()?,
+        })
+    }
 }
 
 /// How the sliding window serves per-keyword aggregate reads.
@@ -114,7 +164,7 @@ pub enum WindowIndexMode {
 }
 
 /// Per-keyword incremental state over the current window.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 struct KeywordWindowEntry {
     /// user → number of window quanta in which the user mentioned the
     /// keyword.  The key set is exactly the window user set; its size the
@@ -130,7 +180,7 @@ struct KeywordWindowEntry {
 /// The incremental window index: everything [`WindowState`] serves per
 /// keyword, kept hot instead of recomputed.  An entry exists iff the
 /// keyword occurs somewhere in the window, so staleness is a lookup miss.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 struct WindowIndex {
     sketch_size: usize,
     entries: FxHashMap<KeywordId, KeywordWindowEntry>,
@@ -166,6 +216,77 @@ impl WindowIndex {
         }
     }
 
+    /// Serialises the index: one `[keyword, entry]` pair per keyword, sorted
+    /// by keyword for a canonical encoding.
+    fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        let mut keywords: Vec<KeywordId> = self.entries.keys().copied().collect();
+        keywords.sort_unstable();
+        Value::obj([
+            ("sketch_size", Value::from(self.sketch_size)),
+            (
+                "entries",
+                Value::arr(keywords.into_iter().map(|k| {
+                    let entry = &self.entries[&k];
+                    let mut users: Vec<(UserId, u32)> =
+                        entry.users.iter().map(|(u, c)| (*u, *c)).collect();
+                    users.sort_unstable();
+                    Value::arr([
+                        Value::from(k.0),
+                        Value::obj([
+                            (
+                                "users",
+                                Value::arr(
+                                    users.into_iter().map(|(u, c)| {
+                                        Value::arr([Value::from(u.0), Value::from(c)])
+                                    }),
+                                ),
+                            ),
+                            ("sketches", entry.sketches.to_json()),
+                            ("last_seen", Value::from(entry.last_seen)),
+                        ]),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Reconstructs an index serialised by [`Self::to_json`].
+    fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let mut index = Self::new(value.get("sketch_size")?.as_usize()?);
+        for pair in value.get("entries")?.as_arr()? {
+            let parts = pair.as_arr()?;
+            if parts.len() != 2 {
+                return Err(dengraph_json::JsonError {
+                    message: format!("index entry has {} elements", parts.len()),
+                    offset: 0,
+                });
+            }
+            let keyword = KeywordId(parts[0].as_u32()?);
+            let entry = &parts[1];
+            let mut users: FxHashMap<UserId, u32> = FxHashMap::default();
+            for user in entry.get("users")?.as_arr()? {
+                let uc = user.as_arr()?;
+                if uc.len() != 2 {
+                    return Err(dengraph_json::JsonError {
+                        message: format!("user refcount pair has {} elements", uc.len()),
+                        offset: 0,
+                    });
+                }
+                users.insert(UserId(uc[0].as_u64()?), uc[1].as_u32()?);
+            }
+            index.entries.insert(
+                keyword,
+                KeywordWindowEntry {
+                    users,
+                    sketches: EpochSketchStore::from_json(entry.get("sketches")?)?,
+                    last_seen: entry.get("last_seen")?.as_u64()?,
+                },
+            );
+        }
+        Ok(index)
+    }
+
     /// Removes one evicted quantum's contributions: O(Δ) decrements plus a
     /// sub-sketch re-merge for each touched keyword.
     fn remove_record(&mut self, record: &QuantumRecord) {
@@ -192,7 +313,7 @@ impl WindowIndex {
 }
 
 /// The sliding window over the last `w` quanta.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct WindowState {
     window: VecDeque<QuantumRecord>,
     capacity: usize,
@@ -257,6 +378,16 @@ impl WindowState {
     /// Number of quanta currently held.
     pub fn len(&self) -> usize {
         self.window.len()
+    }
+
+    /// The window capacity in quanta (the configured `w`, at least 1).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The sketch size `p` used for per-keyword window sketches.
+    pub fn sketch_size(&self) -> usize {
+        self.sketch_size
     }
 
     /// Returns `true` when no quantum has been pushed yet.
@@ -431,6 +562,88 @@ impl WindowState {
     pub fn window_message_count(&self) -> usize {
         self.window.iter().map(|r| r.message_count).sum()
     }
+
+    /// Serialises the window — capacity, sketch parameters, hasher seed,
+    /// the retained quantum records (oldest first) and, under
+    /// [`WindowIndexMode::Incremental`], the live per-keyword index with
+    /// its sub-sketch stores.
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("capacity", Value::from(self.capacity)),
+            ("sketch_size", Value::from(self.sketch_size)),
+            ("seed", Value::from(self.hasher.seed())),
+            (
+                "mode",
+                Value::str(match self.mode() {
+                    WindowIndexMode::Rebuild => "rebuild",
+                    WindowIndexMode::Incremental => "incremental",
+                }),
+            ),
+            (
+                "records",
+                Value::arr(self.window.iter().map(|r| r.to_json())),
+            ),
+            (
+                "index",
+                match &self.index {
+                    Some(index) => index.to_json(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Reconstructs a window serialised by [`Self::to_json`].  The restored
+    /// window serves bit-identical reads to the original: records, index
+    /// multisets, cached sketches and recency marks all round-trip exactly.
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let mode = match value.get("mode")?.as_str()? {
+            "rebuild" => WindowIndexMode::Rebuild,
+            "incremental" => WindowIndexMode::Incremental,
+            other => {
+                return Err(dengraph_json::JsonError {
+                    message: format!("unknown window mode '{other}'"),
+                    offset: 0,
+                })
+            }
+        };
+        let index = match (mode, value.get_opt("index")?) {
+            (WindowIndexMode::Rebuild, _) => None,
+            (WindowIndexMode::Incremental, Some(v)) => Some(WindowIndex::from_json(v)?),
+            (WindowIndexMode::Incremental, None) => {
+                return Err(dengraph_json::JsonError {
+                    message: "incremental window is missing its index".into(),
+                    offset: 0,
+                })
+            }
+        };
+        let window: VecDeque<QuantumRecord> = value
+            .get("records")?
+            .as_arr()?
+            .iter()
+            .map(QuantumRecord::from_json)
+            .collect::<dengraph_json::Result<_>>()?;
+        Ok(Self {
+            window,
+            // No silent clamping: a zero capacity can only come from a
+            // corrupt document (construction enforces ≥ 1), and the
+            // detector-level decoder additionally cross-checks the value
+            // against the validated configuration.
+            capacity: match value.get("capacity")?.as_usize()? {
+                0 => {
+                    return Err(dengraph_json::JsonError {
+                        message: "window capacity must be at least 1".into(),
+                        offset: 0,
+                    })
+                }
+                c => c,
+            },
+            hasher: UserHasher::new(value.get("seed")?.as_u64()?),
+            sketch_size: value.get("sketch_size")?.as_usize()?,
+            index,
+        })
+    }
 }
 
 /// The two-state (low/high) automaton state of a keyword.
@@ -448,7 +661,7 @@ pub enum KeywordState {
 /// Only high-state keywords carry information (low is the default), so the
 /// machine stores exactly the set of High keywords: membership is the
 /// state, and the set size is the high count.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct KeywordStateMachine {
     high: FxHashSet<KeywordId>,
 }
@@ -498,6 +711,29 @@ impl KeywordStateMachine {
     /// Number of keywords currently in the high state.
     pub fn high_count(&self) -> usize {
         self.high.len()
+    }
+
+    /// Serialises the machine as the sorted list of High keywords.
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        let mut high: Vec<KeywordId> = self.high.iter().copied().collect();
+        high.sort_unstable();
+        Value::obj([(
+            "high",
+            Value::arr(high.into_iter().map(|k| Value::from(k.0))),
+        )])
+    }
+
+    /// Reconstructs a machine serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            high: value
+                .get("high")?
+                .as_arr()?
+                .iter()
+                .map(|k| k.as_u32().map(KeywordId))
+                .collect::<dengraph_json::Result<_>>()?,
+        })
     }
 }
 

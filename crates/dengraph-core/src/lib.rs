@@ -19,19 +19,23 @@
 //! | [`ranking`] | §6 | local cluster ranking |
 //! | [`event`] | §7.2.2 | event records, evolution and post-hoc spuriousness |
 //! | [`detector`] | all | the end-to-end streaming [`EventDetector`] |
+//! | [`session`] | service surface | [`DetectorBuilder`], push-based [`EventSink`]s, [`Checkpoint`]/restore |
 //! | [`baseline`] | §7.3 | offline biconnected-component clustering and global SCP recomputation |
 //! | [`evaluation`] | §7 | ground-truth matching, precision/recall, quality, comparisons, throughput |
 //!
 //! ## Quick start
 //!
 //! ```
-//! use dengraph_core::{DetectorConfig, EventDetector};
+//! use dengraph_core::DetectorBuilder;
 //! use dengraph_stream::{Message, UserId};
 //! use dengraph_text::KeywordId;
 //!
 //! // Five users tweet about the same breaking story within one quantum.
-//! let config = DetectorConfig::nominal().with_quantum_size(8).with_high_state_threshold(3);
-//! let mut detector = EventDetector::new(config);
+//! let mut session = DetectorBuilder::new()
+//!     .quantum_size(8)
+//!     .high_state_threshold(3)
+//!     .build()
+//!     .expect("valid configuration");
 //! let mut summaries = Vec::new();
 //! for u in 0..8u64 {
 //!     let keywords = if u < 5 {
@@ -39,7 +43,7 @@
 //!     } else {
 //!         vec![KeywordId(100 + u as u32)] // unrelated chatter
 //!     };
-//!     if let Some(summary) = detector.push_message(Message::new(UserId(u), u, keywords)) {
+//!     if let Some(summary) = session.push_message(Message::new(UserId(u), u, keywords)) {
 //!         summaries.push(summary);
 //!     }
 //! }
@@ -47,6 +51,8 @@
 //! assert_eq!(summaries[0].events.len(), 1);
 //! assert_eq!(summaries[0].events[0].keywords.len(), 3);
 //! ```
+//!
+//! For push-based delivery and checkpoint/restore, see [`session`].
 
 pub mod akg;
 pub mod baseline;
@@ -58,11 +64,16 @@ pub mod evaluation;
 pub mod event;
 pub mod keyword_state;
 pub mod ranking;
+pub mod session;
 
 pub use akg::{AkgMaintainer, GraphDelta};
 pub use cluster::{Cluster, ClusterId, ClusterMaintainer, ClusterRegistry};
-pub use config::{DetectorConfig, Parallelism};
+pub use config::{ConfigError, DetectorConfig, Parallelism};
 pub use detector::{EventDetector, QuantumSummary};
 pub use event::{DetectedEvent, EventRecord, EventTracker};
 pub use keyword_state::WindowIndexMode;
 pub use ranking::cluster_rank;
+pub use session::{
+    Checkpoint, DetectorBuilder, DetectorSession, EventSink, FnSink, JsonLinesSink, RestoreError,
+    VecSink,
+};

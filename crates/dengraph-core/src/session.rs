@@ -1,0 +1,830 @@
+//! The service-shaped session API: typed construction, push-based event
+//! delivery and durable checkpoints.
+//!
+//! The paper's detector is an always-on service over an unbounded stream;
+//! this module wraps the batch-shaped [`EventDetector`] in the three pieces
+//! such a deployment needs:
+//!
+//! * [`DetectorBuilder`] — fallible, typed construction.  `build()` returns
+//!   `Err(`[`ConfigError`]`)` for every degenerate configuration instead of
+//!   panicking (or worse, hanging) deep inside the pipeline.
+//! * [`EventSink`] — push-based delivery.  Sinks attached to a
+//!   [`DetectorSession`] are notified of every processed quantum, every
+//!   reported event and every window slide, so subscribers no longer poll
+//!   `process_quantum` return values.  [`VecSink`], [`JsonLinesSink`] and
+//!   [`FnSink`] cover the common cases.
+//! * [`Checkpoint`] — durable state.  [`DetectorSession::checkpoint`]
+//!   serialises the *complete* detector state (window records and index,
+//!   AKG, cluster registry, event tracker, partial message buffer,
+//!   counters) and [`DetectorSession::restore`] resumes it such that
+//!   restore-then-continue is **bit-identical** to the uninterrupted run —
+//!   across every `Parallelism` × `WindowIndexMode` profile
+//!   (`tests/checkpoint_resume.rs` gates this).
+//!
+//! ```
+//! use dengraph_core::{DetectorBuilder, DetectorSession, VecSink};
+//! use dengraph_stream::{Message, UserId};
+//! use dengraph_text::KeywordId;
+//! use std::sync::{Arc, Mutex};
+//!
+//! let mut session = DetectorBuilder::new()
+//!     .quantum_size(8)
+//!     .high_state_threshold(3)
+//!     .build()
+//!     .expect("nominal-derived config is valid");
+//! let sink = Arc::new(Mutex::new(VecSink::new()));
+//! session.attach_sink(Box::new(Arc::clone(&sink)));
+//!
+//! for u in 0..8u64 {
+//!     let keywords = if u < 5 {
+//!         vec![KeywordId(1), KeywordId(2), KeywordId(3)]
+//!     } else {
+//!         vec![KeywordId(100 + u as u32)]
+//!     };
+//!     session.push_message(Message::new(UserId(u), u, keywords));
+//! }
+//! assert_eq!(sink.lock().unwrap().summaries().len(), 1);
+//!
+//! // Durable state: checkpoint, restore, continue.
+//! let checkpoint = session.checkpoint();
+//! let resumed = DetectorSession::restore(&checkpoint).unwrap();
+//! assert_eq!(resumed.quanta_processed(), session.quanta_processed());
+//! ```
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use dengraph_json::JsonError;
+use dengraph_stream::{Message, Quantum};
+use dengraph_text::KeywordInterner;
+
+use crate::config::{ConfigError, DetectorConfig, Parallelism, WindowIndexMode};
+use crate::detector::{EventDetector, QuantumSummary};
+use crate::event::EventRecord;
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Typed, fallible construction of a [`DetectorSession`].
+///
+/// Defaults to the paper's nominal configuration (Table 2); every knob of
+/// [`DetectorConfig`] has a builder method.  [`Self::build`] validates the
+/// assembled configuration and returns a typed [`ConfigError`] instead of
+/// panicking — the replacement for the deprecated `EventDetector::new`.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorBuilder {
+    config: DetectorConfig,
+    interner: Option<KeywordInterner>,
+}
+
+impl DetectorBuilder {
+    /// Starts from the nominal configuration of Table 2.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an explicit configuration (e.g. a sweep point or a
+    /// configuration deserialised from disk).
+    pub fn from_config(config: DetectorConfig) -> Self {
+        Self {
+            config,
+            interner: None,
+        }
+    }
+
+    /// Sets the quantum size Δ (messages per quantum).
+    pub fn quantum_size(mut self, delta: usize) -> Self {
+        self.config.quantum_size = delta;
+        self
+    }
+
+    /// Sets the high-state threshold σ (distinct users for burstiness).
+    pub fn high_state_threshold(mut self, sigma: u32) -> Self {
+        self.config.high_state_threshold = sigma;
+        self
+    }
+
+    /// Sets the edge-correlation threshold τ.
+    pub fn edge_correlation_threshold(mut self, tau: f64) -> Self {
+        self.config.edge_correlation_threshold = tau;
+        self
+    }
+
+    /// Sets the window length `w` in quanta.
+    pub fn window_quanta(mut self, w: usize) -> Self {
+        self.config.window_quanta = w;
+        self
+    }
+
+    /// Uses the exact Jaccard coefficient instead of the min-hash estimate.
+    pub fn exact_edge_correlation(mut self, exact: bool) -> Self {
+        self.config.exact_edge_correlation = exact;
+        self
+    }
+
+    /// Sets the lower bound on the min-hash sketch size.
+    pub fn min_sketch_size(mut self, p: usize) -> Self {
+        self.config.min_sketch_size = p;
+        self
+    }
+
+    /// Enables or disables the cluster-membership hysteresis rule.
+    pub fn hysteresis(mut self, keep: bool) -> Self {
+        self.config.hysteresis = keep;
+        self
+    }
+
+    /// Sets the rank-threshold precision-filter factor.
+    pub fn rank_threshold_factor(mut self, factor: f64) -> Self {
+        self.config.rank_threshold_factor = factor;
+        self
+    }
+
+    /// Requires (or not) a noun keyword in reported events.
+    pub fn require_noun(mut self, required: bool) -> Self {
+        self.config.require_noun = required;
+        self
+    }
+
+    /// Sets the pipeline parallelism.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the sliding-window index mode.
+    pub fn window_index_mode(mut self, mode: WindowIndexMode) -> Self {
+        self.config.window_index_mode = mode;
+        self
+    }
+
+    /// Supplies the keyword interner of the message stream, enabling the
+    /// noun-based precision filter (Section 7.2.2).
+    pub fn interner(mut self, interner: KeywordInterner) -> Self {
+        self.interner = Some(interner);
+        self
+    }
+
+    /// The configuration assembled so far.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// Never panics: every degenerate configuration — zero quantum, window
+    /// or σ, zero sketch width, out-of-range or NaN thresholds,
+    /// `Threads(0)` — comes back as the matching [`ConfigError`] variant.
+    pub fn build(self) -> Result<DetectorSession, ConfigError> {
+        self.config.validate()?;
+        let mut detector = EventDetector::from_config(self.config);
+        if let Some(interner) = self.interner {
+            detector = detector.with_interner(interner);
+        }
+        Ok(DetectorSession {
+            detector,
+            sinks: Vec::new(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// A push-based subscriber to a [`DetectorSession`].
+///
+/// All methods have empty default bodies, so implementors override only
+/// what they care about.  Per processed quantum a session calls, in order:
+/// [`Self::on_slide`] (if a quantum slid out of the window),
+/// [`Self::on_quantum`] with the full summary, then [`Self::on_event`] once
+/// per event reported in that quantum — with the *up-to-date long-term
+/// record*, so subscribers see rank history and keyword evolution without
+/// keeping their own state.
+pub trait EventSink {
+    /// One quantum was processed.
+    fn on_quantum(&mut self, _summary: &QuantumSummary) {}
+
+    /// An event was reported in the quantum just processed.  `record` is
+    /// the event's full history including this report.
+    fn on_event(&mut self, _record: &EventRecord) {}
+
+    /// The window slid past its capacity: quantum `evicted_quantum` just
+    /// left the window of `window_quanta` quanta.
+    fn on_slide(&mut self, _evicted_quantum: u64, _window_quanta: usize) {}
+}
+
+/// Shared-ownership adapter: attach an `Arc<Mutex<S>>` and keep a clone to
+/// read the sink's state back after (or while) the session runs.
+impl<S: EventSink> EventSink for Arc<Mutex<S>> {
+    fn on_quantum(&mut self, summary: &QuantumSummary) {
+        self.lock().expect("sink poisoned").on_quantum(summary);
+    }
+
+    fn on_event(&mut self, record: &EventRecord) {
+        self.lock().expect("sink poisoned").on_event(record);
+    }
+
+    fn on_slide(&mut self, evicted_quantum: u64, window_quanta: usize) {
+        self.lock()
+            .expect("sink poisoned")
+            .on_slide(evicted_quantum, window_quanta);
+    }
+}
+
+/// Collects everything pushed to it (the in-memory default sink).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    summaries: Vec<QuantumSummary>,
+    events: Vec<EventRecord>,
+    slides: Vec<u64>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every summary received so far, in quantum order.
+    pub fn summaries(&self) -> &[QuantumSummary] {
+        &self.summaries
+    }
+
+    /// Every event-record snapshot received so far (one per report, so an
+    /// evolving event appears repeatedly with growing history).
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Every evicted quantum index received so far.
+    pub fn slides(&self) -> &[u64] {
+        &self.slides
+    }
+
+    /// Consumes the sink, returning the collected summaries.
+    pub fn into_summaries(self) -> Vec<QuantumSummary> {
+        self.summaries
+    }
+}
+
+impl EventSink for VecSink {
+    fn on_quantum(&mut self, summary: &QuantumSummary) {
+        self.summaries.push(summary.clone());
+    }
+
+    fn on_event(&mut self, record: &EventRecord) {
+        self.events.push(record.clone());
+    }
+
+    fn on_slide(&mut self, evicted_quantum: u64, _window_quanta: usize) {
+        self.slides.push(evicted_quantum);
+    }
+}
+
+/// Writes one JSON object per notification to any [`Write`] destination
+/// (a file, a socket, a `Vec<u8>` in tests):
+/// `{"type":"quantum",…}`, `{"type":"event",…}`, `{"type":"slide",…}`.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Self { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn write_line(&mut self, kind: &str, body: dengraph_json::Value) {
+        use dengraph_json::Value;
+        let mut line = match body {
+            Value::Obj(map) => map,
+            other => [("value".to_string(), other)].into_iter().collect(),
+        };
+        line.insert("type".to_string(), Value::str(kind));
+        let text = dengraph_json::to_string(&Value::Obj(line));
+        // A sink must never abort the detector; delivery failures are the
+        // subscriber's problem (mirror of ignoring a broken pipe).
+        let _ = writeln!(self.writer, "{text}");
+    }
+}
+
+impl<W: Write> EventSink for JsonLinesSink<W> {
+    fn on_quantum(&mut self, summary: &QuantumSummary) {
+        self.write_line("quantum", summary.to_json());
+    }
+
+    fn on_event(&mut self, record: &EventRecord) {
+        self.write_line("event", record.to_json());
+    }
+
+    fn on_slide(&mut self, evicted_quantum: u64, window_quanta: usize) {
+        use dengraph_json::Value;
+        self.write_line(
+            "slide",
+            Value::obj([
+                ("evicted_quantum", Value::from(evicted_quantum)),
+                ("window_quanta", Value::from(window_quanta)),
+            ]),
+        );
+    }
+}
+
+/// Adapts a closure into a per-quantum sink — the quickest way to hook a
+/// dashboard or a log line onto the stream.
+pub struct FnSink<F: FnMut(&QuantumSummary)> {
+    f: F,
+}
+
+impl<F: FnMut(&QuantumSummary)> FnSink<F> {
+    /// Wraps a closure invoked once per processed quantum.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: FnMut(&QuantumSummary)> EventSink for FnSink<F> {
+    fn on_quantum(&mut self, summary: &QuantumSummary) {
+        (self.f)(summary)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+/// A serialised snapshot of a [`DetectorSession`]'s complete state.
+///
+/// Produced by [`DetectorSession::checkpoint`], consumed by
+/// [`DetectorSession::restore`].  The underlying representation is a
+/// [`dengraph_json::Value`]; [`Self::to_json_string`] /
+/// [`Self::from_json_str`] convert to and from the durable wire form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    value: dengraph_json::Value,
+}
+
+impl Checkpoint {
+    /// Serialises the checkpoint to compact JSON.
+    pub fn to_json_string(&self) -> String {
+        dengraph_json::to_string(&self.value)
+    }
+
+    /// Parses a checkpoint from its JSON form.  Only the JSON grammar is
+    /// checked here; structural and configuration validation happen in
+    /// [`DetectorSession::restore`].
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Ok(Self {
+            value: dengraph_json::parse(text)?,
+        })
+    }
+
+    /// The checkpoint's value-model representation.
+    pub fn as_value(&self) -> &dengraph_json::Value {
+        &self.value
+    }
+
+    /// Wraps an already-parsed value (e.g. a checkpoint embedded in a
+    /// larger document).
+    pub fn from_value(value: dengraph_json::Value) -> Self {
+        Self { value }
+    }
+}
+
+/// Why a [`DetectorSession::restore`] failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The checkpoint is structurally broken (missing keys, wrong types,
+    /// unknown format or version).
+    Json(JsonError),
+    /// The checkpoint's embedded configuration is degenerate.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Json(e) => write!(f, "malformed checkpoint: {e}"),
+            RestoreError::Config(e) => write!(f, "invalid configuration in checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<JsonError> for RestoreError {
+    fn from(e: JsonError) -> Self {
+        RestoreError::Json(e)
+    }
+}
+
+impl From<ConfigError> for RestoreError {
+    fn from(e: ConfigError) -> Self {
+        RestoreError::Config(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A long-running detector with attached [`EventSink`]s and durable state.
+///
+/// Built by [`DetectorBuilder::build`].  The polling API of the inner
+/// [`EventDetector`] keeps working — [`Self::run`], [`Self::push_message`]
+/// and [`Self::flush`] still *return* summaries — but every processed
+/// quantum is additionally pushed to the attached sinks, so a service can
+/// subscribe instead of polling.
+pub struct DetectorSession {
+    detector: EventDetector,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for DetectorSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorSession")
+            .field("detector", &self.detector)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl DetectorSession {
+    /// Attaches a sink; it receives every notification from now on.
+    /// Returns `&mut self` so attachments chain.
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) -> &mut Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        self.detector.config()
+    }
+
+    /// Read access to the inner detector (AKG, clusters, records…).
+    pub fn detector(&self) -> &EventDetector {
+        &self.detector
+    }
+
+    /// The current AKG.
+    pub fn akg(&self) -> &dengraph_graph::DynamicGraph {
+        self.detector.akg()
+    }
+
+    /// The cluster maintainer (read access).
+    pub fn clusters(&self) -> &crate::cluster::ClusterMaintainer {
+        self.detector.clusters()
+    }
+
+    /// The long-term event records accumulated so far.
+    pub fn event_records(&self) -> Vec<&EventRecord> {
+        self.detector.event_records()
+    }
+
+    /// Event records not flagged spurious by the post-hoc heuristic.
+    pub fn non_spurious_event_records(&self) -> Vec<&EventRecord> {
+        self.detector.non_spurious_event_records()
+    }
+
+    /// Total messages ingested.
+    pub fn total_messages(&self) -> u64 {
+        self.detector.total_messages()
+    }
+
+    /// Number of quanta fully processed.
+    pub fn quanta_processed(&self) -> u64 {
+        self.detector.quanta_processed()
+    }
+
+    /// Streams one message; when the quantum completes, sinks are notified
+    /// and the summary is also returned.
+    pub fn push_message(&mut self, message: Message) -> Option<QuantumSummary> {
+        let summary = self.detector.push_message(message);
+        if let Some(summary) = &summary {
+            Self::dispatch(&self.detector, &mut self.sinks, summary);
+        }
+        summary
+    }
+
+    /// Flushes a partial quantum (e.g. at end of stream), notifying sinks.
+    pub fn flush(&mut self) -> Option<QuantumSummary> {
+        let summary = self.detector.flush();
+        if let Some(summary) = &summary {
+            Self::dispatch(&self.detector, &mut self.sinks, summary);
+        }
+        summary
+    }
+
+    /// Processes one pre-batched quantum, notifying sinks.
+    pub fn process_quantum(&mut self, quantum: &Quantum) -> QuantumSummary {
+        let summary = self.detector.process_quantum(quantum);
+        Self::dispatch(&self.detector, &mut self.sinks, &summary);
+        summary
+    }
+
+    /// Runs an entire message slice through the detector (batching into
+    /// quanta, flushing the remainder), notifying sinks along the way.
+    /// Returns one summary per quantum, like the old polling API.
+    pub fn run(&mut self, messages: &[Message]) -> Vec<QuantumSummary> {
+        let mut out = Vec::new();
+        for message in messages {
+            if let Some(summary) = self.push_message(message.clone()) {
+                out.push(summary);
+            }
+        }
+        if let Some(summary) = self.flush() {
+            out.push(summary);
+        }
+        out
+    }
+
+    /// Pushes one summary to every sink: slide first, then the quantum,
+    /// then each reported event with its up-to-date long-term record.
+    fn dispatch(
+        detector: &EventDetector,
+        sinks: &mut [Box<dyn EventSink>],
+        summary: &QuantumSummary,
+    ) {
+        let window_quanta = detector.config().window_quanta;
+        for sink in sinks {
+            if let Some(evicted) = summary.evicted_quantum {
+                sink.on_slide(evicted, window_quanta);
+            }
+            sink.on_quantum(summary);
+            for event in &summary.events {
+                if let Some(record) = detector.event_record(event.cluster_id) {
+                    sink.on_event(record);
+                }
+            }
+        }
+    }
+
+    /// Snapshots the complete detector state — window records and
+    /// incremental index, AKG graph and keyword automaton, cluster
+    /// registry, event tracker, the partially filled message buffer and
+    /// all counters.  Attached sinks are *not* part of the snapshot;
+    /// re-attach them after [`Self::restore`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            value: self.detector.to_json(),
+        }
+    }
+
+    /// Reconstructs a session from a checkpoint.  The restored session
+    /// continues exactly where the original left off: feeding both the
+    /// same remaining stream produces bit-identical summaries and event
+    /// records (`tests/checkpoint_resume.rs`).
+    pub fn restore(checkpoint: &Checkpoint) -> Result<Self, RestoreError> {
+        // Decode and validate the configuration once, surfacing a
+        // degenerate one as the typed error; the detector decoder then
+        // reuses the validated value.
+        let config = DetectorConfig::from_json(checkpoint.value.get("config")?)?;
+        config.validate()?;
+        let detector = EventDetector::from_json_validated(config, &checkpoint.value)?;
+        Ok(Self {
+            detector,
+            sinks: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigError;
+    use dengraph_stream::UserId;
+    use dengraph_text::KeywordId;
+
+    fn builder() -> DetectorBuilder {
+        DetectorBuilder::new()
+            .quantum_size(20)
+            .high_state_threshold(3)
+            .edge_correlation_threshold(0.3)
+            .window_quanta(4)
+    }
+
+    /// A quantum in which `users` distinct users each post the same keyword
+    /// set, plus filler chatter to reach the quantum size.
+    fn event_quantum(
+        quantum_size: usize,
+        users: u64,
+        keywords: &[u32],
+        time0: u64,
+    ) -> Vec<Message> {
+        let mut msgs = Vec::new();
+        for u in 0..users {
+            msgs.push(Message::new(
+                UserId(100 + u),
+                time0 + u,
+                keywords.iter().map(|&i| KeywordId(i)).collect(),
+            ));
+        }
+        let mut filler = 10_000 + time0 * 100;
+        while msgs.len() < quantum_size {
+            msgs.push(Message::new(
+                UserId(filler),
+                time0 + filler,
+                vec![KeywordId(5_000 + filler as u32)],
+            ));
+            filler += 1;
+        }
+        msgs
+    }
+
+    #[test]
+    fn build_rejects_every_degenerate_config() {
+        let cases: Vec<(DetectorBuilder, ConfigError)> = vec![
+            (builder().quantum_size(0), ConfigError::ZeroQuantumSize),
+            (builder().window_quanta(0), ConfigError::ZeroWindowQuanta),
+            (
+                builder().high_state_threshold(0),
+                ConfigError::ZeroHighStateThreshold,
+            ),
+            (builder().min_sketch_size(0), ConfigError::ZeroSketchWidth),
+            (
+                builder().edge_correlation_threshold(-0.1),
+                ConfigError::EdgeCorrelationOutOfRange(-0.1),
+            ),
+            (
+                builder().rank_threshold_factor(-2.0),
+                ConfigError::RankThresholdFactorOutOfRange(-2.0),
+            ),
+            (
+                builder().parallelism(Parallelism::Threads(0)),
+                ConfigError::ZeroThreads,
+            ),
+        ];
+        for (b, expected) in cases {
+            assert_eq!(b.build().err(), Some(expected));
+        }
+        assert!(builder().build().is_ok());
+    }
+
+    #[test]
+    fn sinks_receive_quanta_events_and_slides_without_polling() {
+        let mut session = builder().build().unwrap();
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        session.attach_sink(Box::new(Arc::clone(&sink)));
+        assert_eq!(session.sink_count(), 1);
+
+        // Quantum 0 carries a correlated burst; the window (w = 4) then
+        // slides past capacity on quantum 4.
+        session.run(&event_quantum(20, 6, &[1, 2, 3], 0));
+        for q in 1..=4u64 {
+            session.run(&event_quantum(20, 0, &[], q * 1_000));
+        }
+
+        let sink = sink.lock().unwrap();
+        assert_eq!(sink.summaries().len(), 5);
+        assert_eq!(sink.summaries()[0].events.len(), 1);
+        let reported: usize = sink.summaries().iter().map(|s| s.events.len()).sum();
+        assert!(reported >= 1);
+        assert_eq!(
+            sink.events().len(),
+            reported,
+            "one record push per reported event"
+        );
+        assert_eq!(
+            sink.events()[0].keywords,
+            vec![KeywordId(1), KeywordId(2), KeywordId(3)]
+        );
+        assert_eq!(sink.slides(), &[0], "quantum 0 slid out at quantum 4");
+    }
+
+    #[test]
+    fn on_event_receives_the_up_to_date_record() {
+        let mut session = builder().build().unwrap();
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        session.attach_sink(Box::new(Arc::clone(&sink)));
+        session.run(&event_quantum(20, 6, &[1, 2, 3], 0));
+        session.run(&event_quantum(20, 6, &[1, 2, 3, 4], 1_000));
+        let sink = sink.lock().unwrap();
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.events()[0].rank_history.len(), 1);
+        assert_eq!(sink.events()[1].rank_history.len(), 2);
+        assert!(sink.events()[1].evolved());
+    }
+
+    #[test]
+    fn fn_sink_observes_every_quantum() {
+        let mut session = builder().build().unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen_clone = Arc::clone(&seen);
+        session.attach_sink(Box::new(FnSink::new(move |summary: &QuantumSummary| {
+            seen_clone.lock().unwrap().push(summary.quantum);
+        })));
+        session.run(&event_quantum(20, 6, &[1, 2, 3], 0));
+        session.run(&event_quantum(20, 0, &[], 1_000));
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_notification() {
+        let mut session = builder().build().unwrap();
+        session.attach_sink(Box::new(JsonLinesSink::new(Vec::new())));
+        // Steal the sink back is not possible through the trait object, so
+        // drive a second, standalone sink directly.
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let summaries = session.run(&event_quantum(20, 6, &[1, 2, 3], 0));
+        sink.on_quantum(&summaries[0]);
+        sink.on_slide(7, 4);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let quantum = dengraph_json::parse(lines[0]).unwrap();
+        assert_eq!(quantum.get("type").unwrap().as_str().unwrap(), "quantum");
+        assert_eq!(quantum.get("quantum").unwrap().as_u64().unwrap(), 0);
+        let slide = dengraph_json::parse(lines[1]).unwrap();
+        assert_eq!(slide.get("type").unwrap().as_str().unwrap(), "slide");
+        assert_eq!(slide.get("evicted_quantum").unwrap().as_u64().unwrap(), 7);
+    }
+
+    #[test]
+    fn checkpoint_restores_counters_and_partial_buffer() {
+        let mut session = builder().build().unwrap();
+        session.run(&event_quantum(20, 6, &[1, 2, 3], 0));
+        // Leave 5 messages sitting in the partial-quantum buffer.
+        for m in event_quantum(20, 6, &[1, 2, 3], 1_000).into_iter().take(5) {
+            assert!(session.push_message(m).is_none());
+        }
+        let checkpoint = session.checkpoint();
+        let text = checkpoint.to_json_string();
+        let mut restored =
+            DetectorSession::restore(&Checkpoint::from_json_str(&text).unwrap()).unwrap();
+        assert_eq!(restored.quanta_processed(), 1);
+        assert_eq!(restored.total_messages(), 20);
+        // The buffered 5 messages survive: flushing yields a 5-message quantum.
+        let summary = restored.flush().unwrap();
+        assert_eq!(summary.messages, 5);
+    }
+
+    #[test]
+    fn restore_rejects_tampered_configs_with_a_typed_error() {
+        let session = builder().build().unwrap();
+        let text = session.checkpoint().to_json_string();
+        let tampered = text.replace("\"quantum_size\":20", "\"quantum_size\":0");
+        assert_ne!(text, tampered, "the fixture must actually tamper");
+        let checkpoint = Checkpoint::from_json_str(&tampered).unwrap();
+        assert_eq!(
+            DetectorSession::restore(&checkpoint).err(),
+            Some(RestoreError::Config(ConfigError::ZeroQuantumSize))
+        );
+    }
+
+    /// Derived state must agree with the validated configuration: a
+    /// checkpoint whose window geometry was tampered (capacity, sketch
+    /// size or mode out of step with the config) is rejected instead of
+    /// silently restoring a self-contradictory detector.
+    #[test]
+    fn restore_rejects_window_geometry_contradicting_the_config() {
+        let mut session = builder().build().unwrap();
+        session.run(&event_quantum(20, 6, &[1, 2, 3], 0));
+        let text = session.checkpoint().to_json_string();
+        for (needle, replacement) in [
+            ("\"capacity\":4", "\"capacity\":2"),
+            ("\"capacity\":4", "\"capacity\":0"),
+        ] {
+            let tampered = text.replace(needle, replacement);
+            assert_ne!(text, tampered, "the fixture must actually tamper");
+            let checkpoint = Checkpoint::from_json_str(&tampered).unwrap();
+            assert!(
+                matches!(
+                    DetectorSession::restore(&checkpoint),
+                    Err(RestoreError::Json(_))
+                ),
+                "tamper {needle} -> {replacement} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_structural_garbage() {
+        assert!(Checkpoint::from_json_str("{not json").is_err());
+        let checkpoint = Checkpoint::from_json_str("{\"hello\": 1}").unwrap();
+        assert!(matches!(
+            DetectorSession::restore(&checkpoint),
+            Err(RestoreError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn builder_exposes_the_assembled_config() {
+        let b = builder();
+        assert_eq!(b.config().quantum_size, 20);
+        let session = b.build().unwrap();
+        assert_eq!(session.config().window_quanta, 4);
+    }
+}

@@ -142,6 +142,16 @@ impl Value {
         }
     }
 
+    /// The value of object key `key`, or `None` when the key is absent or
+    /// holds `null`.  Errors only when `self` is not an object — the
+    /// accessor optional fields (e.g. checkpoint extensions) decode with.
+    pub fn get_opt(&self, key: &str) -> Result<Option<&Value>> {
+        match self {
+            Value::Obj(map) => Ok(map.get(key).filter(|v| !matches!(v, Value::Null))),
+            _ => err(format!("expected object while reading key '{key}'"), 0),
+        }
+    }
+
     /// This value as an array slice.
     pub fn as_arr(&self) -> Result<&[Value]> {
         match self {
@@ -372,16 +382,35 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar.  Only the
+                    // scalar's own bytes are validated — validating the
+                    // whole remaining input here made parsing quadratic
+                    // on string-heavy documents (megabyte checkpoints
+                    // took seconds to restore).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => {
+                            return err("invalid utf-8", self.pos);
+                        }
+                    };
+                    let end = self.pos + len;
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or(JsonError {
                             message: "invalid utf-8".into(),
                             offset: self.pos,
                         })?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
+                    self.pos = end;
                 }
             }
         }
@@ -559,6 +588,20 @@ mod tests {
             "héllo"
         );
         assert_eq!(parse("\"\\u00e9\"").unwrap(), Value::str("é"));
+    }
+
+    #[test]
+    fn parses_multibyte_scalars_anywhere_in_strings() {
+        for text in [
+            "é",
+            "héllo wörld",
+            "日本語テキスト",
+            "mixed 中 ascii",
+            "🦀🦀",
+        ] {
+            let v = Value::str(text);
+            assert_eq!(parse(&to_string(&v)).unwrap(), v, "round trip of {text:?}");
+        }
     }
 
     #[test]

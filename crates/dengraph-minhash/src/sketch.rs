@@ -160,6 +160,28 @@ impl MinHashSketch {
     pub fn clear(&mut self) {
         self.minima.clear();
     }
+
+    /// Serialises the sketch to a [`dengraph_json::Value`] (`p` plus the
+    /// ascending minima list).
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("p", Value::from(self.p)),
+            (
+                "minima",
+                Value::arr(self.minima.iter().map(|&m| Value::from(m))),
+            ),
+        ])
+    }
+
+    /// Reconstructs a sketch serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let mut sketch = Self::new(value.get("p")?.as_usize()?);
+        for m in value.get("minima")?.as_arr()? {
+            sketch.insert_hash(m.as_u64()?);
+        }
+        Ok(sketch)
+    }
 }
 
 #[cfg(test)]
@@ -307,5 +329,16 @@ mod tests {
     #[test]
     fn capacity_is_at_least_one() {
         assert_eq!(MinHashSketch::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_sketch() {
+        let h = hasher();
+        for ids in [vec![], vec![7], vec![1, 2, 3, 4, 5, 6]] {
+            let s = MinHashSketch::from_ids(3, &h, ids);
+            let back = MinHashSketch::from_json(&s.to_json()).unwrap();
+            assert_eq!(back, s);
+            assert_eq!(back.capacity(), s.capacity());
+        }
     }
 }

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use crate::sketch::MinHashSketch;
 
 /// Per-epoch sub-sketches with an eagerly maintained merged union.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochSketchStore {
     p: usize,
     epochs: VecDeque<(u64, MinHashSketch)>,
@@ -92,6 +92,42 @@ impl EpochSketchStore {
     pub fn merged(&self) -> &MinHashSketch {
         &self.merged
     }
+
+    /// Serialises the store to a [`dengraph_json::Value`]: `p` plus one
+    /// `[epoch, sketch]` pair per live epoch, oldest first.  The cached
+    /// union is not serialised — [`Self::from_json`] recomputes it, and
+    /// p-minima merging is deterministic, so the rebuilt union is
+    /// bit-identical to the original.
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        Value::obj([
+            ("p", Value::from(self.p)),
+            (
+                "epochs",
+                Value::arr(
+                    self.epochs
+                        .iter()
+                        .map(|(e, s)| Value::arr([Value::from(*e), s.to_json()])),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstructs a store serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let mut store = Self::new(value.get("p")?.as_usize()?);
+        for pair in value.get("epochs")?.as_arr()? {
+            let parts = pair.as_arr()?;
+            if parts.len() != 2 {
+                return Err(dengraph_json::JsonError {
+                    message: format!("epoch pair has {} elements", parts.len()),
+                    offset: 0,
+                });
+            }
+            store.push(parts[0].as_u64()?, MinHashSketch::from_json(&parts[1])?);
+        }
+        Ok(store)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +183,19 @@ mod tests {
         assert!(store.merged().is_empty());
         assert_eq!(store.merged().capacity(), 2);
         assert_eq!(store.latest_epoch(), None);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_epochs_and_union() {
+        let h = hasher();
+        let mut store = EpochSketchStore::new(4);
+        store.push(3, MinHashSketch::from_ids(4, &h, [1, 2, 3]));
+        store.push(5, MinHashSketch::from_ids(4, &h, [3, 4]));
+        store.evict_through(3);
+        store.push(6, MinHashSketch::from_ids(4, &h, [7, 8, 9]));
+        let back = EpochSketchStore::from_json(&store.to_json()).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.merged(), store.merged());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run -p dengraph-examples --example earthquake_stream`
 
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorBuilder, DetectorConfig};
 use dengraph_stream::generator::{EventScenario, StreamGenerator, StreamProfile};
 use dengraph_stream::ground_truth::GroundTruthEventKind;
 
@@ -48,7 +48,10 @@ fn main() {
     let config = DetectorConfig::nominal()
         .with_quantum_size(160)
         .with_window_quanta(20);
-    let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config)
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
     let summaries = detector.run(&trace.messages);
 
     println!("\nquantum | clusters | top event (rank, keywords)");

@@ -15,7 +15,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 use std::thread;
 
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorBuilder, DetectorConfig};
 use dengraph_parallel::Parallelism;
 use dengraph_stream::generator::profiles::{es_profile, ProfileScale};
 use dengraph_stream::{Message, StreamGenerator};
@@ -54,7 +54,10 @@ fn main() {
         let config = DetectorConfig::nominal()
             .with_window_quanta(20)
             .with_parallelism(Parallelism::auto());
-        let mut detector = EventDetector::new(config).with_interner(interner.clone());
+        let mut detector = DetectorBuilder::from_config(config)
+            .interner(interner.clone())
+            .build()
+            .expect("valid config");
         let mut processed = 0u64;
         for message in rx.iter() {
             processed += 1;

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run -p dengraph-examples --example quickstart`
 
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorBuilder, DetectorConfig};
 use dengraph_stream::{Message, UserId};
 use dengraph_text::KeywordPipeline;
 
@@ -45,7 +45,10 @@ fn main() {
         .with_high_state_threshold(3)
         .with_edge_correlation_threshold(0.2)
         .with_window_quanta(5);
-    let mut detector = EventDetector::new(config).with_interner(pipeline.interner().clone());
+    let mut detector = DetectorBuilder::from_config(config)
+        .interner(pipeline.interner().clone())
+        .build()
+        .expect("valid config");
 
     // 3. Stream the messages; every completed quantum yields a summary.
     println!("== streaming {} messages ==", messages.len());

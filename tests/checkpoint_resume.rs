@@ -1,0 +1,317 @@
+//! The checkpoint/restore contract, at two levels.
+//!
+//! **State round-trips** — for every serialised state struct (dynamic
+//! graph, sliding-window state incl. the incremental index, epoch sketch
+//! store, cluster registry) a ChaCha8-seeded property loop asserts
+//! `from_json(to_json(state)) == state` over randomly built instances.
+//!
+//! **Mid-stream equivalence** — the acceptance criterion of the session
+//! API: run N quanta, checkpoint through the *JSON string* form, restore
+//! into a fresh session, run M more quanta — and the concatenated
+//! `QuantumSummary` stream plus the final long-term event records must be
+//! **bit-identical** to an uninterrupted N+M run.  Checked across window
+//! sizes × `Parallelism` × `WindowIndexMode`, with the split point placed
+//! mid-quantum so the partial message buffer round-trips too.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use dengraph_core::cluster::{edge_addition, edge_deletion, ClusterRegistry};
+use dengraph_core::keyword_state::{QuantumRecord, WindowState};
+use dengraph_core::{
+    Checkpoint, DetectorBuilder, DetectorConfig, DetectorSession, Parallelism, QuantumSummary,
+    VecSink, WindowIndexMode,
+};
+use dengraph_graph::{DynamicGraph, NodeId};
+use dengraph_minhash::{EpochSketchStore, MinHashSketch, UserHasher};
+use dengraph_stream::generator::profiles::{es_profile, tw_profile, ProfileScale};
+use dengraph_stream::{Message, StreamGenerator, Trace, UserId};
+use dengraph_text::KeywordId;
+
+// ---------------------------------------------------------------------------
+// State round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dynamic_graph_round_trips_under_random_workloads() {
+    for case in 0..32u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC4EC_0000 + case);
+        let mut graph = DynamicGraph::new();
+        for _ in 0..rng.gen_range(0..120u32) {
+            let a = NodeId(rng.gen_range(0..25u32));
+            let b = NodeId(rng.gen_range(0..25u32));
+            if a == b {
+                continue;
+            }
+            match rng.gen_range(0..5u32) {
+                0 => {
+                    graph.remove_edge(a, b);
+                }
+                1 => {
+                    graph.remove_node(a);
+                }
+                2 => {
+                    graph.add_node(a);
+                }
+                _ => {
+                    graph.add_edge(a, b, rng.gen_range(0.0..1.0f64));
+                }
+            }
+        }
+        let back = DynamicGraph::from_json(&graph.to_json()).unwrap();
+        assert_eq!(back, graph, "case {case}: graph diverged");
+        // And through the string form (the durable representation).
+        let text = dengraph_json::to_string(&graph.to_json());
+        let back = DynamicGraph::from_json(&dengraph_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, graph, "case {case}: graph diverged via string");
+    }
+}
+
+#[test]
+fn sketch_store_round_trips_under_random_workloads() {
+    for case in 0..32u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5304_0000 + case);
+        let hasher = UserHasher::new(rng.gen());
+        let p = rng.gen_range(1..8usize);
+        let mut store = EpochSketchStore::new(p);
+        let mut epoch = 0u64;
+        for _ in 0..rng.gen_range(1..20u32) {
+            if rng.gen_range(0..4u32) == 0 && !store.is_empty() {
+                let horizon = epoch.saturating_sub(rng.gen_range(0..3u64));
+                store.evict_through(horizon);
+            }
+            let ids: Vec<u64> = (0..rng.gen_range(0..12u64))
+                .map(|_| rng.gen_range(0..40u64))
+                .collect();
+            store.push(
+                epoch + 1,
+                MinHashSketch::from_ids(p, &hasher, ids.iter().copied()),
+            );
+            epoch += rng.gen_range(1..3u64);
+        }
+        let back = EpochSketchStore::from_json(&store.to_json()).unwrap();
+        assert_eq!(back, store, "case {case}: store diverged");
+        assert_eq!(back.merged(), store.merged());
+    }
+}
+
+/// Builds a pseudo-random message quantum.
+fn random_messages(rng: &mut ChaCha8Rng, quantum: u64) -> Vec<Message> {
+    let count = if rng.gen_range(0..5u32) == 0 {
+        0 // empty quantum: pure slide
+    } else {
+        rng.gen_range(1..40usize)
+    };
+    (0..count)
+        .map(|m| {
+            let user = UserId(rng.gen_range(0..15u64));
+            let keywords: Vec<KeywordId> = (0..rng.gen_range(1..4u32))
+                .map(|_| KeywordId(rng.gen_range(0..10u32)))
+                .collect();
+            Message::new(user, quantum * 1000 + m as u64, keywords)
+        })
+        .collect()
+}
+
+#[test]
+fn window_state_round_trips_under_random_workloads() {
+    for case in 0..24u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x71D0_1000 + case);
+        let capacity = rng.gen_range(1..8usize);
+        let sketch_size = rng.gen_range(2..20usize);
+        for mode in [WindowIndexMode::Rebuild, WindowIndexMode::Incremental] {
+            let mut window =
+                WindowState::with_mode(capacity, sketch_size, UserHasher::new(0xBEEF), mode);
+            let quanta = rng.gen_range(1..16u64);
+            for q in 0..quanta {
+                let messages = random_messages(&mut rng, q);
+                window.push(QuantumRecord::from_messages(q, &messages));
+            }
+            let text = dengraph_json::to_string(&window.to_json());
+            let back = WindowState::from_json(&dengraph_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, window, "case {case} mode {mode:?}: window diverged");
+            // Probe the reads the detector actually issues.
+            for kw in (0..10u32).map(KeywordId) {
+                assert_eq!(back.window_sketch(kw), window.window_sketch(kw));
+                assert_eq!(back.window_user_set(kw), window.window_user_set(kw));
+                assert_eq!(back.last_seen(kw), window.last_seen(kw));
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_registry_round_trips_under_random_workloads() {
+    for case in 0..24u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC105_0000 + case);
+        let mut graph = DynamicGraph::new();
+        let mut registry = ClusterRegistry::new();
+        for _ in 0..rng.gen_range(5..60u32) {
+            let a = NodeId(rng.gen_range(0..12u32));
+            let b = NodeId(rng.gen_range(0..12u32));
+            if a == b {
+                continue;
+            }
+            if rng.gen_range(0..4u32) == 0 {
+                if graph.remove_edge(a, b).is_some() {
+                    edge_deletion(&mut registry, a, b, 1);
+                }
+            } else if graph.add_edge(a, b, 1.0) {
+                edge_addition(&graph, &mut registry, a, b, 0);
+            }
+        }
+        registry.check_invariants().unwrap();
+        let text = dengraph_json::to_string(&registry.to_json());
+        let back = ClusterRegistry::from_json(&dengraph_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, registry, "case {case}: registry diverged");
+        back.check_invariants().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-stream checkpoint/restore equivalence
+// ---------------------------------------------------------------------------
+
+/// Byte-level comparison of everything a summary reports (Debug output
+/// covers every field; float formatting is shortest-round-trip, so two
+/// ranks print identically iff they are bit-identical).
+fn canonical(summaries: &[QuantumSummary]) -> String {
+    format!("{summaries:#?}")
+}
+
+fn build(trace: &Trace, config: &DetectorConfig) -> DetectorSession {
+    DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config")
+}
+
+/// Runs `messages[..split]`, checkpoints through the JSON string form,
+/// restores a fresh session and finishes the stream on it.  Returns the
+/// concatenated summary stream and the restored session.
+fn run_with_interruption(
+    trace: &Trace,
+    config: &DetectorConfig,
+    split: usize,
+) -> (Vec<QuantumSummary>, DetectorSession) {
+    let mut first = build(trace, config);
+    let mut summaries = Vec::new();
+    for message in &trace.messages[..split] {
+        summaries.extend(first.push_message(message.clone()));
+    }
+    // Through the durable wire form, not just the value model.
+    let text = first.checkpoint().to_json_string();
+    drop(first);
+    let checkpoint = Checkpoint::from_json_str(&text).expect("checkpoint parses");
+    let mut second = DetectorSession::restore(&checkpoint).expect("checkpoint restores");
+    for message in &trace.messages[split..] {
+        summaries.extend(second.push_message(message.clone()));
+    }
+    summaries.extend(second.flush());
+    (summaries, second)
+}
+
+#[test]
+fn mid_stream_restore_is_bit_identical_across_profiles() {
+    let trace = StreamGenerator::new(tw_profile(61, ProfileScale::Small)).generate();
+    // Mid-quantum split: the partial message buffer must survive the trip.
+    let split = trace.messages.len() * 2 / 3 + 7;
+    assert!(split < trace.messages.len());
+
+    for window_quanta in [6usize, 12] {
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+            for mode in [WindowIndexMode::Rebuild, WindowIndexMode::Incremental] {
+                let config = DetectorConfig::nominal()
+                    .with_window_quanta(window_quanta)
+                    .with_parallelism(parallelism)
+                    .with_window_index_mode(mode);
+                let label = format!("w={window_quanta} {parallelism} {mode:?}");
+
+                let mut uninterrupted = build(&trace, &config);
+                let full = uninterrupted.run(&trace.messages);
+                let (stitched, resumed) = run_with_interruption(&trace, &config, split);
+
+                assert_eq!(
+                    canonical(&full),
+                    canonical(&stitched),
+                    "{label}: summary stream diverged after restore"
+                );
+                assert_eq!(
+                    format!("{:#?}", uninterrupted.event_records()),
+                    format!("{:#?}", resumed.event_records()),
+                    "{label}: long-term event records diverged after restore"
+                );
+                assert_eq!(uninterrupted.total_messages(), resumed.total_messages());
+                assert_eq!(uninterrupted.quanta_processed(), resumed.quanta_processed());
+            }
+        }
+    }
+}
+
+/// The event-dense ES profile exercises merges, splits and stale removal
+/// much harder than TW; one deep profile guards the corner cases.
+#[test]
+fn mid_stream_restore_is_bit_identical_on_event_dense_streams() {
+    let trace = StreamGenerator::new(es_profile(62, ProfileScale::Small)).generate();
+    let config = DetectorConfig::nominal().with_window_quanta(8);
+    for fraction in [1, 2, 3] {
+        let split = trace.messages.len() * fraction / 4 + 3;
+        let mut uninterrupted = build(&trace, &config);
+        let full = uninterrupted.run(&trace.messages);
+        let (stitched, resumed) = run_with_interruption(&trace, &config, split);
+        assert_eq!(
+            canonical(&full),
+            canonical(&stitched),
+            "split at {split}: summary stream diverged"
+        );
+        assert_eq!(
+            format!("{:#?}", uninterrupted.event_records()),
+            format!("{:#?}", resumed.event_records()),
+            "split at {split}: event records diverged"
+        );
+    }
+}
+
+/// A restored session pushes to freshly attached sinks exactly what the
+/// uninterrupted session pushes over the same suffix.
+#[test]
+fn restored_sessions_feed_sinks_identically() {
+    use std::sync::{Arc, Mutex};
+
+    let trace = StreamGenerator::new(tw_profile(63, ProfileScale::Small)).generate();
+    let config = DetectorConfig::nominal().with_window_quanta(6);
+    let split = trace.messages.len() / 2 + 5;
+
+    // Uninterrupted session with a sink attached from the start.
+    let mut full = build(&trace, &config);
+    let full_sink = Arc::new(Mutex::new(VecSink::new()));
+    full.attach_sink(Box::new(Arc::clone(&full_sink)));
+    full.run(&trace.messages);
+
+    // Interrupted twin: the sink is re-attached after restore.
+    let mut first = build(&trace, &config);
+    for message in &trace.messages[..split] {
+        first.push_message(message.clone());
+    }
+    let checkpoint = first.checkpoint();
+    let mut second = DetectorSession::restore(&checkpoint).unwrap();
+    let resumed_sink = Arc::new(Mutex::new(VecSink::new()));
+    second.attach_sink(Box::new(Arc::clone(&resumed_sink)));
+    for message in &trace.messages[split..] {
+        second.push_message(message.clone());
+    }
+    second.flush();
+
+    let full_sink = full_sink.lock().unwrap();
+    let resumed_sink = resumed_sink.lock().unwrap();
+    let suffix_start = full_sink.summaries().len() - resumed_sink.summaries().len();
+    assert!(
+        !resumed_sink.summaries().is_empty(),
+        "the suffix must process at least one quantum"
+    );
+    assert_eq!(
+        canonical(&full_sink.summaries()[suffix_start..]),
+        canonical(resumed_sink.summaries()),
+        "sink-delivered summaries diverged after restore"
+    );
+}

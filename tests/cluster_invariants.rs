@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use dengraph_core::akg::{keyword_of, GraphDelta};
-use dengraph_core::{ClusterMaintainer, DetectorConfig, EventDetector};
+use dengraph_core::{ClusterMaintainer, DetectorBuilder, DetectorConfig};
 use dengraph_graph::{DynamicGraph, NodeId};
 use dengraph_stream::generator::{EventScenario, StreamGenerator, StreamProfile};
 use dengraph_stream::ground_truth::GroundTruthEventKind;
@@ -163,7 +163,10 @@ fn detector_reports_only_valid_clusters() {
     let config = DetectorConfig::nominal()
         .with_quantum_size(120)
         .with_window_quanta(15);
-    let mut detector = EventDetector::new(config).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config)
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
 
     for quantum in trace.quanta(120) {
         let summary = detector.process_quantum(&quantum);

@@ -7,7 +7,7 @@
 
 use dengraph_core::ckg::CkgTracker;
 use dengraph_core::evaluation::{compare_schemes, measure_throughput, run_detector_on_trace};
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorBuilder, DetectorConfig};
 use dengraph_stream::generator::profiles::{es_profile, tw_profile, ProfileScale};
 use dengraph_stream::StreamGenerator;
 
@@ -86,7 +86,10 @@ fn discovered_clusters_stay_small_and_focused() {
 fn akg_is_orders_of_magnitude_smaller_than_ckg() {
     let trace = small_tw();
     let config = test_config();
-    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
     let mut ckg = CkgTracker::new(config.window_quanta);
     let mut max_ratio: f64 = 0.0;
     for quantum in trace.quanta(config.quantum_size) {

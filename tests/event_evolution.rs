@@ -3,7 +3,7 @@
 //! the build-up / wind-down rank trajectory, and the post-hoc spuriousness
 //! heuristic of Section 7.2.2.
 
-use dengraph_core::{DetectorConfig, EventDetector};
+use dengraph_core::{DetectorBuilder, DetectorConfig, DetectorSession};
 use dengraph_stream::{Message, UserId};
 use dengraph_text::KeywordId;
 
@@ -49,7 +49,7 @@ fn quantum(
     msgs
 }
 
-fn feed(det: &mut EventDetector, msgs: Vec<Message>) -> Option<dengraph_core::QuantumSummary> {
+fn feed(det: &mut DetectorSession, msgs: Vec<Message>) -> Option<dengraph_core::QuantumSummary> {
     let mut out = None;
     for m in msgs {
         if let Some(s) = det.push_message(m) {
@@ -62,7 +62,9 @@ fn feed(det: &mut EventDetector, msgs: Vec<Message>) -> Option<dengraph_core::Qu
 #[test]
 fn late_keyword_joins_the_cluster_like_figure_1() {
     let cfg = config();
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     feed(&mut det, quantum(&cfg, 6, 100, &[1, 2, 3, 4], 0));
     // Next quantum the magnitude ("5.9") appears alongside the old keywords.
     let summary = feed(&mut det, quantum(&cfg, 6, 200, &[1, 2, 3, 4, 5], 1)).unwrap();
@@ -82,7 +84,9 @@ fn two_stories_with_shared_vocabulary_merge_into_one_event() {
     // Example 2: two clusters about the same real-world happening develop a
     // strong cross correlation and merge.
     let cfg = config();
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     let mut msgs = Vec::new();
     // Story A users and story B users post in the same quantum.
     for u in 0..4u64 {
@@ -119,7 +123,9 @@ fn rank_follows_the_build_up_and_wind_down_of_the_event() {
         window_quanta: 3,
         ..config()
     };
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     let intensities = [3u64, 6, 9, 9, 6, 3];
     let mut ranks = Vec::new();
     for (q, &users) in intensities.iter().enumerate() {
@@ -143,7 +149,9 @@ fn rank_follows_the_build_up_and_wind_down_of_the_event() {
 #[test]
 fn spurious_burst_is_flagged_by_the_posthoc_heuristic() {
     let cfg = config();
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     // A one-quantum advertisement burst with no evolution, then silence.
     feed(&mut det, quantum(&cfg, 8, 100, &[50, 51, 52], 0));
     for salt in 1..4 {
@@ -169,7 +177,9 @@ fn spurious_burst_is_flagged_by_the_posthoc_heuristic() {
 #[test]
 fn higher_support_events_rank_above_lower_support_events() {
     let cfg = config();
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     let mut msgs = Vec::new();
     for u in 0..8u64 {
         msgs.push(Message::new(UserId(100 + u), u, vec![k(1), k(2), k(3)]));

@@ -5,12 +5,15 @@
 //! mutation phase applies in canonical order — and this test is the gate
 //! that keeps it that way.
 
-use dengraph_core::{DetectorConfig, EventDetector, Parallelism, QuantumSummary};
+use dengraph_core::{DetectorBuilder, DetectorConfig, Parallelism, QuantumSummary};
 use dengraph_stream::generator::profiles::{es_profile, tw_profile, ProfileScale};
 use dengraph_stream::{StreamGenerator, Trace};
 
 fn run(trace: &Trace, config: &DetectorConfig) -> Vec<QuantumSummary> {
-    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
     detector.run(&trace.messages)
 }
 
@@ -82,10 +85,16 @@ fn non_nominal_thresholds_are_deterministic() {
 fn event_records_match_between_serial_and_parallel() {
     let trace = StreamGenerator::new(tw_profile(35, ProfileScale::Small)).generate();
     let config = DetectorConfig::nominal().with_window_quanta(20);
-    let mut serial = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let mut serial = DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
     serial.run(&trace.messages);
-    let mut parallel = EventDetector::new(config.with_parallelism(Parallelism::Threads(4)))
-        .with_interner(trace.interner.clone());
+    let mut parallel =
+        DetectorBuilder::from_config(config.with_parallelism(Parallelism::Threads(4)))
+            .interner(trace.interner.clone())
+            .build()
+            .expect("valid config");
     parallel.run(&trace.messages);
     assert_eq!(
         format!("{:#?}", serial.event_records()),

@@ -2,7 +2,7 @@
 //! and the effect of the window length — the Section 3.1 mechanics observed
 //! through the public API.
 
-use dengraph_core::{DetectorConfig, EventDetector, WindowIndexMode};
+use dengraph_core::{DetectorBuilder, DetectorConfig, DetectorSession, WindowIndexMode};
 use dengraph_stream::{Message, Quantum, UserId};
 use dengraph_text::KeywordId;
 
@@ -48,7 +48,7 @@ fn quantum(
     msgs
 }
 
-fn feed(detector: &mut EventDetector, msgs: Vec<Message>) {
+fn feed(detector: &mut DetectorSession, msgs: Vec<Message>) {
     for m in msgs {
         detector.push_message(m);
     }
@@ -57,7 +57,9 @@ fn feed(detector: &mut EventDetector, msgs: Vec<Message>) {
 #[test]
 fn event_survives_while_inside_the_window_and_expires_after() {
     let cfg = config(3);
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     feed(&mut det, quantum(&cfg, 6, 100, &[1, 2, 3], 0));
     assert_eq!(det.clusters().cluster_count(), 1);
 
@@ -87,7 +89,9 @@ fn event_survives_while_inside_the_window_and_expires_after() {
 fn longer_windows_keep_events_alive_longer() {
     let count_after_gap = |window: usize, quiet_quanta: u64| -> usize {
         let cfg = config(window);
-        let mut det = EventDetector::new(cfg.clone());
+        let mut det = DetectorBuilder::from_config(cfg.clone())
+            .build()
+            .expect("valid config");
         feed(&mut det, quantum(&cfg, 6, 100, &[1, 2, 3], 0));
         for salt in 1..=quiet_quanta {
             feed(&mut det, quantum(&cfg, 0, 0, &[], salt));
@@ -101,7 +105,9 @@ fn longer_windows_keep_events_alive_longer() {
 #[test]
 fn keyword_reappearing_within_the_window_refreshes_the_event() {
     let cfg = config(4);
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     feed(&mut det, quantum(&cfg, 6, 100, &[1, 2, 3], 0));
     feed(&mut det, quantum(&cfg, 0, 0, &[], 1));
     // The same story flares up again two quanta later with fresh users.
@@ -145,8 +151,12 @@ fn quantum_size_controls_burstiness_sensitivity() {
         quantum_size: 40,
         ..config(5)
     };
-    let mut det_small = EventDetector::new(small);
-    let mut det_large = EventDetector::new(large);
+    let mut det_small = DetectorBuilder::from_config(small)
+        .build()
+        .expect("valid config");
+    let mut det_large = DetectorBuilder::from_config(large)
+        .build()
+        .expect("valid config");
     det_small.run(&build_messages());
     det_large.run(&build_messages());
     assert_eq!(
@@ -167,7 +177,9 @@ fn quantum_size_controls_burstiness_sensitivity() {
 fn empty_quantum_slides_the_window_and_advances_stale_accounting() {
     for mode in [WindowIndexMode::Rebuild, WindowIndexMode::Incremental] {
         let cfg = config(3).with_window_index_mode(mode);
-        let mut det = EventDetector::new(cfg.clone());
+        let mut det = DetectorBuilder::from_config(cfg.clone())
+            .build()
+            .expect("valid config");
         feed(&mut det, quantum(&cfg, 6, 100, &[1, 2, 3], 0));
         assert_eq!(det.clusters().cluster_count(), 1, "{mode:?}");
 
@@ -208,7 +220,9 @@ fn empty_quantum_slides_the_window_and_advances_stale_accounting() {
 #[test]
 fn leading_empty_quanta_are_harmless() {
     let cfg = config(3);
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     for i in 0..4u64 {
         let summary = det.process_quantum(&Quantum {
             index: i,
@@ -225,7 +239,9 @@ fn leading_empty_quanta_are_harmless() {
 #[test]
 fn partial_final_quantum_is_processed_by_flush() {
     let cfg = config(3);
-    let mut det = EventDetector::new(cfg.clone());
+    let mut det = DetectorBuilder::from_config(cfg.clone())
+        .build()
+        .expect("valid config");
     // Only half a quantum of event messages, then end of stream.
     for u in 0..6u64 {
         det.push_message(Message::new(UserId(u), u, vec![k(1), k(2), k(3)]));

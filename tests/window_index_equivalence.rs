@@ -11,14 +11,19 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use dengraph_core::keyword_state::{QuantumRecord, WindowState};
-use dengraph_core::{DetectorConfig, EventDetector, Parallelism, QuantumSummary, WindowIndexMode};
+use dengraph_core::{
+    DetectorBuilder, DetectorConfig, Parallelism, QuantumSummary, WindowIndexMode,
+};
 use dengraph_minhash::UserHasher;
 use dengraph_stream::generator::profiles::{es_profile, tw_profile, ProfileScale};
 use dengraph_stream::{Message, StreamGenerator, Trace, UserId};
 use dengraph_text::KeywordId;
 
 fn run(trace: &Trace, config: &DetectorConfig) -> Vec<QuantumSummary> {
-    let mut detector = EventDetector::new(config.clone()).with_interner(trace.interner.clone());
+    let mut detector = DetectorBuilder::from_config(config.clone())
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
     detector.run(&trace.messages)
 }
 
@@ -90,7 +95,10 @@ fn long_term_event_records_match_across_modes() {
         let config = DetectorConfig::nominal()
             .with_window_quanta(12)
             .with_window_index_mode(mode);
-        let mut det = EventDetector::new(config).with_interner(trace.interner.clone());
+        let mut det = DetectorBuilder::from_config(config)
+            .interner(trace.interner.clone())
+            .build()
+            .expect("valid config");
         det.run(&trace.messages);
         format!("{:#?}", det.event_records())
     };
