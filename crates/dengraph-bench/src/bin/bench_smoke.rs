@@ -58,13 +58,21 @@ fn main() {
     let window_index_speedup = serial / rebuild;
     let hardware_threads = Parallelism::auto().threads();
 
-    // Checkpoint round trip over the end-of-trace session state: snapshot
-    // size plus serialise/restore wall-clock, best of three.
+    // Per-stage attribution of the serial hot path: one dedicated run,
+    // reading the detector's cumulative stage timers afterwards.  The same
+    // session then feeds the checkpoint round-trip measurement below.
     let mut session = DetectorBuilder::from_config(base.clone())
         .interner(trace.interner.clone())
         .build()
         .expect("bench config is valid");
     session.run(&trace.messages);
+    let stage_times = session.detector().stage_times();
+    let stage_ms = Value::obj(
+        stage_times
+            .as_millis()
+            .into_iter()
+            .map(|(name, ms)| (name, Value::from(ms))),
+    );
     let mut checkpoint_bytes = 0usize;
     let mut checkpoint_ms = f64::INFINITY;
     let mut restore_ms = f64::INFINITY;
@@ -96,6 +104,7 @@ fn main() {
         ("checkpoint_bytes", Value::from(checkpoint_bytes)),
         ("checkpoint_ms", Value::from(checkpoint_ms)),
         ("restore_ms", Value::from(restore_ms)),
+        ("stage_ms", stage_ms),
     ]);
     let json = dengraph_json::to_string(&report);
     std::fs::write(&out_path, &json).expect("failed to write bench artifact");
@@ -113,4 +122,13 @@ fn main() {
         "checkpoint: {checkpoint_bytes} bytes, serialise {checkpoint_ms:.2} ms, \
          restore {restore_ms:.2} ms"
     );
+    let total_ms = stage_times.total_ns() as f64 / 1e6;
+    print!("stages:");
+    for (name, ms) in stage_times.as_millis() {
+        print!(
+            " {name} {ms:.2}ms ({:.0}%)",
+            100.0 * ms / total_ms.max(1e-9)
+        );
+    }
+    println!();
 }

@@ -29,7 +29,7 @@
 //! results are collected in input order and applied canonically, the
 //! parallel path is bit-identical to the serial one.
 
-use dengraph_graph::fxhash::{FxHashMap, FxHashSet};
+use dengraph_graph::fxhash::FxHashSet;
 use dengraph_graph::{DynamicGraph, NodeId};
 use dengraph_minhash::MinHashSketch;
 use dengraph_parallel::par_map;
@@ -38,6 +38,7 @@ use dengraph_text::KeywordId;
 
 use crate::config::DetectorConfig;
 use crate::keyword_state::{KeywordState, KeywordStateMachine, QuantumRecord, WindowState};
+use crate::scratch::ScratchArena;
 
 /// Converts a keyword id into the graph-node id used by the AKG.
 #[inline]
@@ -116,62 +117,81 @@ impl AkgQuantumStats {
 /// set when the config asks for exact Jaccard.
 ///
 /// Under [`WindowIndexMode::Incremental`](crate::keyword_state::WindowIndexMode)
-/// (the default) each entry is an O(p) clone of the window's cached
-/// per-keyword sketch (or an O(set) copy of its indexed user set); under
-/// `Rebuild` building an entry walks all `w` window quanta.  Either way
-/// construction fans out over keyword shards and scoring a pair touches
-/// only the two cached entries.  Both construction and lookup are pure
-/// reads, so the score phase can run on any number of threads with
-/// identical results.
-enum CorrelationCache {
-    /// Min-hash sketches (the paper's estimator, Section 3.2.2).
-    Sketches {
-        index: FxHashMap<KeywordId, usize>,
-        sketches: Vec<MinHashSketch>,
-    },
+/// (the default) each entry **borrows** the window's cached per-keyword
+/// sketch — zero copies; under `Rebuild` each entry is built by walking
+/// all `w` window quanta (fanned out over keyword shards).  The keyword →
+/// slot mapping is a binary search over the sorted `involved` column
+/// instead of a hash map.  Both construction and lookup are pure reads,
+/// so the score phase can run on any number of threads with identical
+/// results.
+enum CacheData<'w> {
+    /// Borrowed cached window sketches (incremental index, the default).
+    /// `None` marks a keyword absent from the window, scored as an empty
+    /// sketch.
+    Borrowed(Vec<Option<&'w MinHashSketch>>),
+    /// Owned sketches rebuilt from the window records (`Rebuild` mode).
+    Owned(Vec<MinHashSketch>),
     /// Exact window user sets (the `exact_edge_correlation` ablation).
-    Exact {
-        index: FxHashMap<KeywordId, usize>,
-        sets: Vec<FxHashSet<UserId>>,
-    },
+    Exact(Vec<FxHashSet<UserId>>),
 }
 
-impl CorrelationCache {
-    /// Builds the cache for every keyword appearing in `pairs`.
-    fn build<'p, I>(config: &DetectorConfig, window: &WindowState, pairs: I) -> Self
-    where
-        I: Iterator<Item = &'p (KeywordId, KeywordId)>,
-    {
-        let mut involved: Vec<KeywordId> = pairs.flat_map(|&(a, b)| [a, b]).collect();
-        involved.sort_unstable();
-        involved.dedup();
-        let index: FxHashMap<KeywordId, usize> =
-            involved.iter().enumerate().map(|(i, &k)| (k, i)).collect();
-        if config.exact_edge_correlation {
-            let sets = window.window_user_sets(&involved, config.parallelism);
-            CorrelationCache::Exact { index, sets }
+struct CorrelationCache<'a> {
+    /// Sorted, deduped keywords; slot `i` of `data` belongs to
+    /// `involved[i]`.
+    involved: &'a [KeywordId],
+    data: CacheData<'a>,
+    /// Stand-in for keywords absent from the window (same sketch the old
+    /// clone-based path materialised for them).
+    empty: MinHashSketch,
+}
+
+impl<'a> CorrelationCache<'a> {
+    /// Builds the cache over `involved` (sorted + deduped by the caller).
+    fn build(config: &DetectorConfig, window: &'a WindowState, involved: &'a [KeywordId]) -> Self {
+        let data = if config.exact_edge_correlation {
+            CacheData::Exact(window.window_user_sets(involved, config.parallelism))
+        } else if window.mode() == crate::keyword_state::WindowIndexMode::Incremental {
+            CacheData::Borrowed(
+                involved
+                    .iter()
+                    .map(|&k| window.window_sketch_ref(k))
+                    .collect(),
+            )
         } else {
-            let sketches = window.window_sketches(&involved, config.parallelism);
-            CorrelationCache::Sketches { index, sketches }
+            CacheData::Owned(window.window_sketches(involved, config.parallelism))
+        };
+        Self {
+            involved,
+            data,
+            empty: MinHashSketch::new(window.sketch_size()),
         }
+    }
+
+    #[inline]
+    fn slot(&self, keyword: KeywordId) -> usize {
+        self.involved
+            .binary_search(&keyword)
+            .expect("candidate keyword missing from correlation cache")
     }
 
     /// Edge correlation of a cached pair; identical semantics to
     /// [`WindowState::estimated_edge_correlation`] /
     /// [`WindowState::exact_edge_correlation`].
     fn correlation(&self, a: KeywordId, b: KeywordId) -> f64 {
-        match self {
-            CorrelationCache::Sketches { index, sketches } => {
-                let sa = &sketches[index[&a]];
-                let sb = &sketches[index[&b]];
-                if !sa.shares_minimum(sb) {
-                    return 0.0;
-                }
-                sa.estimate_jaccard(sb)
+        let (ia, ib) = (self.slot(a), self.slot(b));
+        let estimate = |sa: &MinHashSketch, sb: &MinHashSketch| {
+            if !sa.shares_minimum(sb) {
+                return 0.0;
             }
-            CorrelationCache::Exact { index, sets } => {
-                dengraph_minhash::exact_jaccard(&sets[index[&a]], &sets[index[&b]])
-            }
+            sa.estimate_jaccard(sb)
+        };
+        match &self.data {
+            CacheData::Borrowed(sketches) => estimate(
+                sketches[ia].unwrap_or(&self.empty),
+                sketches[ib].unwrap_or(&self.empty),
+            ),
+            CacheData::Owned(sketches) => estimate(&sketches[ia], &sketches[ib]),
+            CacheData::Exact(sets) => dengraph_minhash::exact_jaccard(&sets[ia], &sets[ib]),
         }
     }
 }
@@ -183,6 +203,13 @@ pub struct AkgMaintainer {
     graph: DynamicGraph,
     states: KeywordStateMachine,
     last_stats: AkgQuantumStats,
+    /// Cumulative wall-clock of the read-only score phase (candidate
+    /// collection + correlation-cache build + pair scoring), diagnostics
+    /// only — never serialised.
+    score_ns: u64,
+    /// Cumulative wall-clock of the mutation phases (stale removal,
+    /// admission, edge apply, lazy demotion), diagnostics only.
+    apply_ns: u64,
 }
 
 impl AkgMaintainer {
@@ -193,6 +220,8 @@ impl AkgMaintainer {
             graph: DynamicGraph::new(),
             states: KeywordStateMachine::new(),
             last_stats: AkgQuantumStats::default(),
+            score_ns: 0,
+            apply_ns: 0,
         }
     }
 
@@ -204,6 +233,13 @@ impl AkgMaintainer {
     /// Statistics of the most recently processed quantum.
     pub fn last_stats(&self) -> AkgQuantumStats {
         self.last_stats
+    }
+
+    /// Cumulative `(score_ns, apply_ns)` wall-clock split of the
+    /// per-quantum maintenance: the read-only scoring phase vs the serial
+    /// graph-mutation phases.
+    pub fn stage_ns(&self) -> (u64, u64) {
+        (self.score_ns, self.apply_ns)
     }
 
     /// Current state of a keyword.
@@ -233,6 +269,8 @@ impl AkgMaintainer {
             graph: DynamicGraph::from_json(value.get("graph")?)?,
             states: KeywordStateMachine::from_json(value.get("states")?)?,
             last_stats: AkgQuantumStats::from_json(value.get("last_stats")?)?,
+            score_ns: 0,
+            apply_ns: 0,
         })
     }
 
@@ -249,33 +287,67 @@ impl AkgMaintainer {
     where
         F: Fn(KeywordId) -> bool,
     {
-        let mut deltas = Vec::new();
+        let mut scratch = ScratchArena::default();
+        self.process_quantum_into(record, window, cluster_members, &mut scratch);
+        std::mem::take(&mut scratch.deltas)
+    }
+
+    /// Scratch-reusing variant of [`Self::process_quantum`]: the delta log
+    /// lands in `scratch.deltas` and every working vector reuses the
+    /// arena's capacity, so steady-state quanta allocate nothing here.
+    pub(crate) fn process_quantum_into<F>(
+        &mut self,
+        record: &QuantumRecord,
+        window: &WindowState,
+        cluster_members: F,
+        scratch: &mut ScratchArena,
+    ) where
+        F: Fn(KeywordId) -> bool,
+    {
+        let ScratchArena {
+            ref mut deltas,
+            ref mut nodes,
+            ref mut set1,
+            ref mut set2,
+            ref mut bursty_pairs,
+            ref mut edge_pairs,
+            ref mut all_pairs,
+            ref mut involved,
+            ..
+        } = *scratch;
+        deltas.clear();
         let mut stats = AkgQuantumStats::default();
         let sigma = self.config.high_state_threshold;
         let tau = self.config.edge_correlation_threshold;
         let parallelism = self.config.parallelism;
+        let apply_start = std::time::Instant::now();
 
         // --- 1. stale removal -------------------------------------------------
         // Sorted so the delta order is canonical regardless of the
         // adjacency map's internal iteration order.
-        let mut stale: Vec<NodeId> = self
-            .graph
-            .nodes()
-            .filter(|&n| window.is_stale(keyword_of(n)))
-            .collect();
-        stale.sort_unstable();
-        for node in stale {
-            self.remove_node(node, &mut deltas, &mut stats);
+        nodes.clear();
+        nodes.extend(
+            self.graph
+                .nodes()
+                .filter(|&n| window.is_stale(keyword_of(n))),
+        );
+        nodes.sort_unstable();
+        // (Index loop: `nodes` and `deltas` are sibling scratch buffers,
+        // so an iterator over one would pin the borrow across the push
+        // into the other.)
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..nodes.len() {
+            self.remove_node(nodes[i], deltas, &mut stats);
         }
 
         // --- 2. burstiness / node admission -----------------------------------
-        let mut quantum_keywords: Vec<KeywordId> = record.keywords().collect();
-        quantum_keywords.sort_unstable();
-        let mut set1: Vec<KeywordId> = Vec::new();
+        // `record.iter()` is ascending by keyword id, so the admission
+        // order is canonical without a sort.
+        set1.clear();
         // set(2): keywords already in the AKG that occur in this quantum.
-        let mut set2: Vec<KeywordId> = Vec::new();
-        for &keyword in &quantum_keywords {
-            let count = record.user_count(keyword);
+        set2.clear();
+        for (keyword, users) in record.iter() {
+            let count = users.len();
             let already_in_akg = self.graph.contains_node(node_of(keyword));
             self.states.observe(keyword, count, sigma);
             if count >= sigma as usize {
@@ -294,24 +366,28 @@ impl AkgMaintainer {
         }
         stats.bursty_keywords = set1.len();
 
+        self.apply_ns += apply_start.elapsed().as_nanos() as u64;
+        let score_start = std::time::Instant::now();
+
         // --- 3. candidate collection (read-only) ------------------------------
         // Exactly the two candidate sets of Section 3.2.1: (1) pairwise
         // among this quantum's bursty keywords and (2) existing edges of
         // AKG keywords seen this quantum (skipping pairs already covered
         // by set 1).  Collected before any edge mutation so the score
-        // phase can run on an immutable snapshot.
-        let set1_lookup: FxHashSet<KeywordId> = set1.iter().copied().collect();
-        let mut bursty_pairs: Vec<(KeywordId, KeywordId)> = Vec::new();
+        // phase can run on an immutable snapshot.  `set1` is sorted, so
+        // membership is a binary search.
+        bursty_pairs.clear();
         for i in 0..set1.len() {
             for j in (i + 1)..set1.len() {
                 bursty_pairs.push((set1[i], set1[j]));
             }
         }
-        let mut edge_pairs: Vec<(KeywordId, KeywordId)> = Vec::new();
-        for &keyword in &set2 {
+        edge_pairs.clear();
+        for &keyword in set2.iter() {
+            let keyword_bursty = set1.binary_search(&keyword).is_ok();
             for other in self.graph.neighbors(node_of(keyword)) {
                 let other_kw = keyword_of(other);
-                if set1_lookup.contains(&keyword) && set1_lookup.contains(&other_kw) {
+                if keyword_bursty && set1.binary_search(&other_kw).is_ok() {
                     continue;
                 }
                 let pair = if keyword <= other_kw {
@@ -329,20 +405,20 @@ impl AkgMaintainer {
         stats.pairs_evaluated = bursty_pairs.len() + edge_pairs.len();
 
         // --- 3a. score phase (parallel, read-only) ----------------------------
-        let cache = CorrelationCache::build(
-            &self.config,
-            window,
-            bursty_pairs.iter().chain(edge_pairs.iter()),
-        );
         // Both candidate sets are scored in a single fan-out (one fork-join
         // per quantum); the scores vector is split back afterwards.
-        let all_pairs: Vec<(KeywordId, KeywordId)> = bursty_pairs
-            .iter()
-            .chain(edge_pairs.iter())
-            .copied()
-            .collect();
-        let all_scores = par_map(parallelism, &all_pairs, |&(a, b)| cache.correlation(a, b));
+        all_pairs.clear();
+        all_pairs.extend(bursty_pairs.iter().copied());
+        all_pairs.extend(edge_pairs.iter().copied());
+        involved.clear();
+        involved.extend(all_pairs.iter().flat_map(|&(a, b)| [a, b]));
+        involved.sort_unstable();
+        involved.dedup();
+        let cache = CorrelationCache::build(&self.config, window, involved);
+        let all_scores = par_map(parallelism, all_pairs, |&(a, b)| cache.correlation(a, b));
         let (bursty_scores, edge_scores) = all_scores.split_at(bursty_pairs.len());
+        self.score_ns += score_start.elapsed().as_nanos() as u64;
+        let apply_start = std::time::Instant::now();
 
         // --- 3b. apply phase (serial, canonical order) ------------------------
         for (&(a, b), &ec) in bursty_pairs.iter().zip(bursty_scores) {
@@ -383,26 +459,24 @@ impl AkgMaintainer {
         }
 
         // --- 4. lazy demotion --------------------------------------------------
-        let bursty_now = set1_lookup;
-        let mut candidates: Vec<NodeId> = self
-            .graph
-            .nodes()
-            .filter(|&n| self.graph.degree(n) == 0)
-            .collect();
-        candidates.sort_unstable();
-        for node in candidates {
+        nodes.clear();
+        nodes.extend(self.graph.nodes().filter(|&n| self.graph.degree(n) == 0));
+        nodes.sort_unstable();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..nodes.len() {
+            let node = nodes[i];
             let keyword = keyword_of(node);
-            if bursty_now.contains(&keyword) {
+            if set1.binary_search(&keyword).is_ok() {
                 continue;
             }
             let keep = self.config.hysteresis && cluster_members(keyword);
             if !keep {
-                self.remove_node(node, &mut deltas, &mut stats);
+                self.remove_node(node, deltas, &mut stats);
             }
         }
 
+        self.apply_ns += apply_start.elapsed().as_nanos() as u64;
         self.last_stats = stats;
-        deltas
     }
 
     /// Removes a node (and its incident edges) from the AKG, recording the

@@ -59,23 +59,20 @@ pub fn edge_addition(
         "edge must be inserted into the graph before EdgeAddition"
     );
     let mut candidates: Vec<Candidate> = Vec::new();
-    // Phase 1: enumerate short cycles through (n1, n2).  Neighbour lists
-    // are sorted before iteration: candidate order feeds the absorb chain
-    // below, and absorbing in adjacency-map order would make fresh
-    // cluster-id assignment depend on the map's insertion history (which a
-    // checkpoint restore does not reproduce).
-    let mut n1_neighbors: Vec<NodeId> = graph.neighbors(n1).filter(|&x| x != n2).collect();
-    n1_neighbors.sort_unstable();
-    let mut n2_sorted: Vec<NodeId> = graph.neighbors(n2).filter(|&x| x != n1).collect();
-    n2_sorted.sort_unstable();
-    let n2_neighbors: FxHashSet<NodeId> = n2_sorted.iter().copied().collect();
+    // Phase 1: enumerate short cycles through (n1, n2).  Candidate order
+    // feeds the absorb chain below and must not depend on storage history
+    // (a checkpoint restore does not reproduce it) — `DynamicGraph`
+    // iterates neighbours in ascending id order, which is exactly the
+    // canonical order this loop needs.
+    let n1_neighbors: Vec<NodeId> = graph.neighbors(n1).filter(|&x| x != n2).collect();
+    let n2_neighbors: Vec<NodeId> = graph.neighbors(n2).filter(|&x| x != n1).collect();
     for &n3 in &n1_neighbors {
         // Triangle n1–n2–n3.
-        if n2_neighbors.contains(&n3) {
+        if n2_neighbors.binary_search(&n3).is_ok() {
             candidates.push(triangle_candidate(n1, n2, n3));
         }
         // 4-cycles n1–n2–n4–n3–n1.
-        for &n4 in &n2_sorted {
+        for &n4 in &n2_neighbors {
             if n4 != n3 && graph.contains_edge(n3, n4) {
                 candidates.push(square_candidate(n2, n1, n3, n4));
             }
@@ -106,10 +103,9 @@ pub fn node_addition(
     n: NodeId,
     quantum: u64,
 ) -> Vec<ClusterId> {
-    // Sorted for the same reason as in `edge_addition`: the absorb order
-    // must not depend on adjacency-map insertion history.
-    let mut neighbors: Vec<NodeId> = graph.neighbors(n).collect();
-    neighbors.sort_unstable();
+    // Ascending by construction (`DynamicGraph::neighbors`), so the absorb
+    // order is canonical without sorting.
+    let neighbors: Vec<NodeId> = graph.neighbors(n).collect();
     if neighbors.len() < 2 {
         // "If the incoming node shows correlation with zero or one node, we
         // simply add that node (and edge) in G and do nothing."
@@ -125,10 +121,8 @@ pub fn node_addition(
                 result_ids.insert(registry.absorb(nodes, edges, quantum));
             }
             // Rule R1: the two neighbours share another common neighbour n4
-            // — 4-cycle n, n2, n4, n3.
-            let mut common = graph.common_neighbors(n2, n3);
-            common.sort_unstable();
-            for n4 in common {
+            // — 4-cycle n, n2, n4, n3.  `common_neighbors` is ascending.
+            for n4 in graph.common_neighbors(n2, n3) {
                 if n4 == n {
                     continue;
                 }

@@ -207,6 +207,51 @@ impl ClusterRegistry {
         out
     }
 
+    /// The next id [`Self::fresh_id`] would hand out.  Sharded cluster
+    /// maintenance uses this to count placeholder allocations.
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Creates an empty registry whose fresh ids start at `base` — the
+    /// placeholder id space of one maintenance shard.
+    pub(crate) fn with_next_id(base: u64) -> Self {
+        Self {
+            next_id: base,
+            ..Self::new()
+        }
+    }
+
+    /// Overwrites the fresh-id counter.  Only the sharded-maintenance
+    /// merge uses this, after renumbering placeholder ids.
+    pub(crate) fn set_next_id(&mut self, next_id: u64) {
+        self.next_id = next_id;
+    }
+
+    /// Installs a cluster under its existing id, indexing its nodes and
+    /// edges, without touching the fresh-id counter.  Used to move
+    /// clusters between the global registry and maintenance shards; the
+    /// caller guarantees the id and edges collide with nothing present.
+    pub(crate) fn install(&mut self, cluster: Cluster) {
+        debug_assert!(!self.clusters.contains_key(&cluster.id));
+        for e in &cluster.edges {
+            let previous = self.edge_index.insert(*e, cluster.id);
+            debug_assert!(previous.is_none(), "edge owned by two clusters");
+        }
+        for n in &cluster.nodes {
+            self.node_index.entry(*n).or_default().insert(cluster.id);
+        }
+        self.clusters.insert(cluster.id, cluster);
+    }
+
+    /// Consumes the registry, returning its clusters sorted by id.  Used
+    /// by the sharded-maintenance merge.
+    pub(crate) fn into_clusters(self) -> Vec<Cluster> {
+        let mut clusters: Vec<Cluster> = self.clusters.into_values().collect();
+        clusters.sort_unstable_by_key(|c| c.id);
+        clusters
+    }
+
     /// Marks a cluster as updated in `quantum` (e.g. after a weight-only
     /// change relevant to event tracking).
     pub fn touch(&mut self, id: ClusterId, quantum: u64) {

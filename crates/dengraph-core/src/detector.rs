@@ -25,6 +25,7 @@ use crate::config::DetectorConfig;
 use crate::event::{DetectedEvent, EventRecord, EventTracker};
 use crate::keyword_state::{QuantumRecord, WindowState};
 use crate::ranking::{cluster_rank, cluster_support};
+use crate::scratch::ScratchArena;
 
 /// Summary of one processed quantum.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +105,56 @@ impl QuantumSummary {
     }
 }
 
+/// Cumulative wall-clock spent in each stage of the per-quantum pipeline
+/// since the detector was created (or restored — timings are diagnostics,
+/// not state, so they are never serialised).
+///
+/// The six stages mirror the pipeline described on [`EventDetector`]:
+/// window aggregation, the AKG's read-only score phase, the AKG's serial
+/// apply phase, cluster maintenance, the ranking-support pass, and the
+/// rank-filter-report loop.  `bench_smoke` publishes these as `stage_ms`
+/// so perf PRs can attribute their wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Stage 1: quantum aggregation + window slide, in nanoseconds.
+    pub window_ns: u64,
+    /// Stage 2a: AKG candidate collection + correlation scoring (read-only).
+    pub akg_score_ns: u64,
+    /// Stage 2b: AKG mutation (stale removal, admission, edge apply, demotion).
+    pub akg_apply_ns: u64,
+    /// Stage 3: cluster maintenance from AKG deltas.
+    pub cluster_ns: u64,
+    /// Stage 4: the sharded ranking-support (window user count) pass.
+    pub ranking_ns: u64,
+    /// Stage 5: rank, filter, sort and report.
+    pub report_ns: u64,
+}
+
+impl StageTimes {
+    /// Total time across all stages, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.window_ns
+            + self.akg_score_ns
+            + self.akg_apply_ns
+            + self.cluster_ns
+            + self.ranking_ns
+            + self.report_ns
+    }
+
+    /// The stages as `(name, milliseconds)` pairs, pipeline order.
+    pub fn as_millis(&self) -> [(&'static str, f64); 6] {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        [
+            ("window", ms(self.window_ns)),
+            ("akg_score", ms(self.akg_score_ns)),
+            ("akg_apply", ms(self.akg_apply_ns)),
+            ("cluster", ms(self.cluster_ns)),
+            ("ranking", ms(self.ranking_ns)),
+            ("report", ms(self.report_ns)),
+        ]
+    }
+}
+
 /// The streaming event detector.
 #[derive(Debug)]
 pub struct EventDetector {
@@ -116,6 +167,10 @@ pub struct EventDetector {
     buffer: Vec<Message>,
     next_quantum: u64,
     total_messages: u64,
+    stage_times: StageTimes,
+    /// Reusable per-quantum buffers (never part of checkpoints; a fresh
+    /// arena produces bit-identical output to a warmed one).
+    scratch: ScratchArena,
 }
 
 /// The fixed seed of the window's user hasher.  Part of the detector's
@@ -149,7 +204,11 @@ impl EventDetector {
             config.sketch_size(),
             UserHasher::new(WINDOW_HASHER_SEED),
             config.window_index_mode,
-        );
+        )
+        // Only keywords that were bursty at least once are ever read
+        // through the index, so the long tail below σ skips all
+        // incremental bookkeeping (reads fall back to the record walk).
+        .with_materialize_threshold(config.high_state_threshold as usize);
         Self {
             akg: AkgMaintainer::new(config.clone()),
             clusters: ClusterMaintainer::new(),
@@ -158,6 +217,8 @@ impl EventDetector {
             buffer: Vec::with_capacity(config.quantum_size),
             next_quantum: 0,
             total_messages: 0,
+            stage_times: StageTimes::default(),
+            scratch: ScratchArena::default(),
             window,
             config,
         }
@@ -221,6 +282,18 @@ impl EventDetector {
         self.next_quantum
     }
 
+    /// Cumulative per-stage wall-clock since construction (or restore).
+    /// Diagnostics only — never serialised, and identical configurations
+    /// produce identical *outputs* regardless of what this reports.
+    pub fn stage_times(&self) -> StageTimes {
+        let (score_ns, apply_ns) = self.akg.stage_ns();
+        StageTimes {
+            akg_score_ns: score_ns,
+            akg_apply_ns: apply_ns,
+            ..self.stage_times
+        }
+    }
+
     /// Streams a single message into the detector.  When the internal
     /// buffer reaches the configured quantum size Δ, the quantum is
     /// processed and its summary returned.
@@ -271,28 +344,54 @@ impl EventDetector {
         self.total_messages += messages.len() as u64;
 
         // 1. Aggregate and slide the window (fanned out over message
-        //    chunks per the configured parallelism).
-        let record = QuantumRecord::from_messages_with(quantum, messages, self.config.parallelism);
-        let evicted_quantum = self.window.push(record.clone()).map(|r| r.index);
+        //    chunks per the configured parallelism).  The record's backing
+        //    storage is recycled from the quantum that slides out, and the
+        //    AKG reads it in place from the window — no clone.
+        let stage_start = std::time::Instant::now();
+        let storage = self.scratch.record_storage.take().unwrap_or_default();
+        let record = QuantumRecord::from_messages_into(
+            quantum,
+            messages,
+            self.config.parallelism,
+            &mut self.scratch.pairs,
+            storage,
+        );
+        let evicted = self.window.push(record);
+        let evicted_quantum = evicted.as_ref().map(|r| r.index);
+        if let Some(old) = evicted {
+            self.scratch.record_storage = Some(old.into_storage());
+        }
+        self.stage_times.window_ns += stage_start.elapsed().as_nanos() as u64;
 
         // 2. AKG maintenance.  The hysteresis callback consults the cluster
         //    registry as it stood at the end of the previous quantum.
         let registry = &self.clusters;
-        let deltas = self
-            .akg
-            .process_quantum(&record, &self.window, |kw: KeywordId| {
-                registry.registry().is_cluster_member(node_of(kw))
-            });
+        let record = self.window.current().expect("record was just pushed");
+        self.akg.process_quantum_into(
+            record,
+            &self.window,
+            |kw: KeywordId| registry.registry().is_cluster_member(node_of(kw)),
+            &mut self.scratch,
+        );
 
-        // 3. Cluster maintenance.
-        self.clusters
-            .apply_deltas(self.akg.graph(), &deltas, quantum);
+        // 3. Cluster maintenance, sharded by AKG connected component.
+        let stage_start = std::time::Instant::now();
+        self.clusters.apply_deltas_with(
+            self.akg.graph(),
+            &self.scratch.deltas,
+            quantum,
+            self.config.parallelism,
+        );
+        self.stage_times.cluster_ns += stage_start.elapsed().as_nanos() as u64;
 
         // 4 + 5. Rank, filter and report.
-        let events = self.report_events(quantum);
+        let (events, ranking_ns, report_ns) = self.report_events(quantum);
+        self.stage_times.ranking_ns += ranking_ns;
+        let stage_start = std::time::Instant::now();
         for e in &events {
             self.tracker.observe(e);
         }
+        self.stage_times.report_ns += report_ns + stage_start.elapsed().as_nanos() as u64;
 
         QuantumSummary {
             quantum,
@@ -399,6 +498,11 @@ impl EventDetector {
         // The window's geometry is derived state; a checkpoint whose window
         // contradicts its own (validated) configuration is corrupt, and
         // restoring it would silently change slide/sketch behaviour.
+        // The materialization threshold is deliberately *not* cross-checked:
+        // every threshold yields bit-identical reads (non-materialized
+        // keywords fall back to the record walk), so a checkpoint written
+        // under a different threshold — including pre-threshold checkpoints,
+        // which decode as "materialize everything" — restores correctly.
         if window.capacity() != config.window_quanta
             || window.sketch_size() != config.sketch_size()
             || window.mode() != config.window_index_mode
@@ -431,6 +535,8 @@ impl EventDetector {
                 .collect::<dengraph_json::Result<_>>()?,
             next_quantum: value.get("next_quantum")?.as_u64()?,
             total_messages: value.get("total_messages")?.as_u64()?,
+            stage_times: StageTimes::default(),
+            scratch: ScratchArena::default(),
             config,
         })
     }
@@ -440,8 +546,10 @@ impl EventDetector {
     /// The per-node support weights (distinct window users per keyword)
     /// dominate the ranking cost, and each is an independent read of the
     /// window — so they are precomputed in one sharded pass before the
-    /// serial rank-and-filter loop.
-    fn report_events(&self, quantum: u64) -> Vec<DetectedEvent> {
+    /// serial rank-and-filter loop.  Returns the events plus the
+    /// nanoseconds spent in the support pass and the rank/filter loop.
+    fn report_events(&self, quantum: u64) -> (Vec<DetectedEvent>, u64, u64) {
+        let ranking_start = std::time::Instant::now();
         let graph = self.akg.graph();
         let mut cluster_nodes: Vec<dengraph_graph::NodeId> = self
             .clusters
@@ -455,9 +563,16 @@ impl EventDetector {
         let counts = self
             .window
             .window_user_counts(&cluster_keywords, self.config.parallelism);
-        let support_cache: dengraph_graph::fxhash::FxHashMap<dengraph_graph::NodeId, usize> =
-            cluster_nodes.iter().copied().zip(counts).collect();
-        let support = |node: dengraph_graph::NodeId| support_cache.get(&node).copied().unwrap_or(0);
+        // `cluster_nodes` is sorted, so the support lookup is a binary
+        // search over a dense column instead of a hash probe.
+        let support = |node: dengraph_graph::NodeId| {
+            cluster_nodes
+                .binary_search(&node)
+                .map(|i| counts[i])
+                .unwrap_or(0)
+        };
+        let ranking_ns = ranking_start.elapsed().as_nanos() as u64;
+        let report_start = std::time::Instant::now();
         let mut events: Vec<DetectedEvent> = Vec::new();
         for cluster in self.clusters.clusters() {
             let rank = cluster_rank(cluster, graph, &support);
@@ -493,7 +608,7 @@ impl EventDetector {
                 .total_cmp(&a.rank)
                 .then(a.cluster_id.cmp(&b.cluster_id))
         });
-        events
+        (events, ranking_ns, report_start.elapsed().as_nanos() as u64)
     }
 }
 

@@ -26,25 +26,56 @@
 //!
 //! Both modes are **bit-identical**: same sketches, same counts, same
 //! user sets (`tests/window_index_equivalence.rs` gates this).
+//!
+//! ## Dense-id layout
+//!
+//! Keywords are interner-dense `u32` ids (see `dengraph_text`), so the hot
+//! structures here avoid hashing entirely:
+//!
+//! * a [`QuantumRecord`] is two flat arrays — a sorted user column plus one
+//!   `(keyword, start, end)` span per keyword — built from a single sorted
+//!   `(keyword, user)` pair list, and its backing storage is recycled from
+//!   the record that slid out of the window;
+//! * the incremental `WindowIndex` is a `Vec` indexed directly by keyword
+//!   id (a lookup is one bounds check), with evicted per-quantum
+//!   sub-sketch buffers pooled and reused, so steady-state sliding
+//!   performs no per-keyword allocation;
+//! * [`KeywordStateMachine`] is a bitset over keyword ids.
 
 use std::collections::VecDeque;
 
-use dengraph_graph::fxhash::{FxHashMap, FxHashSet};
+use dengraph_graph::fxhash::FxHashSet;
 use dengraph_minhash::{EpochSketchStore, MinHashSketch, UserHasher};
 use dengraph_parallel::{par_chunks, par_map, Parallelism};
 use dengraph_stream::{Message, UserId};
 use dengraph_text::KeywordId;
 
+/// One per-keyword user span of a [`QuantumRecord`]: the keyword plus the
+/// `[start, end)` range of its users in the record's flat user column.
+pub(crate) type KeywordSpan = (KeywordId, u32, u32);
+
+/// Recyclable backing storage of a [`QuantumRecord`] (the flat user column
+/// and the keyword span table).
+pub(crate) type RecordStorage = (Vec<UserId>, Vec<KeywordSpan>);
+
 /// Per-quantum aggregation of the stream.
+///
+/// Stored as two flat arrays instead of a map-of-sets: `users` holds the
+/// distinct `(keyword, user)` pairs of the quantum sorted by `(keyword,
+/// user)`, and `spans` holds one `(keyword, start, end)` entry per distinct
+/// keyword (sorted by keyword).  Lookups are binary searches over the span
+/// table; iteration is cache-linear and canonically ordered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantumRecord {
     /// Quantum index.
     pub index: u64,
-    /// For every keyword occurring in the quantum, the distinct users that
-    /// mentioned it.
-    pub keyword_users: FxHashMap<KeywordId, FxHashSet<UserId>>,
     /// Number of messages aggregated into this record.
     pub message_count: usize,
+    /// Flat user column: for span `(k, s, e)`, `users[s..e]` are the sorted
+    /// distinct users that mentioned `k` this quantum.
+    users: Vec<UserId>,
+    /// One span per keyword, sorted by keyword id.
+    spans: Vec<KeywordSpan>,
 }
 
 impl QuantumRecord {
@@ -53,51 +84,104 @@ impl QuantumRecord {
         Self::from_messages_with(index, messages, Parallelism::Serial)
     }
 
-    /// Builds a record, fanning the aggregation out over contiguous message
-    /// chunks per `parallelism`.  The resulting per-keyword user *sets* are
-    /// identical to the serial path's (set contents carry the semantics;
-    /// everything downstream orders keywords canonically).
+    /// Builds a record, fanning the pair collection out over contiguous
+    /// message chunks per `parallelism`.  The result is **identical** to
+    /// the serial path's: the pair list is sorted and de-duplicated into a
+    /// canonical form regardless of chunking.
     pub fn from_messages_with(index: u64, messages: &[Message], parallelism: Parallelism) -> Self {
-        let aggregate = |msgs: &[Message]| {
-            let mut map: FxHashMap<KeywordId, FxHashSet<UserId>> = FxHashMap::default();
-            for m in msgs {
-                for &k in &m.keywords {
-                    map.entry(k).or_default().insert(m.user);
+        let mut pairs = Vec::new();
+        Self::from_messages_into(
+            index,
+            messages,
+            parallelism,
+            &mut pairs,
+            (Vec::new(), Vec::new()),
+        )
+    }
+
+    /// Scratch-reusing builder: `pairs` is a staging buffer (cleared before
+    /// use) and `storage` is recycled backing storage, typically taken from
+    /// the record that just slid out of the window — steady-state quanta
+    /// then build their record without allocating.
+    pub(crate) fn from_messages_into(
+        index: u64,
+        messages: &[Message],
+        parallelism: Parallelism,
+        pairs: &mut Vec<(KeywordId, UserId)>,
+        storage: RecordStorage,
+    ) -> Self {
+        pairs.clear();
+        if parallelism.is_parallel() {
+            // One pair list per chunk (par_chunks falls back to a single
+            // serial chunk for small quanta), concatenated in chunk order;
+            // the sort below canonicalises away the chunk structure.
+            let chunks = par_chunks(parallelism, messages, 16, |msgs| {
+                let mut chunk_pairs: Vec<(KeywordId, UserId)> = Vec::with_capacity(msgs.len() * 2);
+                for m in msgs {
+                    for &k in &m.keywords {
+                        chunk_pairs.push((k, m.user));
+                    }
                 }
+                chunk_pairs
+            });
+            for chunk in chunks {
+                pairs.extend(chunk);
             }
-            map
-        };
-        // One partial map per chunk (par_chunks falls back to a single
-        // serial chunk for small quanta), merged serially.
-        let mut partials = par_chunks(parallelism, messages, 16, aggregate);
-        let mut merged = partials.remove(0);
-        for partial in partials {
-            for (keyword, users) in partial {
-                match merged.entry(keyword) {
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        slot.insert(users);
-                    }
-                    std::collections::hash_map::Entry::Occupied(mut slot) => {
-                        slot.get_mut().extend(users);
-                    }
+        } else {
+            for m in messages {
+                for &k in &m.keywords {
+                    pairs.push((k, m.user));
                 }
             }
         }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let (users, spans) = fold_pairs(pairs, storage);
         Self {
             index,
-            keyword_users: merged,
             message_count: messages.len(),
+            users,
+            spans,
+        }
+    }
+
+    /// Consumes the record, returning its backing storage for reuse.
+    pub(crate) fn into_storage(self) -> RecordStorage {
+        (self.users, self.spans)
+    }
+
+    /// The distinct users that mentioned `keyword` in this quantum, sorted
+    /// ascending (empty when the keyword did not occur).
+    pub fn users_of(&self, keyword: KeywordId) -> &[UserId] {
+        match self.spans.binary_search_by_key(&keyword, |&(k, _, _)| k) {
+            Ok(i) => {
+                let (_, s, e) = self.spans[i];
+                &self.users[s as usize..e as usize]
+            }
+            Err(_) => &[],
         }
     }
 
     /// Distinct users that mentioned `keyword` in this quantum.
     pub fn user_count(&self, keyword: KeywordId) -> usize {
-        self.keyword_users.get(&keyword).map_or(0, |s| s.len())
+        self.users_of(keyword).len()
     }
 
-    /// Keywords occurring in this quantum.
+    /// Keywords occurring in this quantum, ascending by id.
     pub fn keywords(&self) -> impl Iterator<Item = KeywordId> + '_ {
-        self.keyword_users.keys().copied()
+        self.spans.iter().map(|&(k, _, _)| k)
+    }
+
+    /// Number of distinct keywords in this quantum.
+    pub fn keyword_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Iterates `(keyword, sorted users)` pairs, ascending by keyword.
+    pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &[UserId])> + '_ {
+        self.spans
+            .iter()
+            .map(move |&(k, s, e)| (k, &self.users[s as usize..e as usize]))
     }
 
     /// Serialises the record to a [`dengraph_json::Value`]: the quantum
@@ -105,28 +189,25 @@ impl QuantumRecord {
     /// (keywords and users sorted, so the encoding is canonical).
     pub fn to_json(&self) -> dengraph_json::Value {
         use dengraph_json::Value;
-        let mut keywords: Vec<KeywordId> = self.keywords().collect();
-        keywords.sort_unstable();
         Value::obj([
             ("index", Value::from(self.index)),
             ("message_count", Value::from(self.message_count)),
             (
                 "keywords",
-                Value::arr(keywords.into_iter().map(|k| {
-                    let mut users: Vec<UserId> = self.keyword_users[&k].iter().copied().collect();
-                    users.sort_unstable();
+                Value::arr(self.iter().map(|(k, users)| {
                     Value::arr([
                         Value::from(k.0),
-                        Value::arr(users.into_iter().map(|u| Value::from(u.0))),
+                        Value::arr(users.iter().map(|u| Value::from(u.0))),
                     ])
                 })),
             ),
         ])
     }
 
-    /// Reconstructs a record serialised by [`Self::to_json`].
+    /// Reconstructs a record serialised by [`Self::to_json`].  The input
+    /// need not be canonically ordered; the decoder re-sorts.
     pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
-        let mut keyword_users: FxHashMap<KeywordId, FxHashSet<UserId>> = FxHashMap::default();
+        let mut pairs: Vec<(KeywordId, UserId)> = Vec::new();
         for pair in value.get("keywords")?.as_arr()? {
             let parts = pair.as_arr()?;
             if parts.len() != 2 {
@@ -136,19 +217,41 @@ impl QuantumRecord {
                 });
             }
             let keyword = KeywordId(parts[0].as_u32()?);
-            let users: FxHashSet<UserId> = parts[1]
-                .as_arr()?
-                .iter()
-                .map(|u| u.as_u64().map(UserId))
-                .collect::<dengraph_json::Result<_>>()?;
-            keyword_users.insert(keyword, users);
+            for u in parts[1].as_arr()? {
+                pairs.push((keyword, UserId(u.as_u64()?)));
+            }
         }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let (users, spans) = fold_pairs(&pairs, (Vec::new(), Vec::new()));
         Ok(Self {
             index: value.get("index")?.as_u64()?,
-            keyword_users,
             message_count: value.get("message_count")?.as_usize()?,
+            users,
+            spans,
         })
     }
+}
+
+/// Folds a sorted, de-duplicated `(keyword, user)` pair list into the
+/// record's flat layout — the single owner of the span-construction
+/// invariant (contiguous `[start, end)` ranges in pair order) for both the
+/// message builder and the JSON decoder.
+fn fold_pairs(pairs: &[(KeywordId, UserId)], storage: RecordStorage) -> RecordStorage {
+    let (mut users, mut spans) = storage;
+    users.clear();
+    spans.clear();
+    for &(k, u) in pairs {
+        match spans.last_mut() {
+            Some((last, _, end)) if *last == k => *end += 1,
+            _ => {
+                let start = users.len() as u32;
+                spans.push((k, start, start + 1));
+            }
+        }
+        users.push(u);
+    }
+    (users, spans)
 }
 
 /// How the sliding window serves per-keyword aggregate reads.
@@ -166,10 +269,12 @@ pub enum WindowIndexMode {
 /// Per-keyword incremental state over the current window.
 #[derive(Debug, PartialEq)]
 struct KeywordWindowEntry {
-    /// user → number of window quanta in which the user mentioned the
-    /// keyword.  The key set is exactly the window user set; its size the
-    /// window user count.
-    users: FxHashMap<UserId, u32>,
+    /// `(user, number of window quanta in which the user mentioned the
+    /// keyword)`, sorted by user.  The user column is exactly the window
+    /// user set; its length the window user count.  A record's per-keyword
+    /// users arrive sorted, so refcount maintenance is a linear merge of
+    /// two sorted runs — no hashing.
+    users: Vec<(UserId, u32)>,
     /// One sub-sketch per window quantum containing the keyword, merged
     /// into a cached window sketch.
     sketches: EpochSketchStore,
@@ -177,42 +282,226 @@ struct KeywordWindowEntry {
     last_seen: u64,
 }
 
+/// Folds a sorted run of added users into a sorted `(user, refcount)`
+/// column: present users are incremented, absent ones inserted with a
+/// count of one.  The added run is tiny compared to the column (a keyword
+/// gains a handful of users per quantum but accumulates hundreds over a
+/// window), so each addition is a narrowing binary search plus, rarely,
+/// one insertion — not a full column rewrite.
+fn merge_refcounts(counts: &mut Vec<(UserId, u32)>, added: &[UserId]) {
+    // Successive additions are ascending, so the search window shrinks.
+    let mut from = 0usize;
+    for &u in added {
+        match counts[from..].binary_search_by_key(&u, |&(cu, _)| cu) {
+            Ok(pos) => {
+                counts[from + pos].1 += 1;
+                from += pos + 1;
+            }
+            Err(pos) => {
+                counts.insert(from + pos, (u, 1));
+                from += pos + 1;
+            }
+        }
+    }
+}
+
 /// The incremental window index: everything [`WindowState`] serves per
-/// keyword, kept hot instead of recomputed.  An entry exists iff the
-/// keyword occurs somewhere in the window, so staleness is a lookup miss.
-#[derive(Debug, PartialEq)]
+/// keyword, kept hot instead of recomputed.
+///
+/// Entries live in a `Vec` indexed **directly by keyword id** (ids are
+/// interner-dense), so a lookup is a bounds check instead of a hash probe.
+/// A slot is `Some` iff the keyword occurs somewhere in the window, so
+/// staleness is a slot miss.  Evicted sub-sketch buffers and emptied
+/// entries are pooled and recycled, keeping steady-state sliding
+/// allocation-free.
+#[derive(Debug)]
 struct WindowIndex {
     sketch_size: usize,
-    entries: FxHashMap<KeywordId, KeywordWindowEntry>,
+    /// A keyword is *materialized* (gets an incrementally maintained
+    /// entry) once a single quantum brings it at least this many distinct
+    /// users — the detector wires this to the burstiness threshold σ,
+    /// because only keywords that were bursty at least once are ever read
+    /// through the index (AKG members, candidate pairs, cluster support).
+    /// The long tail of sub-threshold keywords skips all per-quantum
+    /// bookkeeping; reads of non-materialized keywords fall back to the
+    /// (bit-identical) record walk.  1 materializes everything.
+    materialize_threshold: usize,
+    /// Slot `k` holds the entry of `KeywordId(k)`, if live.
+    entries: Vec<Option<KeywordWindowEntry>>,
+    /// Number of live entries.
+    live: usize,
+    /// Recycled sub-sketch buffers (scratch — excluded from equality and
+    /// serialisation).
+    sketch_pool: Vec<MinHashSketch>,
+    /// Recycled entries (scratch — excluded from equality/serialisation).
+    entry_pool: Vec<KeywordWindowEntry>,
+}
+
+/// Equality compares the live entries only; pool contents and trailing
+/// empty slots (artifacts of eviction history) are ignored, so a restored
+/// index compares equal to the original.
+impl PartialEq for WindowIndex {
+    fn eq(&self, other: &Self) -> bool {
+        if self.sketch_size != other.sketch_size
+            || self.materialize_threshold != other.materialize_threshold
+            || self.live != other.live
+        {
+            return false;
+        }
+        let len = self.entries.len().max(other.entries.len());
+        (0..len).all(|i| {
+            let a = self.entries.get(i).and_then(Option::as_ref);
+            let b = other.entries.get(i).and_then(Option::as_ref);
+            a == b
+        })
+    }
 }
 
 impl WindowIndex {
     fn new(sketch_size: usize) -> Self {
         Self {
             sketch_size,
-            entries: FxHashMap::default(),
+            materialize_threshold: 1,
+            entries: Vec::new(),
+            live: 0,
+            sketch_pool: Vec::new(),
+            entry_pool: Vec::new(),
         }
     }
 
-    /// Folds one freshly pushed quantum into the index: O(Δ) over the
-    /// record's (keyword, user) pairs.
-    fn insert_record(&mut self, record: &QuantumRecord, hasher: &UserHasher) {
-        for (&keyword, users) in &record.keyword_users {
-            let entry = self
-                .entries
-                .entry(keyword)
-                .or_insert_with(|| KeywordWindowEntry {
-                    users: FxHashMap::default(),
-                    sketches: EpochSketchStore::new(self.sketch_size),
+    /// The live entry of `keyword`, if any.
+    #[inline]
+    fn entry(&self, keyword: KeywordId) -> Option<&KeywordWindowEntry> {
+        self.entries.get(keyword.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterates `(keyword, entry)` pairs ascending by keyword id.
+    fn live_entries(&self) -> impl Iterator<Item = (KeywordId, &KeywordWindowEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|e| (KeywordId(i as u32), e)))
+    }
+
+    /// Folds one freshly pushed quantum into the index, reusing pooled
+    /// buffers.  `past` holds the records already in the window (oldest
+    /// first, the new record not yet appended): when a keyword crosses the
+    /// materialization threshold for the first time, its entry is built
+    /// retroactively from those records, bit-identical to an entry that
+    /// had been maintained from the start (p-minima merging is
+    /// order-independent and refcount merging is commutative).
+    fn insert_record(
+        &mut self,
+        record: &QuantumRecord,
+        hasher: &UserHasher,
+        past: &VecDeque<QuantumRecord>,
+    ) {
+        let sketch_size = self.sketch_size;
+        let threshold = self.materialize_threshold;
+        let entries = &mut self.entries;
+        let sketch_pool = &mut self.sketch_pool;
+        let entry_pool = &mut self.entry_pool;
+        let take_sub = |pool: &mut Vec<MinHashSketch>| match pool.pop() {
+            Some(mut s) => {
+                s.reset(sketch_size);
+                s
+            }
+            None => MinHashSketch::new(sketch_size),
+        };
+        for (keyword, users) in record.iter() {
+            let idx = keyword.index();
+            let materialized = entries.get(idx).is_some_and(|slot| slot.is_some());
+            if !materialized {
+                if users.len() < threshold {
+                    // Long-tail keyword: the detector will never read its
+                    // window aggregates through the index; skip all
+                    // bookkeeping (reads fall back to the record walk).
+                    continue;
+                }
+                if idx >= entries.len() {
+                    entries.resize_with(idx + 1, || None);
+                }
+                let mut entry = entry_pool.pop().unwrap_or_else(|| KeywordWindowEntry {
+                    users: Vec::new(),
+                    sketches: EpochSketchStore::new(sketch_size),
                     last_seen: record.index,
                 });
-            let mut sub = MinHashSketch::new(self.sketch_size);
+                // Retroactive build over the records already in the window.
+                for old in past {
+                    let old_users = old.users_of(keyword);
+                    if old_users.is_empty() {
+                        continue;
+                    }
+                    let mut sub = take_sub(sketch_pool);
+                    for &u in old_users {
+                        sub.insert(hasher, u.raw());
+                    }
+                    merge_refcounts(&mut entry.users, old_users);
+                    entry.sketches.push(old.index, sub);
+                    entry.last_seen = old.index;
+                }
+                self.live += 1;
+                entries[idx] = Some(entry);
+            }
+            let entry = entries[idx].as_mut().expect("entry just ensured");
+            let mut sub = take_sub(sketch_pool);
             for &u in users {
-                *entry.users.entry(u).or_insert(0) += 1;
                 sub.insert(hasher, u.raw());
             }
+            merge_refcounts(&mut entry.users, users);
             entry.sketches.push(record.index, sub);
             entry.last_seen = record.index;
+        }
+    }
+
+    /// Removes one evicted quantum's contributions: O(Δ) decrements plus a
+    /// sub-sketch re-merge for each touched keyword.  Evicted buffers go
+    /// back to the pools.
+    fn remove_record(&mut self, record: &QuantumRecord) {
+        let entries = &mut self.entries;
+        let sketch_pool = &mut self.sketch_pool;
+        let entry_pool = &mut self.entry_pool;
+        for (keyword, users) in record.iter() {
+            // Non-materialized keywords have no entry to maintain.
+            let Some(slot) = entries.get_mut(keyword.index()) else {
+                continue;
+            };
+            let Some(entry) = slot.as_mut() else {
+                continue;
+            };
+            // Like the insert path: the removed run is tiny relative to
+            // the column, so decrement via narrowing binary searches and
+            // remove only the refcounts that reach zero.
+            let mut from = 0usize;
+            for &u in users {
+                match entry.users[from..].binary_search_by_key(&u, |&(cu, _)| cu) {
+                    Ok(pos) => {
+                        let at = from + pos;
+                        entry.users[at].1 -= 1;
+                        if entry.users[at].1 == 0 {
+                            entry.users.remove(at);
+                            from = at;
+                        } else {
+                            from = at + 1;
+                        }
+                    }
+                    Err(pos) => {
+                        debug_assert!(false, "evicted user missing from refcount column");
+                        from += pos;
+                    }
+                }
+            }
+            entry
+                .sketches
+                .evict_through_with(record.index, |sub| sketch_pool.push(sub));
+            if entry.users.is_empty() {
+                debug_assert!(entry.sketches.is_empty());
+                let mut dead = slot.take().expect("entry just matched");
+                self.live -= 1;
+                dead.users.clear();
+                dead.sketches.clear_with(|sub| sketch_pool.push(sub));
+                entry_pool.push(dead);
+            }
         }
     }
 
@@ -220,24 +509,24 @@ impl WindowIndex {
     /// by keyword for a canonical encoding.
     fn to_json(&self) -> dengraph_json::Value {
         use dengraph_json::Value;
-        let mut keywords: Vec<KeywordId> = self.entries.keys().copied().collect();
-        keywords.sort_unstable();
         Value::obj([
             ("sketch_size", Value::from(self.sketch_size)),
             (
+                "materialize_threshold",
+                Value::from(self.materialize_threshold),
+            ),
+            (
                 "entries",
-                Value::arr(keywords.into_iter().map(|k| {
-                    let entry = &self.entries[&k];
-                    let mut users: Vec<(UserId, u32)> =
-                        entry.users.iter().map(|(u, c)| (*u, *c)).collect();
-                    users.sort_unstable();
+                Value::arr(self.live_entries().map(|(k, entry)| {
                     Value::arr([
                         Value::from(k.0),
                         Value::obj([
                             (
+                                // Already sorted by user — the canonical
+                                // encoding falls out of the layout.
                                 "users",
                                 Value::arr(
-                                    users.into_iter().map(|(u, c)| {
+                                    entry.users.iter().map(|&(u, c)| {
                                         Value::arr([Value::from(u.0), Value::from(c)])
                                     }),
                                 ),
@@ -254,6 +543,10 @@ impl WindowIndex {
     /// Reconstructs an index serialised by [`Self::to_json`].
     fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
         let mut index = Self::new(value.get("sketch_size")?.as_usize()?);
+        index.materialize_threshold = match value.get_opt("materialize_threshold")? {
+            Some(v) => v.as_usize()?.max(1),
+            None => 1,
+        };
         for pair in value.get("entries")?.as_arr()? {
             let parts = pair.as_arr()?;
             if parts.len() != 2 {
@@ -264,7 +557,7 @@ impl WindowIndex {
             }
             let keyword = KeywordId(parts[0].as_u32()?);
             let entry = &parts[1];
-            let mut users: FxHashMap<UserId, u32> = FxHashMap::default();
+            let mut users: Vec<(UserId, u32)> = Vec::new();
             for user in entry.get("users")?.as_arr()? {
                 let uc = user.as_arr()?;
                 if uc.len() != 2 {
@@ -273,42 +566,31 @@ impl WindowIndex {
                         offset: 0,
                     });
                 }
-                users.insert(UserId(uc[0].as_u64()?), uc[1].as_u32()?);
+                users.push((UserId(uc[0].as_u64()?), uc[1].as_u32()?));
             }
-            index.entries.insert(
-                keyword,
-                KeywordWindowEntry {
+            // Canonical documents are already sorted; re-sort defensively
+            // so a hand-edited checkpoint cannot break the merge invariant.
+            users.sort_unstable_by_key(|&(u, _)| u);
+            let idx = keyword.index();
+            if idx >= index.entries.len() {
+                index.entries.resize_with(idx + 1, || None);
+            }
+            if index.entries[idx]
+                .replace(KeywordWindowEntry {
                     users,
                     sketches: EpochSketchStore::from_json(entry.get("sketches")?)?,
                     last_seen: entry.get("last_seen")?.as_u64()?,
-                },
-            );
+                })
+                .is_some()
+            {
+                return Err(dengraph_json::JsonError {
+                    message: format!("keyword {keyword} serialised twice in window index"),
+                    offset: 0,
+                });
+            }
+            index.live += 1;
         }
         Ok(index)
-    }
-
-    /// Removes one evicted quantum's contributions: O(Δ) decrements plus a
-    /// sub-sketch re-merge for each touched keyword.
-    fn remove_record(&mut self, record: &QuantumRecord) {
-        for (&keyword, users) in &record.keyword_users {
-            let Some(entry) = self.entries.get_mut(&keyword) else {
-                debug_assert!(false, "evicted keyword missing from window index");
-                continue;
-            };
-            for u in users {
-                if let Some(count) = entry.users.get_mut(u) {
-                    *count -= 1;
-                    if *count == 0 {
-                        entry.users.remove(u);
-                    }
-                }
-            }
-            entry.sketches.evict_through(record.index);
-            if entry.users.is_empty() {
-                debug_assert!(entry.sketches.is_empty());
-                self.entries.remove(&keyword);
-            }
-        }
     }
 }
 
@@ -357,11 +639,31 @@ impl WindowState {
         }
     }
 
+    /// Sets the index materialization threshold: a keyword gets an
+    /// incrementally maintained index entry once a single quantum brings
+    /// it at least this many distinct users (the detector passes the
+    /// burstiness threshold σ).  Keywords below the threshold are served
+    /// by the bit-identical record walk instead.  No-op under
+    /// [`WindowIndexMode::Rebuild`]; the default of 1 materializes
+    /// everything.
+    pub fn with_materialize_threshold(mut self, threshold: usize) -> Self {
+        if let Some(index) = &mut self.index {
+            index.materialize_threshold = threshold.max(1);
+        }
+        self
+    }
+
+    /// The index materialization threshold (1 under `Rebuild`).
+    pub fn materialize_threshold(&self) -> usize {
+        self.index.as_ref().map_or(1, |i| i.materialize_threshold)
+    }
+
     /// Pushes the record of a new quantum.  Returns the record that slid
-    /// out of the window, if the window was already full.
+    /// out of the window, if the window was already full (callers can
+    /// recycle its storage via `QuantumRecord::into_storage`).
     pub fn push(&mut self, record: QuantumRecord) -> Option<QuantumRecord> {
         if let Some(index) = &mut self.index {
-            index.insert_record(&record, &self.hasher);
+            index.insert_record(&record, &self.hasher, &self.window);
         }
         self.window.push_back(record);
         let evicted = if self.window.len() > self.capacity {
@@ -405,20 +707,22 @@ impl WindowState {
         self.current().map(|r| r.index)
     }
 
+    /// The live index entry for `keyword`, if materialized.
+    #[inline]
+    fn index_entry(&self, keyword: KeywordId) -> Option<&KeywordWindowEntry> {
+        self.index.as_ref().and_then(|index| index.entry(keyword))
+    }
+
     /// Distinct users that mentioned `keyword` anywhere in the window.
     pub fn window_user_set(&self, keyword: KeywordId) -> FxHashSet<UserId> {
-        if let Some(index) = &self.index {
-            return index
-                .entries
-                .get(&keyword)
-                .map(|e| e.users.keys().copied().collect())
-                .unwrap_or_default();
+        if let Some(entry) = self.index_entry(keyword) {
+            return entry.users.iter().map(|&(u, _)| u).collect();
         }
+        // Rebuild mode, or a keyword below the materialization threshold:
+        // walk the records (bit-identical to the indexed read).
         let mut users = FxHashSet::default();
         for record in &self.window {
-            if let Some(s) = record.keyword_users.get(&keyword) {
-                users.extend(s.iter().copied());
-            }
+            users.extend(record.users_of(keyword).iter().copied());
         }
         users
     }
@@ -426,30 +730,34 @@ impl WindowState {
     /// Number of distinct users that mentioned `keyword` in the window —
     /// the node weight `w_i` of the ranking function.
     pub fn window_user_count(&self, keyword: KeywordId) -> usize {
-        if let Some(index) = &self.index {
-            return index.entries.get(&keyword).map_or(0, |e| e.users.len());
+        if let Some(entry) = self.index_entry(keyword) {
+            return entry.users.len();
         }
         self.window_user_set(keyword).len()
     }
 
     /// The min-hash sketch of `keyword`'s window user set.
     pub fn window_sketch(&self, keyword: KeywordId) -> MinHashSketch {
-        if let Some(index) = &self.index {
-            return index
-                .entries
-                .get(&keyword)
-                .map(|e| e.sketches.merged().clone())
-                .unwrap_or_else(|| MinHashSketch::new(self.sketch_size));
+        if let Some(sketch) = self.window_sketch_ref(keyword) {
+            return sketch.clone();
         }
         let mut sketch = MinHashSketch::new(self.sketch_size);
         for record in &self.window {
-            if let Some(users) = record.keyword_users.get(&keyword) {
-                for u in users {
-                    sketch.insert(&self.hasher, u.raw());
-                }
+            for u in record.users_of(keyword) {
+                sketch.insert(&self.hasher, u.raw());
             }
         }
         sketch
+    }
+
+    /// Borrows the cached window sketch of `keyword` without cloning.
+    /// Only the incremental index caches sketches, so this returns `None`
+    /// under [`WindowIndexMode::Rebuild`] and for keywords without a
+    /// materialized entry (not in the window, or below the
+    /// materialization threshold); callers fall back to
+    /// [`Self::window_sketch`], which walks the records.
+    pub fn window_sketch_ref(&self, keyword: KeywordId) -> Option<&MinHashSketch> {
+        self.index_entry(keyword).map(|e| e.sketches.merged())
     }
 
     /// Builds the window sketch of every keyword in `keywords`, fanning out
@@ -474,10 +782,8 @@ impl WindowState {
             keywords,
             |&keyword, hasher, sketch| {
                 for record in &self.window {
-                    if let Some(users) = record.keyword_users.get(&keyword) {
-                        for u in users {
-                            sketch.insert(hasher, u.raw());
-                        }
+                    for u in record.users_of(keyword) {
+                        sketch.insert(hasher, u.raw());
                     }
                 }
             },
@@ -527,16 +833,16 @@ impl WindowState {
 
     /// The most recent quantum index in which `keyword` occurred, if any.
     pub fn last_seen(&self, keyword: KeywordId) -> Option<u64> {
-        if let Some(index) = &self.index {
+        if let Some(entry) = self.index_entry(keyword) {
             // The recency mark can only outlive its record if every record
             // containing the keyword was evicted — in which case the entry
             // itself is gone.  So the mark is always in-window.
-            return index.entries.get(&keyword).map(|e| e.last_seen);
+            return Some(entry.last_seen);
         }
         self.window
             .iter()
             .rev()
-            .find(|r| r.keyword_users.contains_key(&keyword))
+            .find(|r| !r.users_of(keyword).is_empty())
             .map(|r| r.index)
     }
 
@@ -546,11 +852,10 @@ impl WindowState {
         self.last_seen(keyword).is_none()
     }
 
-    /// Every keyword occurring anywhere in the window.
+    /// Every keyword occurring anywhere in the window.  Always unions the
+    /// records — under lazy materialization the index covers only
+    /// above-threshold keywords, so it cannot answer this.
     pub fn keywords_in_window(&self) -> FxHashSet<KeywordId> {
-        if let Some(index) = &self.index {
-            return index.entries.keys().copied().collect();
-        }
         let mut all = FxHashSet::default();
         for record in &self.window {
             all.extend(record.keywords());
@@ -659,11 +964,31 @@ pub enum KeywordState {
 /// Tracks the low/high state of every keyword ever seen.
 ///
 /// Only high-state keywords carry information (low is the default), so the
-/// machine stores exactly the set of High keywords: membership is the
-/// state, and the set size is the high count.
-#[derive(Debug, Default, PartialEq)]
+/// machine is a **bitset over keyword ids**: bit `k` set means
+/// `KeywordId(k)` is High.  Keyword ids are interner-dense, so the bitset
+/// stays compact and both the burstiness test and demotion are single
+/// word operations.
+#[derive(Debug, Default)]
 pub struct KeywordStateMachine {
-    high: FxHashSet<KeywordId>,
+    /// Bit `k` of word `k / 64` is set iff keyword `k` is High.
+    high_bits: Vec<u64>,
+    /// Number of set bits.
+    high_count: usize,
+}
+
+/// Equality compares the set of High keywords; trailing zero words (left
+/// behind by demotions) are ignored.
+impl PartialEq for KeywordStateMachine {
+    fn eq(&self, other: &Self) -> bool {
+        if self.high_count != other.high_count {
+            return false;
+        }
+        let len = self.high_bits.len().max(other.high_bits.len());
+        (0..len).all(|i| {
+            self.high_bits.get(i).copied().unwrap_or(0)
+                == other.high_bits.get(i).copied().unwrap_or(0)
+        })
+    }
 }
 
 impl KeywordStateMachine {
@@ -672,9 +997,17 @@ impl KeywordStateMachine {
         Self::default()
     }
 
+    #[inline]
+    fn bit(&self, keyword: KeywordId) -> bool {
+        let idx = keyword.index();
+        self.high_bits
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
     /// Current state of a keyword (Low if never seen).
     pub fn state(&self, keyword: KeywordId) -> KeywordState {
-        if self.high.contains(&keyword) {
+        if self.bit(keyword) {
             KeywordState::High
         } else {
             KeywordState::Low
@@ -697,7 +1030,12 @@ impl KeywordStateMachine {
             prev
         };
         if prev == KeywordState::Low && new == KeywordState::High {
-            self.high.insert(keyword);
+            let idx = keyword.index();
+            if idx / 64 >= self.high_bits.len() {
+                self.high_bits.resize(idx / 64 + 1, 0);
+            }
+            self.high_bits[idx / 64] |= 1u64 << (idx % 64);
+            self.high_count += 1;
         }
         (prev, new)
     }
@@ -705,35 +1043,40 @@ impl KeywordStateMachine {
     /// Forces a keyword back to the low state (used when it is removed from
     /// the AKG by stale removal or lazy update).
     pub fn demote(&mut self, keyword: KeywordId) {
-        self.high.remove(&keyword);
+        let idx = keyword.index();
+        if let Some(word) = self.high_bits.get_mut(idx / 64) {
+            let mask = 1u64 << (idx % 64);
+            if *word & mask != 0 {
+                *word &= !mask;
+                self.high_count -= 1;
+            }
+        }
     }
 
     /// Number of keywords currently in the high state.
     pub fn high_count(&self) -> usize {
-        self.high.len()
+        self.high_count
     }
 
     /// Serialises the machine as the sorted list of High keywords.
     pub fn to_json(&self) -> dengraph_json::Value {
         use dengraph_json::Value;
-        let mut high: Vec<KeywordId> = self.high.iter().copied().collect();
-        high.sort_unstable();
-        Value::obj([(
-            "high",
-            Value::arr(high.into_iter().map(|k| Value::from(k.0))),
-        )])
+        let high = self.high_bits.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| bits & (1u64 << b) != 0)
+                .map(move |b| Value::from((w * 64 + b) as u32))
+        });
+        Value::obj([("high", Value::arr(high))])
     }
 
     /// Reconstructs a machine serialised by [`Self::to_json`].
     pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
-        Ok(Self {
-            high: value
-                .get("high")?
-                .as_arr()?
-                .iter()
-                .map(|k| k.as_u32().map(KeywordId))
-                .collect::<dengraph_json::Result<_>>()?,
-        })
+        let mut machine = Self::new();
+        for k in value.get("high")?.as_arr()? {
+            // `observe` with a saturated count is exactly "force High".
+            machine.observe(KeywordId(k.as_u32()?), 1, 1);
+        }
+        Ok(machine)
     }
 }
 
@@ -768,6 +1111,60 @@ mod tests {
         assert_eq!(record.user_count(k(11)), 2);
         assert_eq!(record.user_count(k(99)), 0);
         assert_eq!(record.message_count, 4);
+        assert_eq!(record.keyword_count(), 2);
+    }
+
+    #[test]
+    fn quantum_record_iterates_sorted() {
+        let record = QuantumRecord::from_messages(
+            0,
+            &[msg(5, 0, &[30, 10]), msg(2, 1, &[20, 10]), msg(9, 2, &[20])],
+        );
+        let keywords: Vec<KeywordId> = record.keywords().collect();
+        assert_eq!(keywords, vec![k(10), k(20), k(30)]);
+        assert_eq!(record.users_of(k(10)), &[UserId(2), UserId(5)]);
+        assert_eq!(record.users_of(k(20)), &[UserId(2), UserId(9)]);
+        assert_eq!(record.users_of(k(30)), &[UserId(5)]);
+        assert_eq!(record.users_of(k(99)), &[] as &[UserId]);
+    }
+
+    #[test]
+    fn quantum_record_parallel_build_matches_serial() {
+        let messages: Vec<Message> = (0..200)
+            .map(|i| msg(i % 17, i, &[(i % 13) as u32, (i % 7) as u32]))
+            .collect();
+        let serial = QuantumRecord::from_messages(3, &messages);
+        for threads in [2, 4, 8] {
+            let parallel =
+                QuantumRecord::from_messages_with(3, &messages, Parallelism::Threads(threads));
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn quantum_record_json_round_trip() {
+        let record = QuantumRecord::from_messages(
+            7,
+            &[msg(5, 0, &[30, 10]), msg(2, 1, &[20, 10]), msg(9, 2, &[20])],
+        );
+        let back = QuantumRecord::from_json(&record.to_json()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn record_storage_recycling_builds_identical_records() {
+        let messages: Vec<Message> = (0..50).map(|i| msg(i, i, &[(i % 5) as u32])).collect();
+        let fresh = QuantumRecord::from_messages(1, &messages);
+        let mut pairs = Vec::new();
+        let storage = QuantumRecord::from_messages(0, &messages).into_storage();
+        let recycled = QuantumRecord::from_messages_into(
+            1,
+            &messages,
+            Parallelism::Serial,
+            &mut pairs,
+            storage,
+        );
+        assert_eq!(fresh, recycled);
     }
 
     fn window(capacity: usize) -> WindowState {
@@ -849,6 +1246,19 @@ mod tests {
         let kws = w.keywords_in_window();
         assert!(kws.contains(&k(10)) && kws.contains(&k(11)));
         assert_eq!(w.window_message_count(), 2);
+    }
+
+    #[test]
+    fn cached_sketch_ref_matches_owned_sketch() {
+        let mut w = window(3);
+        w.push(QuantumRecord::from_messages(
+            0,
+            &[msg(1, 0, &[10]), msg(2, 1, &[10])],
+        ));
+        assert_eq!(*w.window_sketch_ref(k(10)).unwrap(), w.window_sketch(k(10)));
+        assert!(w.window_sketch_ref(k(99)).is_none());
+        let rebuild = WindowState::with_mode(3, 4, UserHasher::new(7), WindowIndexMode::Rebuild);
+        assert!(rebuild.window_sketch_ref(k(10)).is_none());
     }
 
     /// Builds the same random-ish record stream into one window per mode
@@ -959,5 +1369,32 @@ mod tests {
         assert_eq!((prev, new), (KeywordState::High, KeywordState::High));
         sm.demote(k(1));
         assert_eq!(sm.state(k(1)), KeywordState::Low);
+    }
+
+    #[test]
+    fn state_machine_equality_ignores_demotion_residue() {
+        let mut a = KeywordStateMachine::new();
+        a.observe(k(3), 9, 1);
+        a.observe(k(200), 9, 1); // forces a longer bit vector…
+        a.demote(k(200)); // …then leaves a trailing zero word behind
+        let mut b = KeywordStateMachine::new();
+        b.observe(k(3), 9, 1);
+        assert_eq!(a, b);
+        assert_eq!(
+            KeywordStateMachine::from_json(&a.to_json()).unwrap(),
+            a,
+            "round trip strips the residue"
+        );
+    }
+
+    #[test]
+    fn state_machine_json_lists_sorted_high_keywords() {
+        let mut sm = KeywordStateMachine::new();
+        for id in [130u32, 2, 64] {
+            sm.observe(KeywordId(id), 5, 1);
+        }
+        let text = dengraph_json::to_string(&sm.to_json());
+        assert_eq!(text, "{\"high\":[2,64,130]}");
+        assert_eq!(KeywordStateMachine::from_json(&sm.to_json()).unwrap(), sm);
     }
 }

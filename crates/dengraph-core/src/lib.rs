@@ -64,16 +64,17 @@ pub mod evaluation;
 pub mod event;
 pub mod keyword_state;
 pub mod ranking;
+pub(crate) mod scratch;
 pub mod session;
 
 pub use akg::{AkgMaintainer, GraphDelta};
 pub use cluster::{Cluster, ClusterId, ClusterMaintainer, ClusterRegistry};
 pub use config::{ConfigError, DetectorConfig, Parallelism};
-pub use detector::{EventDetector, QuantumSummary};
+pub use detector::{EventDetector, QuantumSummary, StageTimes};
 pub use event::{DetectedEvent, EventRecord, EventTracker};
 pub use keyword_state::WindowIndexMode;
 pub use ranking::cluster_rank;
 pub use session::{
-    Checkpoint, DetectorBuilder, DetectorSession, EventSink, FnSink, JsonLinesSink, RestoreError,
-    VecSink,
+    Checkpoint, DetectorBuilder, DetectorSession, EventSink, FnSink, JsonLinesSink,
+    QuantumNotifications, RestoreError, VecSink,
 };

@@ -213,10 +213,44 @@ pub trait EventSink {
     /// The window slid past its capacity: quantum `evicted_quantum` just
     /// left the window of `window_quanta` quanta.
     fn on_slide(&mut self, _evicted_quantum: u64, _window_quanta: usize) {}
+
+    /// Everything from one processed quantum, delivered in a single call:
+    /// the slide (if any), the summary, and every reported event's
+    /// up-to-date record, in that order.  The default implementation
+    /// fans out to the three fine-grained callbacks, so ordinary sinks
+    /// implement only those; adapters that pay a per-call cost (locks,
+    /// syscalls, network round trips) override this to pay it **once per
+    /// quantum** instead of once per notification.
+    fn on_quantum_batch(&mut self, batch: &QuantumNotifications<'_>) {
+        if let Some(evicted) = batch.evicted_quantum {
+            self.on_slide(evicted, batch.window_quanta);
+        }
+        self.on_quantum(batch.summary);
+        for record in batch.records {
+            self.on_event(record);
+        }
+    }
+}
+
+/// One quantum's worth of sink notifications, bundled so adapters can
+/// deliver them under a single lock acquisition (see
+/// [`EventSink::on_quantum_batch`]).
+pub struct QuantumNotifications<'a> {
+    /// The processed quantum's summary.
+    pub summary: &'a QuantumSummary,
+    /// The up-to-date long-term record of each event reported this
+    /// quantum, in report order.
+    pub records: &'a [&'a EventRecord],
+    /// The quantum that slid out of the window, if it was full.
+    pub evicted_quantum: Option<u64>,
+    /// The configured window length in quanta.
+    pub window_quanta: usize,
 }
 
 /// Shared-ownership adapter: attach an `Arc<Mutex<S>>` and keep a clone to
-/// read the sink's state back after (or while) the session runs.
+/// read the sink's state back after (or while) the session runs.  The
+/// mutex is taken **once per processed quantum** (via
+/// [`EventSink::on_quantum_batch`]), not once per notification.
 impl<S: EventSink> EventSink for Arc<Mutex<S>> {
     fn on_quantum(&mut self, summary: &QuantumSummary) {
         self.lock().expect("sink poisoned").on_quantum(summary);
@@ -230,6 +264,12 @@ impl<S: EventSink> EventSink for Arc<Mutex<S>> {
         self.lock()
             .expect("sink poisoned")
             .on_slide(evicted_quantum, window_quanta);
+    }
+
+    fn on_quantum_batch(&mut self, batch: &QuantumNotifications<'_>) {
+        // One lock acquisition for the whole quantum; the inner sink's own
+        // `on_quantum_batch` preserves the slide → quantum → events order.
+        self.lock().expect("sink poisoned").on_quantum_batch(batch);
     }
 }
 
@@ -551,24 +591,32 @@ impl DetectorSession {
         out
     }
 
-    /// Pushes one summary to every sink: slide first, then the quantum,
-    /// then each reported event with its up-to-date long-term record.
+    /// Pushes one summary to every sink as a single batch per sink: slide
+    /// first, then the quantum, then each reported event with its
+    /// up-to-date long-term record.  The records are resolved once and
+    /// shared across sinks, and batch delivery lets locking adapters take
+    /// their lock once per quantum.
     fn dispatch(
         detector: &EventDetector,
         sinks: &mut [Box<dyn EventSink>],
         summary: &QuantumSummary,
     ) {
-        let window_quanta = detector.config().window_quanta;
+        if sinks.is_empty() {
+            return;
+        }
+        let records: Vec<&EventRecord> = summary
+            .events
+            .iter()
+            .filter_map(|event| detector.event_record(event.cluster_id))
+            .collect();
+        let batch = QuantumNotifications {
+            summary,
+            records: &records,
+            evicted_quantum: summary.evicted_quantum,
+            window_quanta: detector.config().window_quanta,
+        };
         for sink in sinks {
-            if let Some(evicted) = summary.evicted_quantum {
-                sink.on_slide(evicted, window_quanta);
-            }
-            sink.on_quantum(summary);
-            for event in &summary.events {
-                if let Some(record) = detector.event_record(event.cluster_id) {
-                    sink.on_event(record);
-                }
-            }
+            sink.on_quantum_batch(&batch);
         }
     }
 
@@ -702,6 +750,58 @@ mod tests {
             vec![KeywordId(1), KeywordId(2), KeywordId(3)]
         );
         assert_eq!(sink.slides(), &[0], "quantum 0 slid out at quantum 4");
+    }
+
+    /// The `Arc<Mutex<S>>` adapter must reach the inner sink through a
+    /// single `on_quantum_batch` call per processed quantum (one lock
+    /// acquisition), with the fine-grained callbacks fanned out inside
+    /// and the slide → quantum → events order preserved.
+    #[test]
+    fn mutex_adapter_batches_to_one_delivery_per_quantum() {
+        #[derive(Default)]
+        struct BatchProbe {
+            batches: usize,
+            log: Vec<&'static str>,
+        }
+        impl EventSink for BatchProbe {
+            fn on_quantum(&mut self, _summary: &QuantumSummary) {
+                self.log.push("quantum");
+            }
+            fn on_event(&mut self, _record: &crate::event::EventRecord) {
+                self.log.push("event");
+            }
+            fn on_slide(&mut self, _evicted: u64, _w: usize) {
+                self.log.push("slide");
+            }
+            fn on_quantum_batch(&mut self, batch: &QuantumNotifications<'_>) {
+                self.batches += 1;
+                // Re-implement the default fan-out so the fine-grained
+                // callbacks are still observed.
+                if let Some(evicted) = batch.evicted_quantum {
+                    self.on_slide(evicted, batch.window_quanta);
+                }
+                self.on_quantum(batch.summary);
+                for record in batch.records {
+                    self.on_event(record);
+                }
+            }
+        }
+
+        let mut session = builder().build().unwrap();
+        let probe = Arc::new(Mutex::new(BatchProbe::default()));
+        session.attach_sink(Box::new(Arc::clone(&probe)));
+        session.run(&event_quantum(20, 6, &[1, 2, 3], 0));
+        for q in 1..=4u64 {
+            session.run(&event_quantum(20, 0, &[], q * 1_000));
+        }
+        let probe = probe.lock().unwrap();
+        assert_eq!(probe.batches, 5, "exactly one batch per processed quantum");
+        assert_eq!(probe.log[0], "quantum");
+        assert_eq!(probe.log[1], "event", "quantum 0 reported one event");
+        assert!(
+            probe.log.contains(&"slide"),
+            "the w=4 window slid during the run"
+        );
     }
 
     #[test]

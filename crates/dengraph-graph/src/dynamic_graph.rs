@@ -1,9 +1,18 @@
 //! The dynamic undirected graph.
 //!
-//! An adjacency-map representation tuned for the access pattern of the AKG:
+//! An adjacency representation tuned for the access pattern of the AKG:
 //! very frequent node/edge insertion and deletion, frequent neighbourhood
 //! and common-neighbour queries, and per-edge weights (the edge correlation
 //! of Section 3.2) that are updated in place.
+//!
+//! Each node's neighbourhood is a **sorted dense array** of `(neighbour,
+//! weight)` pairs rather than a hash map: AKG degrees stay small (the
+//! paper's locality argument), so a membership probe is a branch-friendly
+//! binary search over one cache line or two, neighbour iteration is
+//! allocation-free and **ascending by id** (callers that need canonical
+//! order get it without sorting), and edge insertion/removal is a short
+//! `memmove`.  [`DynamicGraph::common_neighbors`] becomes a linear merge
+//! of two sorted arrays.
 
 use crate::fxhash::FxHashMap;
 use crate::node::NodeId;
@@ -42,12 +51,13 @@ impl EdgeKey {
 /// A dynamic, weighted, undirected graph.
 ///
 /// Equality compares the adjacency *contents* (node set, edge set, edge
-/// weights), independent of the insertion history of the underlying maps —
-/// the relation the checkpoint round-trip tests rely on.
+/// weights), independent of the insertion history — the relation the
+/// checkpoint round-trip tests rely on.  (Neighbour lists are kept sorted,
+/// so per-node comparison is canonical by construction.)
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct DynamicGraph {
-    /// node -> (neighbour -> edge weight)
-    adj: FxHashMap<NodeId, FxHashMap<NodeId, f64>>,
+    /// node -> sorted `(neighbour, weight)` pairs.
+    adj: FxHashMap<NodeId, Vec<(NodeId, f64)>>,
     edge_count: usize,
 }
 
@@ -62,15 +72,15 @@ impl DynamicGraph {
         match self.adj.entry(n) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(FxHashMap::default());
+                v.insert(Vec::new());
                 true
             }
         }
     }
 
     /// Removes a node and all its incident edges.  Returns the removed
-    /// incident edges (with their weights), or an empty vector if the node
-    /// did not exist.
+    /// incident edges (with their weights) in ascending neighbour order,
+    /// or an empty vector if the node did not exist.
     pub fn remove_node(&mut self, n: NodeId) -> Vec<(EdgeKey, f64)> {
         let Some(neighbours) = self.adj.remove(&n) else {
             return Vec::new();
@@ -78,7 +88,9 @@ impl DynamicGraph {
         let mut removed = Vec::with_capacity(neighbours.len());
         for (m, w) in neighbours {
             if let Some(adj_m) = self.adj.get_mut(&m) {
-                adj_m.remove(&n);
+                if let Ok(pos) = adj_m.binary_search_by_key(&n, |&(k, _)| k) {
+                    adj_m.remove(pos);
+                }
             }
             self.edge_count -= 1;
             removed.push((EdgeKey::new(n, m), w));
@@ -92,16 +104,20 @@ impl DynamicGraph {
         assert_ne!(a, b, "self-loops are not allowed in the keyword graph");
         self.add_node(a);
         self.add_node(b);
-        let new = self
-            .adj
-            .get_mut(&a)
-            .expect("node a just inserted")
-            .insert(b, weight)
-            .is_none();
-        self.adj
-            .get_mut(&b)
-            .expect("node b just inserted")
-            .insert(a, weight);
+        let insert = |list: &mut Vec<(NodeId, f64)>, key: NodeId| match list
+            .binary_search_by_key(&key, |&(k, _)| k)
+        {
+            Ok(pos) => {
+                list[pos].1 = weight;
+                false
+            }
+            Err(pos) => {
+                list.insert(pos, (key, weight));
+                true
+            }
+        };
+        let new = insert(self.adj.get_mut(&a).expect("node a just inserted"), b);
+        insert(self.adj.get_mut(&b).expect("node b just inserted"), a);
         if new {
             self.edge_count += 1;
         }
@@ -110,9 +126,13 @@ impl DynamicGraph {
 
     /// Removes an edge; returns its weight if it existed.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
-        let w = self.adj.get_mut(&a)?.remove(&b)?;
+        let adj_a = self.adj.get_mut(&a)?;
+        let pos = adj_a.binary_search_by_key(&b, |&(k, _)| k).ok()?;
+        let (_, w) = adj_a.remove(pos);
         if let Some(adj_b) = self.adj.get_mut(&b) {
-            adj_b.remove(&a);
+            if let Ok(pos) = adj_b.binary_search_by_key(&a, |&(k, _)| k) {
+                adj_b.remove(pos);
+            }
         }
         self.edge_count -= 1;
         Some(w)
@@ -120,7 +140,11 @@ impl DynamicGraph {
 
     /// Returns the weight of the edge `(a, b)` if present.
     pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Option<f64> {
-        self.adj.get(&a)?.get(&b).copied()
+        let adj_a = self.adj.get(&a)?;
+        adj_a
+            .binary_search_by_key(&b, |&(k, _)| k)
+            .ok()
+            .map(|pos| adj_a[pos].1)
     }
 
     /// Updates the weight of an existing edge; returns `false` if absent.
@@ -128,12 +152,14 @@ impl DynamicGraph {
         let Some(adj_a) = self.adj.get_mut(&a) else {
             return false;
         };
-        let Some(w) = adj_a.get_mut(&b) else {
+        let Ok(pos) = adj_a.binary_search_by_key(&b, |&(k, _)| k) else {
             return false;
         };
-        *w = weight;
-        if let Some(w2) = self.adj.get_mut(&b).and_then(|m| m.get_mut(&a)) {
-            *w2 = weight;
+        adj_a[pos].1 = weight;
+        if let Some(adj_b) = self.adj.get_mut(&b) {
+            if let Ok(pos) = adj_b.binary_search_by_key(&a, |&(k, _)| k) {
+                adj_b[pos].1 = weight;
+            }
         }
         true
     }
@@ -145,7 +171,9 @@ impl DynamicGraph {
 
     /// Does the graph contain this edge?
     pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adj.get(&a).is_some_and(|m| m.contains_key(&b))
+        self.adj
+            .get(&a)
+            .is_some_and(|m| m.binary_search_by_key(&b, |&(k, _)| k).is_ok())
     }
 
     /// Degree of a node (0 if absent).
@@ -153,34 +181,41 @@ impl DynamicGraph {
         self.adj.get(&n).map_or(0, |m| m.len())
     }
 
-    /// Iterates over the neighbours of `n` (empty if absent).
+    /// Iterates over the neighbours of `n` in **ascending id order**
+    /// (empty if absent).  Callers that need canonical neighbour order can
+    /// rely on this without sorting.
     pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj.get(&n).into_iter().flat_map(|m| m.keys().copied())
-    }
-
-    /// Iterates over `(neighbour, weight)` pairs of `n`.
-    pub fn neighbors_weighted(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
         self.adj
             .get(&n)
             .into_iter()
-            .flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+            .flat_map(|m| m.iter().map(|&(k, _)| k))
     }
 
-    /// Returns the common neighbours of `a` and `b`.
+    /// Iterates over `(neighbour, weight)` pairs of `n`, ascending by id.
+    pub fn neighbors_weighted(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.adj.get(&n).into_iter().flat_map(|m| m.iter().copied())
+    }
+
+    /// Returns the common neighbours of `a` and `b`, ascending by id —
+    /// a linear merge of the two sorted neighbour arrays.
     pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
         let (Some(na), Some(nb)) = (self.adj.get(&a), self.adj.get(&b)) else {
             return Vec::new();
         };
-        let (small, large) = if na.len() <= nb.len() {
-            (na, nb)
-        } else {
-            (nb, na)
-        };
-        small
-            .keys()
-            .filter(|k| large.contains_key(*k))
-            .copied()
-            .collect()
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < na.len() && j < nb.len() {
+            match na[i].0.cmp(&nb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(na[i].0);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Returns `true` if `a` and `b` have at least one common neighbour.
@@ -188,12 +223,15 @@ impl DynamicGraph {
         let (Some(na), Some(nb)) = (self.adj.get(&a), self.adj.get(&b)) else {
             return false;
         };
-        let (small, large) = if na.len() <= nb.len() {
-            (na, nb)
-        } else {
-            (nb, na)
-        };
-        small.keys().any(|k| large.contains_key(k))
+        let (mut i, mut j) = (0, 0);
+        while i < na.len() && j < nb.len() {
+            match na[i].0.cmp(&nb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
     }
 
     /// Number of nodes.
@@ -221,8 +259,8 @@ impl DynamicGraph {
     pub fn edges(&self) -> impl Iterator<Item = (EdgeKey, f64)> + '_ {
         self.adj.iter().flat_map(|(&a, nbrs)| {
             nbrs.iter()
-                .filter(move |(&b, _)| a <= b)
-                .map(move |(&b, &w)| (EdgeKey::new(a, b), w))
+                .filter(move |&&(b, _)| a <= b)
+                .map(move |&(b, w)| (EdgeKey::new(a, b), w))
         })
     }
 

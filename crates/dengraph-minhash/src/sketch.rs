@@ -161,6 +161,14 @@ impl MinHashSketch {
         self.minima.clear();
     }
 
+    /// Clears the sketch and re-targets it to keep `p` minima, reusing the
+    /// existing allocation.  This is what buffer pools use to recycle
+    /// evicted sub-sketches instead of allocating fresh ones per quantum.
+    pub fn reset(&mut self, p: usize) {
+        self.p = p.max(1);
+        self.minima.clear();
+    }
+
     /// Serialises the sketch to a [`dengraph_json::Value`] (`p` plus the
     /// ascending minima list).
     pub fn to_json(&self) -> dengraph_json::Value {

@@ -73,18 +73,49 @@ impl EpochSketchStore {
     /// store being a FIFO over a sliding window) and re-merges the
     /// survivors.  Returns `true` when anything was evicted.
     pub fn evict_through(&mut self, epoch: u64) -> bool {
+        self.evict_through_with(epoch, |_| {})
+    }
+
+    /// Like [`Self::evict_through`], but hands every evicted sub-sketch to
+    /// `recycle` instead of dropping it, so callers can pool the buffers
+    /// (see [`MinHashSketch::reset`]) and keep steady-state eviction
+    /// allocation-free.
+    ///
+    /// The O(epochs · p) re-merge is skipped when no evicted sub-sketch
+    /// shares a minimum with the cached union: removing values that are
+    /// not among the union's `p` smallest cannot change those `p`
+    /// smallest, so the cached union is provably still exact.
+    pub fn evict_through_with<F: FnMut(MinHashSketch)>(
+        &mut self,
+        epoch: u64,
+        mut recycle: F,
+    ) -> bool {
         let mut evicted = false;
+        let mut contributed = false;
         while self.epochs.front().is_some_and(|(e, _)| *e <= epoch) {
-            self.epochs.pop_front();
+            if let Some((_, sub)) = self.epochs.pop_front() {
+                contributed = contributed || sub.shares_minimum(&self.merged);
+                recycle(sub);
+            }
             evicted = true;
         }
-        if evicted {
+        if contributed {
             self.merged.clear();
             for (_, sub) in &self.epochs {
                 self.merged.merge(sub);
             }
         }
         evicted
+    }
+
+    /// Empties the store (epochs and cached union) while keeping its
+    /// allocations, handing every stored sub-sketch to `recycle`.  Used
+    /// when a pooled index entry is recycled for a different keyword.
+    pub fn clear_with<F: FnMut(MinHashSketch)>(&mut self, mut recycle: F) {
+        while let Some((_, sub)) = self.epochs.pop_front() {
+            recycle(sub);
+        }
+        self.merged.clear();
     }
 
     /// The union sketch over every live epoch.  Bit-identical to a sketch

@@ -89,9 +89,127 @@ impl KeywordInterner {
     }
 }
 
+/// A compact identifier for an interned user (screen name / author
+/// handle).  Ids are dense (`0..len`) and never reused within one
+/// interner, so they slot directly into the stream layer's `UserId`
+/// newtype and index side tables without hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserSym(pub u64);
+
+impl UserSym {
+    /// Returns the raw dense id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for UserSym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A bidirectional `String ↔ UserSym` map for message authors.
+///
+/// The paper computes edge correlation over *user* sets, so every
+/// downstream structure (per-quantum records, window refcounts, min-hash
+/// sketches) is keyed by user.  Interning authors once at tokenization
+/// keeps those structures on dense integers end to end; strings survive
+/// only here, for the reporting boundary.
+#[derive(Debug, Default, Clone)]
+pub struct UserInterner {
+    by_name: HashMap<String, UserSym>,
+    by_id: Vec<String>,
+}
+
+impl UserInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable dense id.
+    pub fn intern(&mut self, name: &str) -> UserSym {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = UserSym(self.by_id.len() as u64);
+        self.by_name.insert(name.to_string(), id);
+        self.by_id.push(name.to_string());
+        id
+    }
+
+    /// Looks up an already-interned name without inserting it.
+    pub fn get(&self, name: &str) -> Option<UserSym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    pub fn resolve(&self, id: UserSym) -> Option<&str> {
+        self.by_id.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned users.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserSym, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (UserSym(i as u64), w.as_str()))
+    }
+}
+
+/// The combined symbol table of one message stream: keywords and users,
+/// both interned to dense ids at tokenization so the entire hot path —
+/// window index, AKG, sketches, cluster membership — runs on integers and
+/// resolves back to strings only at the reporting/sink boundary.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    /// Keyword ↔ id map.
+    pub keywords: KeywordInterner,
+    /// Author ↔ id map.
+    pub users: UserInterner,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn user_interner_round_trips() {
+        let mut table = SymbolTable::new();
+        let a = table.users.intern("@quake_fan");
+        let b = table.users.intern("@quake_fan");
+        let c = table.users.intern("@other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(table.users.resolve(a), Some("@quake_fan"));
+        assert_eq!(table.users.get("@other"), Some(c));
+        assert_eq!(table.users.get("@missing"), None);
+        assert_eq!(table.users.len(), 2);
+        assert!(!table.users.is_empty());
+        let names: Vec<&str> = table.users.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["@quake_fan", "@other"]);
+        assert_eq!(a.raw(), 0);
+        assert_eq!(UserSym(7).to_string(), "u7");
+    }
 
     #[test]
     fn intern_is_idempotent() {

@@ -41,7 +41,9 @@ pub mod stemmer;
 pub mod stopwords;
 pub mod tokenizer;
 
-pub use interner::{KeywordId, KeywordInterner};
+pub use interner::{KeywordId, KeywordInterner, SymbolTable, UserInterner, UserSym};
 pub use pipeline::{KeywordPipeline, PipelineConfig};
 pub use pos::{NounHeuristic, WordClass};
-pub use tokenizer::{keyword_tokens, tokenize, Token, TokenKind};
+#[allow(deprecated)]
+pub use tokenizer::keyword_tokens;
+pub use tokenizer::{tokenize, Token, TokenKind};

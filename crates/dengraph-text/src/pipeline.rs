@@ -1,6 +1,7 @@
-//! End-to-end keyword extraction: raw text → de-duplicated `KeywordId` set.
+//! End-to-end keyword extraction: raw text → de-duplicated `KeywordId` set
+//! (plus author interning, so a full post becomes dense ids in one call).
 
-use crate::interner::{KeywordId, KeywordInterner};
+use crate::interner::{KeywordId, KeywordInterner, SymbolTable, UserSym};
 use crate::stemmer;
 use crate::stopwords;
 use crate::tokenizer::{self, TokenKind};
@@ -30,12 +31,13 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Stateful keyword pipeline: owns the interner so repeated messages map
-/// the same word to the same [`KeywordId`].
+/// Stateful keyword pipeline: owns the stream's [`SymbolTable`] so
+/// repeated messages map the same word to the same [`KeywordId`] and the
+/// same author to the same [`UserSym`].
 #[derive(Debug, Default)]
 pub struct KeywordPipeline {
     config: PipelineConfig,
-    interner: KeywordInterner,
+    symbols: SymbolTable,
 }
 
 impl KeywordPipeline {
@@ -48,7 +50,7 @@ impl KeywordPipeline {
     pub fn with_config(config: PipelineConfig) -> Self {
         Self {
             config,
-            interner: KeywordInterner::new(),
+            symbols: SymbolTable::new(),
         }
     }
 
@@ -76,7 +78,7 @@ impl KeywordPipeline {
             if token.kind != TokenKind::Number && stopwords::is_stopword(&word) {
                 continue;
             }
-            let id = self.interner.intern(&word);
+            let id = self.symbols.keywords.intern(&word);
             if !out.contains(&id) {
                 out.push(id);
             }
@@ -84,23 +86,47 @@ impl KeywordPipeline {
         out
     }
 
-    /// Processes a message but returns keyword strings (useful in examples).
+    /// Processes one complete post: interns the author and extracts the
+    /// keyword ids in a single call, so everything downstream of
+    /// tokenization works on dense integers.  The stream layer wraps the
+    /// returned [`UserSym`] in its `UserId` newtype.
+    pub fn process_post(&mut self, author: &str, text: &str) -> (UserSym, Vec<KeywordId>) {
+        let user = self.symbols.users.intern(author);
+        (user, self.process(text))
+    }
+
+    /// Processes a message but returns keyword strings.
+    #[deprecated(
+        since = "0.1.0",
+        note = "string-keyed read on the hot path: use `process` (dense ids) and resolve at \
+                the reporting boundary via `symbols().keywords.resolve`"
+    )]
     pub fn process_to_words(&mut self, text: &str) -> Vec<String> {
         self.process(text)
             .into_iter()
-            .filter_map(|id| self.interner.resolve(id).map(str::to_string))
+            .filter_map(|id| self.symbols.keywords.resolve(id).map(str::to_string))
             .collect()
     }
 
-    /// Access to the shared interner.
-    pub fn interner(&self) -> &KeywordInterner {
-        &self.interner
+    /// The stream's symbol table (keywords and users).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
-    /// Mutable access to the shared interner (the workload generator interns
-    /// its vocabulary up front through this).
+    /// Mutable access to the symbol table.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Access to the shared keyword interner.
+    pub fn interner(&self) -> &KeywordInterner {
+        &self.symbols.keywords
+    }
+
+    /// Mutable access to the shared keyword interner (the workload
+    /// generator interns its vocabulary up front through this).
     pub fn interner_mut(&mut self) -> &mut KeywordInterner {
-        &mut self.interner
+        &mut self.symbols.keywords
     }
 }
 
@@ -108,10 +134,19 @@ impl KeywordPipeline {
 mod tests {
     use super::*;
 
+    /// Id-based equivalent of the deprecated `process_to_words`: process,
+    /// then resolve at the boundary.
+    fn words_of(p: &mut KeywordPipeline, text: &str) -> Vec<String> {
+        p.process(text)
+            .into_iter()
+            .filter_map(|id| p.symbols().keywords.resolve(id).map(str::to_string))
+            .collect()
+    }
+
     #[test]
     fn figure1_style_message() {
         let mut p = KeywordPipeline::new();
-        let words = p.process_to_words("A massive earthquake struck eastern Turkey today");
+        let words = words_of(&mut p, "A massive earthquake struck eastern Turkey today");
         assert_eq!(
             words,
             vec![
@@ -144,16 +179,35 @@ mod tests {
     #[test]
     fn numbers_kept_and_droppable() {
         let mut keep = KeywordPipeline::new();
-        assert!(keep
-            .process_to_words("magnitude 5.9")
-            .contains(&"5.9".to_string()));
+        assert!(words_of(&mut keep, "magnitude 5.9").contains(&"5.9".to_string()));
         let mut drop = KeywordPipeline::with_config(PipelineConfig {
             keep_numbers: false,
             ..Default::default()
         });
-        assert!(!drop
-            .process_to_words("magnitude 5.9")
-            .contains(&"5.9".to_string()));
+        assert!(!words_of(&mut drop, "magnitude 5.9").contains(&"5.9".to_string()));
+    }
+
+    /// The deprecated string-returning read stays equivalent to the
+    /// id-based path for as long as it exists.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_process_to_words_matches_resolving_wrapper() {
+        let mut a = KeywordPipeline::new();
+        let mut b = KeywordPipeline::new();
+        let text = "Massive earthquake strikes eastern Turkey, magnitude 5.9";
+        assert_eq!(a.process_to_words(text), words_of(&mut b, text));
+    }
+
+    #[test]
+    fn process_post_interns_author_and_keywords() {
+        let mut p = KeywordPipeline::new();
+        let (u1, kws1) = p.process_post("@reporter", "earthquake in turkey");
+        let (u2, kws2) = p.process_post("@reporter", "turkey earthquake again");
+        assert_eq!(u1, u2, "same author maps to the same dense id");
+        assert_eq!(kws1[0], kws2[1], "earthquake id is stable");
+        assert_eq!(p.symbols().users.resolve(u1), Some("@reporter"));
+        let (u3, _) = p.process_post("@witness", "quake");
+        assert_ne!(u1, u3);
     }
 
     #[test]
@@ -167,7 +221,7 @@ mod tests {
     #[test]
     fn mentions_and_urls_never_become_keywords() {
         let mut p = KeywordPipeline::new();
-        let words = p.process_to_words("@cnn breaking https://t.co/x earthquake");
+        let words = words_of(&mut p, "@cnn breaking https://t.co/x earthquake");
         assert_eq!(words, vec!["breaking", "earthquake"]);
     }
 
@@ -175,7 +229,7 @@ mod tests {
     fn stop_words_removed_after_stemming() {
         let mut p = KeywordPipeline::new();
         // "gets" stems to "get" which is a stop word.
-        let words = p.process_to_words("gets worse tornado");
+        let words = words_of(&mut p, "gets worse tornado");
         assert_eq!(words, vec!["worse", "tornado"]);
     }
 

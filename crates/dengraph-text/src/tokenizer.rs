@@ -123,6 +123,11 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 
 /// Returns only the token texts that are usable as keywords (words,
 /// hashtags and numbers — not URLs or mentions).
+#[deprecated(
+    since = "0.1.0",
+    note = "string-keyed pipeline bypass: use `pipeline::KeywordPipeline::process` (dense \
+            `KeywordId`s) and resolve strings only at the reporting boundary"
+)]
 pub fn keyword_tokens(text: &str) -> Vec<String> {
     tokenize(text)
         .into_iter()
@@ -184,6 +189,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn keyword_tokens_drop_urls_and_mentions() {
         let kws = keyword_tokens("@user check https://news.com/x quake 5.9 #turkey");
         assert_eq!(kws, vec!["check", "quake", "5.9", "turkey"]);

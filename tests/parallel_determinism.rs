@@ -81,6 +81,88 @@ fn non_nominal_thresholds_are_deterministic() {
     assert_parallel_matches_serial(&trace, config, "thresholds");
 }
 
+/// Stage-3 focus: every quantum carries several simultaneous correlated
+/// bursts in *disjoint* keyword families, so cluster maintenance sees
+/// multi-component delta batches and the sharded path actually fans out.
+/// The full cluster state (ids included) must match the serial run
+/// exactly, quantum by quantum.
+#[test]
+fn multi_component_cluster_maintenance_is_deterministic() {
+    use dengraph_stream::{Message, UserId};
+    use dengraph_text::KeywordId;
+
+    let quantum_size = 60usize;
+    let mut messages: Vec<Message> = Vec::new();
+    for q in 0..40u64 {
+        let mut batch: Vec<Message> = Vec::new();
+        // Six families; family f is active on quanta where (q + f) % 3 != 0,
+        // so clusters keep forming, pausing and dissolving independently.
+        for family in 0..6u32 {
+            if (q + family as u64).is_multiple_of(3) {
+                continue;
+            }
+            let base_kw = family * 50;
+            let rotate = (q % 4) as u32;
+            let keywords: Vec<KeywordId> = (0..4)
+                .map(|i| KeywordId(base_kw + ((i + rotate) % 6)))
+                .collect();
+            for u in 0..5u64 {
+                batch.push(Message::new(
+                    UserId(1_000 * family as u64 + 10 * q + u),
+                    q * 1_000 + u,
+                    keywords.clone(),
+                ));
+            }
+        }
+        // Filler chatter: unique users, unique keywords, never bursty.
+        let mut filler = 500_000 + q * 1_000;
+        while batch.len() < quantum_size {
+            batch.push(Message::new(
+                UserId(filler),
+                q * 1_000 + filler,
+                vec![KeywordId(10_000 + filler as u32)],
+            ));
+            filler += 1;
+        }
+        messages.extend(batch);
+    }
+
+    let config = DetectorConfig::nominal()
+        .with_quantum_size(quantum_size)
+        .with_high_state_threshold(4)
+        .with_window_quanta(6);
+    let run = |parallelism: Parallelism| {
+        let mut session =
+            DetectorBuilder::from_config(config.clone().with_parallelism(parallelism))
+                .build()
+                .expect("valid config");
+        let summaries = session.run(&messages);
+        let mut clusters: Vec<String> = session
+            .clusters()
+            .clusters()
+            .map(|c| format!("{:?}|{:?}|{:?}", c.id, c.sorted_nodes(), c.born_quantum))
+            .collect();
+        clusters.sort();
+        (canonical(&summaries), clusters)
+    };
+    let serial = run(Parallelism::Serial);
+    assert!(
+        !serial.1.is_empty(),
+        "fixture must end with live clusters to compare"
+    );
+    for threads in [2usize, 4, 8] {
+        let parallel = run(Parallelism::Threads(threads));
+        assert_eq!(
+            serial.0, parallel.0,
+            "stage-3 sharded run diverged from serial at {threads} threads"
+        );
+        assert_eq!(
+            serial.1, parallel.1,
+            "final cluster state diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn event_records_match_between_serial_and_parallel() {
     let trace = StreamGenerator::new(tw_profile(35, ProfileScale::Small)).generate();
