@@ -17,7 +17,8 @@ use std::time::Instant;
 use dengraph_bench::{build_trace, TraceKind};
 use dengraph_core::evaluation::measure_throughput;
 use dengraph_core::{
-    Checkpoint, DetectorBuilder, DetectorConfig, DetectorSession, Parallelism, WindowIndexMode,
+    CheckpointMode, DetectorBuilder, DetectorConfig, DetectorSession, Parallelism, WindowIndexMode,
+    WireFormat,
 };
 use dengraph_json::Value;
 use dengraph_stream::generator::profiles::ProfileScale;
@@ -60,11 +61,16 @@ fn main() {
 
     // Per-stage attribution of the serial hot path: one dedicated run,
     // reading the detector's cumulative stage timers afterwards.  The same
-    // session then feeds the checkpoint round-trip measurement below.
+    // session also carries a delta-checkpoint journal (its appends happen
+    // outside the stage timers) and then feeds the checkpoint round-trip
+    // measurements below.
     let mut session = DetectorBuilder::from_config(base.clone())
         .interner(trace.interner.clone())
         .build()
         .expect("bench config is valid");
+    // Rebase interval beyond the trace: every steady-state entry is a
+    // delta record, giving a clean per-quantum durability cost.
+    session.enable_journal(CheckpointMode::Delta { every: 1 << 20 });
     session.run(&trace.messages);
     let stage_times = session.detector().stage_times();
     let stage_ms = Value::obj(
@@ -73,21 +79,56 @@ fn main() {
             .into_iter()
             .map(|(name, ms)| (name, Value::from(ms))),
     );
+    let journal = session.journal().expect("journal enabled");
+    let delta_checkpoint_bytes = journal.mean_delta_bytes();
+    let journal_bytes = journal.as_bytes().to_vec();
+
+    // Checkpoint round trips, both wire formats; best of three each.
+    // `checkpoint_bytes`/`checkpoint_ms`/`restore_ms` track the binary
+    // (default durable) format; the JSON fallback keeps its own keys.
     let mut checkpoint_bytes = 0usize;
     let mut checkpoint_ms = f64::INFINITY;
     let mut restore_ms = f64::INFINITY;
+    let mut json_checkpoint_bytes = 0usize;
+    let mut json_checkpoint_ms = f64::INFINITY;
+    let mut json_restore_ms = f64::INFINITY;
+    let mut journal_restore_ms = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
-        let text = session.checkpoint().to_json_string();
+        let binary = session.checkpoint_bytes(WireFormat::Binary);
         checkpoint_ms = checkpoint_ms.min(start.elapsed().as_secs_f64() * 1e3);
-        checkpoint_bytes = text.len();
+        checkpoint_bytes = binary.len();
         let start = Instant::now();
-        let restored =
-            DetectorSession::restore(&Checkpoint::from_json_str(&text).expect("checkpoint parses"))
-                .expect("checkpoint restores");
+        let restored = DetectorSession::restore_bytes(&binary).expect("binary restores");
         restore_ms = restore_ms.min(start.elapsed().as_secs_f64() * 1e3);
         assert_eq!(restored.quanta_processed(), session.quanta_processed());
+
+        let start = Instant::now();
+        let json = session.checkpoint_bytes(WireFormat::Json);
+        json_checkpoint_ms = json_checkpoint_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        json_checkpoint_bytes = json.len();
+        let start = Instant::now();
+        let restored = DetectorSession::restore_bytes(&json).expect("json restores");
+        json_restore_ms = json_restore_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(restored.quanta_processed(), session.quanta_processed());
+
+        let start = Instant::now();
+        let restored =
+            DetectorSession::restore_from_journal(&journal_bytes).expect("journal restores");
+        journal_restore_ms = journal_restore_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(restored.quanta_processed(), session.quanta_processed());
     }
+    // The codec-layer acceptance gates, kept visible in CI.
+    assert!(
+        checkpoint_bytes * 2 <= json_checkpoint_bytes,
+        "binary checkpoint ({checkpoint_bytes}) exceeds half the json \
+         checkpoint ({json_checkpoint_bytes})"
+    );
+    assert!(
+        delta_checkpoint_bytes * 10.0 <= checkpoint_bytes as f64,
+        "mean delta record ({delta_checkpoint_bytes:.0}) is not 10x smaller \
+         than a binary full snapshot ({checkpoint_bytes})"
+    );
 
     let report = Value::obj([
         ("bench", Value::str("detector_throughput_smoke")),
@@ -104,6 +145,14 @@ fn main() {
         ("checkpoint_bytes", Value::from(checkpoint_bytes)),
         ("checkpoint_ms", Value::from(checkpoint_ms)),
         ("restore_ms", Value::from(restore_ms)),
+        ("json_checkpoint_bytes", Value::from(json_checkpoint_bytes)),
+        ("json_checkpoint_ms", Value::from(json_checkpoint_ms)),
+        ("json_restore_ms", Value::from(json_restore_ms)),
+        (
+            "delta_checkpoint_bytes",
+            Value::from(delta_checkpoint_bytes),
+        ),
+        ("journal_restore_ms", Value::from(journal_restore_ms)),
         ("stage_ms", stage_ms),
     ]);
     let json = dengraph_json::to_string(&report);
@@ -119,8 +168,15 @@ fn main() {
          ({window_index_speedup:.2}x) -> {out_path}"
     );
     println!(
-        "checkpoint: {checkpoint_bytes} bytes, serialise {checkpoint_ms:.2} ms, \
-         restore {restore_ms:.2} ms"
+        "checkpoint: binary {checkpoint_bytes} bytes ({checkpoint_ms:.2} ms encode, \
+         {restore_ms:.2} ms restore), json {json_checkpoint_bytes} bytes \
+         ({json_checkpoint_ms:.2} ms encode, {json_restore_ms:.2} ms restore)"
+    );
+    println!(
+        "journal: mean delta record {delta_checkpoint_bytes:.0} bytes \
+         ({:.1}x smaller than a binary full snapshot), tail replay restore \
+         {journal_restore_ms:.2} ms",
+        checkpoint_bytes as f64 / delta_checkpoint_bytes.max(1.0)
     );
     let total_ms = stage_times.total_ns() as f64 / 1e6;
     print!("stages:");

@@ -68,6 +68,142 @@ pub enum GraphDelta {
     NodeRemoved { node: NodeId },
 }
 
+impl GraphDelta {
+    /// Serialises the delta to a [`dengraph_json::Value`] (used by the
+    /// JSON form of checkpoint-journal delta records).
+    pub fn to_json(&self) -> dengraph_json::Value {
+        use dengraph_json::Value;
+        match *self {
+            GraphDelta::NodeAdded { node } => {
+                Value::obj([("op", Value::str("node+")), ("node", Value::from(node.0))])
+            }
+            GraphDelta::EdgeAdded { a, b, weight } => Value::obj([
+                ("op", Value::str("edge+")),
+                ("a", Value::from(a.0)),
+                ("b", Value::from(b.0)),
+                ("weight", Value::from(weight)),
+            ]),
+            GraphDelta::EdgeWeightUpdated { a, b, weight } => Value::obj([
+                ("op", Value::str("edge=")),
+                ("a", Value::from(a.0)),
+                ("b", Value::from(b.0)),
+                ("weight", Value::from(weight)),
+            ]),
+            GraphDelta::EdgeRemoved { a, b } => Value::obj([
+                ("op", Value::str("edge-")),
+                ("a", Value::from(a.0)),
+                ("b", Value::from(b.0)),
+            ]),
+            GraphDelta::NodeRemoved { node } => {
+                Value::obj([("op", Value::str("node-")), ("node", Value::from(node.0))])
+            }
+        }
+    }
+
+    /// Reconstructs a delta serialised by [`Self::to_json`].
+    pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let node = |v: &dengraph_json::Value| -> dengraph_json::Result<NodeId> {
+            Ok(NodeId(v.get("node")?.as_u32()?))
+        };
+        let ends = |v: &dengraph_json::Value| -> dengraph_json::Result<(NodeId, NodeId)> {
+            Ok((NodeId(v.get("a")?.as_u32()?), NodeId(v.get("b")?.as_u32()?)))
+        };
+        Ok(match value.get("op")?.as_str()? {
+            "node+" => GraphDelta::NodeAdded { node: node(value)? },
+            "edge+" => {
+                let (a, b) = ends(value)?;
+                GraphDelta::EdgeAdded {
+                    a,
+                    b,
+                    weight: value.get("weight")?.as_f64()?,
+                }
+            }
+            "edge=" => {
+                let (a, b) = ends(value)?;
+                GraphDelta::EdgeWeightUpdated {
+                    a,
+                    b,
+                    weight: value.get("weight")?.as_f64()?,
+                }
+            }
+            "edge-" => {
+                let (a, b) = ends(value)?;
+                GraphDelta::EdgeRemoved { a, b }
+            }
+            "node-" => GraphDelta::NodeRemoved { node: node(value)? },
+            other => {
+                return Err(dengraph_json::JsonError {
+                    message: format!("unknown graph delta op '{other}'"),
+                    offset: 0,
+                })
+            }
+        })
+    }
+
+    /// Appends the compact binary encoding (one tag byte plus operands).
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        match *self {
+            GraphDelta::NodeAdded { node } => {
+                w.byte(0);
+                w.u32(node.0);
+            }
+            GraphDelta::EdgeAdded { a, b, weight } => {
+                w.byte(1);
+                w.u32(a.0);
+                w.u32(b.0);
+                w.f64(weight);
+            }
+            GraphDelta::EdgeWeightUpdated { a, b, weight } => {
+                w.byte(2);
+                w.u32(a.0);
+                w.u32(b.0);
+                w.f64(weight);
+            }
+            GraphDelta::EdgeRemoved { a, b } => {
+                w.byte(3);
+                w.u32(a.0);
+                w.u32(b.0);
+            }
+            GraphDelta::NodeRemoved { node } => {
+                w.byte(4);
+                w.u32(node.0);
+            }
+        }
+    }
+
+    /// Reconstructs a delta encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Ok(match r.byte()? {
+            0 => GraphDelta::NodeAdded {
+                node: NodeId(r.u32()?),
+            },
+            1 => GraphDelta::EdgeAdded {
+                a: NodeId(r.u32()?),
+                b: NodeId(r.u32()?),
+                weight: r.f64()?,
+            },
+            2 => GraphDelta::EdgeWeightUpdated {
+                a: NodeId(r.u32()?),
+                b: NodeId(r.u32()?),
+                weight: r.f64()?,
+            },
+            3 => GraphDelta::EdgeRemoved {
+                a: NodeId(r.u32()?),
+                b: NodeId(r.u32()?),
+            },
+            4 => GraphDelta::NodeRemoved {
+                node: NodeId(r.u32()?),
+            },
+            other => {
+                return Err(dengraph_json::JsonError {
+                    message: format!("unknown graph delta tag {other}"),
+                    offset: r.pos(),
+                })
+            }
+        })
+    }
+}
+
 /// Per-quantum summary statistics of the AKG maintenance.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AkgQuantumStats {
@@ -109,6 +245,46 @@ impl AkgQuantumStats {
             nodes_added: value.get("nodes_added")?.as_usize()?,
             nodes_removed: value.get("nodes_removed")?.as_usize()?,
         })
+    }
+
+    /// Appends the compact binary encoding (six varints).
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.usize(self.bursty_keywords);
+        w.usize(self.pairs_evaluated);
+        w.usize(self.edges_added);
+        w.usize(self.edges_removed);
+        w.usize(self.nodes_added);
+        w.usize(self.nodes_removed);
+    }
+
+    /// Reconstructs statistics encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            bursty_keywords: r.usize()?,
+            pairs_evaluated: r.usize()?,
+            edges_added: r.usize()?,
+            edges_removed: r.usize()?,
+            nodes_added: r.usize()?,
+            nodes_removed: r.usize()?,
+        })
+    }
+}
+
+impl dengraph_json::Encode for AkgQuantumStats {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for AkgQuantumStats {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 
@@ -272,6 +448,61 @@ impl AkgMaintainer {
             score_ns: 0,
             apply_ns: 0,
         })
+    }
+
+    /// Appends the compact binary encoding (graph, keyword automaton,
+    /// last stats) — the binary twin of [`Self::to_json`].
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.graph.to_bin(w);
+        self.states.to_bin(w);
+        self.last_stats.to_bin(w);
+    }
+
+    /// Reconstructs a maintainer encoded by [`Self::to_bin`] under the
+    /// given configuration.
+    pub fn from_bin(
+        config: DetectorConfig,
+        r: &mut dengraph_json::BinReader<'_>,
+    ) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            config,
+            graph: DynamicGraph::from_bin(r)?,
+            states: KeywordStateMachine::from_bin(r)?,
+            last_stats: AkgQuantumStats::from_bin(r)?,
+            score_ns: 0,
+            apply_ns: 0,
+        })
+    }
+
+    /// Re-applies one quantum's worth of logged deltas to the graph and
+    /// the keyword automaton — the redo half of incremental
+    /// checkpointing.  Promotions and demotions mirror the original run
+    /// exactly: a node enters the AKG iff its keyword just turned bursty
+    /// (promoted), and leaves it iff it was demoted, so replaying the
+    /// node deltas reproduces the automaton bit-for-bit without
+    /// re-scoring a single correlation.
+    pub(crate) fn replay_deltas(&mut self, deltas: &[GraphDelta], stats: AkgQuantumStats) {
+        for delta in deltas {
+            match *delta {
+                GraphDelta::NodeAdded { node } => {
+                    self.graph.add_node(node);
+                    // Saturated observe is exactly "force High".
+                    self.states.observe(keyword_of(node), 1, 1);
+                }
+                GraphDelta::NodeRemoved { node } => {
+                    self.graph.remove_node(node);
+                    self.states.demote(keyword_of(node));
+                }
+                GraphDelta::EdgeAdded { a, b, weight }
+                | GraphDelta::EdgeWeightUpdated { a, b, weight } => {
+                    self.graph.add_edge(a, b, weight);
+                }
+                GraphDelta::EdgeRemoved { a, b } => {
+                    self.graph.remove_edge(a, b);
+                }
+            }
+        }
+        self.last_stats = stats;
     }
 
     /// Processes one quantum.  `window` must already contain `record` as its

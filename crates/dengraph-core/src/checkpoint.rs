@@ -1,0 +1,504 @@
+//! Incremental checkpointing: delta records and the checkpoint journal.
+//!
+//! A full checkpoint re-encodes the *entire* detector — every window
+//! record, the whole incremental index, all clusters and the complete
+//! event tracker — even though a single quantum changes only an O(Δ)
+//! slice of that state.  This module makes steady-state durability
+//! proportional to the change instead:
+//!
+//! * a [`DeltaRecord`] captures one quantum's state transition — the
+//!   pushed [`QuantumRecord`], the AKG [`GraphDelta`] log, the quantum's
+//!   AKG statistics and the reported events (the tracker updates);
+//! * a [`CheckpointJournal`] is an append-only frame log: full snapshots
+//!   as rebase points, delta records between them, governed by
+//!   [`CheckpointMode`];
+//! * restore finds the latest snapshot and **replays** the journal-tail
+//!   deltas on top of it.
+//!
+//! Replay is a pure redo: the window record is pushed as-is, the graph
+//! and keyword automaton re-apply the logged deltas (no correlation is
+//! re-scored), cluster maintenance re-runs the deterministic Section-5
+//! algorithms from the same delta log (reproducing cluster ids exactly —
+//! the property the sharded maintainer already guarantees), and the
+//! tracker re-observes the logged events.  The result is bit-identical
+//! to the uninterrupted run (`tests/checkpoint_resume.rs` gates this
+//! across `Parallelism` × `WindowIndexMode` × [`CheckpointMode`]).
+//!
+//! ## Wire layout
+//!
+//! Binary checkpoint documents and journals both start with a magic the
+//! JSON grammar cannot produce (`0xD6`), so every restore entry point
+//! sniffs the format from the first bytes:
+//!
+//! ```text
+//! checkpoint  = D6 'D' 'G' 'C'  version  detector-state
+//! journal     = D6 'D' 'G' 'J'  version  format-byte  frame*
+//! frame       = tag(01 snapshot | 02 delta)  varint(len)  payload
+//! ```
+//!
+//! Snapshot payloads are complete checkpoint documents (themselves
+//! sniffable); delta payloads are [`DeltaRecord`]s in the journal's
+//! configured [`WireFormat`].
+
+use dengraph_json::{BinReader, BinWriter, Decode, Encode, JsonError, Value, WireFormat};
+
+use crate::akg::{AkgQuantumStats, GraphDelta};
+use crate::config::DetectorConfig;
+use crate::detector::{EventDetector, QuantumSummary};
+use crate::event::DetectedEvent;
+use crate::keyword_state::QuantumRecord;
+use crate::session::RestoreError;
+
+/// Magic prefix of a binary checkpoint document.
+pub(crate) const CHECKPOINT_MAGIC: [u8; 4] =
+    [dengraph_json::codec::BINARY_MAGIC_BYTE, b'D', b'G', b'C'];
+
+/// Magic prefix of a checkpoint journal.
+pub(crate) const JOURNAL_MAGIC: [u8; 4] =
+    [dengraph_json::codec::BINARY_MAGIC_BYTE, b'D', b'G', b'J'];
+
+/// Version of both binary container layouts.
+const CONTAINER_VERSION: u64 = 1;
+
+const TAG_SNAPSHOT: u8 = 1;
+const TAG_DELTA: u8 = 2;
+
+/// How a session checkpoints into its journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Every journal entry is a full whole-state snapshot (the ablation
+    /// baseline, and the pre-PR-5 behaviour made continuous).
+    Full,
+    /// Append one O(quantum Δ) [`DeltaRecord`] per processed quantum,
+    /// with a full snapshot rebase point after every `every` deltas.
+    /// Restore cost is bounded by `every` replays; journal growth is
+    /// bounded by one snapshot per `every` quanta.  `every` is clamped
+    /// to at least 1.
+    Delta {
+        /// Delta records between consecutive snapshot rebase points.
+        every: u32,
+    },
+}
+
+/// One quantum's state transition, as appended to a checkpoint journal.
+///
+/// Everything needed to redo the quantum without re-scoring a single
+/// correlation: the aggregated record that entered the window, the AKG
+/// delta log (which also deterministically drives cluster maintenance),
+/// the quantum's AKG statistics, and the events reported to the tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRecord {
+    pub(crate) record: QuantumRecord,
+    pub(crate) akg_deltas: Vec<GraphDelta>,
+    pub(crate) akg_stats: AkgQuantumStats,
+    pub(crate) events: Vec<DetectedEvent>,
+}
+
+impl DeltaRecord {
+    /// The quantum this record transitions the detector into.
+    pub fn quantum(&self) -> u64 {
+        self.record.index
+    }
+
+    /// Messages aggregated into the quantum.
+    pub fn message_count(&self) -> usize {
+        self.record.message_count
+    }
+
+    /// Number of AKG deltas logged for the quantum.
+    pub fn delta_count(&self) -> usize {
+        self.akg_deltas.len()
+    }
+
+    /// Serialises the record to a [`Value`] (the JSON journal form).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("record", self.record.to_json()),
+            (
+                "akg_deltas",
+                Value::arr(self.akg_deltas.iter().map(|d| d.to_json())),
+            ),
+            ("akg_stats", self.akg_stats.to_json()),
+            (
+                "events",
+                Value::arr(self.events.iter().map(|e| e.to_json())),
+            ),
+        ])
+    }
+
+    /// Reconstructs a record serialised by [`Self::to_json`].
+    pub fn from_json(value: &Value) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            record: QuantumRecord::from_json(value.get("record")?)?,
+            akg_deltas: value
+                .get("akg_deltas")?
+                .as_arr()?
+                .iter()
+                .map(GraphDelta::from_json)
+                .collect::<dengraph_json::Result<_>>()?,
+            akg_stats: AkgQuantumStats::from_json(value.get("akg_stats")?)?,
+            events: value
+                .get("events")?
+                .as_arr()?
+                .iter()
+                .map(DetectedEvent::from_json)
+                .collect::<dengraph_json::Result<_>>()?,
+        })
+    }
+
+    /// Appends the compact binary encoding.
+    pub fn to_bin(&self, w: &mut BinWriter) {
+        self.record.to_bin(w);
+        w.usize(self.akg_deltas.len());
+        for d in &self.akg_deltas {
+            d.to_bin(w);
+        }
+        self.akg_stats.to_bin(w);
+        w.usize(self.events.len());
+        for e in &self.events {
+            e.to_bin(w);
+        }
+    }
+
+    /// Reconstructs a record encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut BinReader<'_>) -> dengraph_json::Result<Self> {
+        let record = QuantumRecord::from_bin(r)?;
+        let deltas = r.seq_len(2)?;
+        let mut akg_deltas = Vec::with_capacity(deltas);
+        for _ in 0..deltas {
+            akg_deltas.push(GraphDelta::from_bin(r)?);
+        }
+        let akg_stats = AkgQuantumStats::from_bin(r)?;
+        let events = r.seq_len(4)?;
+        let mut out = Vec::with_capacity(events);
+        for _ in 0..events {
+            out.push(DetectedEvent::from_bin(r)?);
+        }
+        Ok(Self {
+            record,
+            akg_deltas,
+            akg_stats,
+            events: out,
+        })
+    }
+}
+
+impl Encode for DeltaRecord {
+    fn encode_json(&self) -> Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl Decode for DeltaRecord {
+    fn decode_json(value: &Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint documents
+// ---------------------------------------------------------------------------
+
+/// Payload methods of a binary checkpoint container.
+const METHOD_RAW: u8 = 0;
+const METHOD_LZSS: u8 = 1;
+
+/// Encodes the complete detector as a standalone checkpoint document in
+/// the requested wire format: JSON text, or the headered binary layout
+/// whose payload is LZSS-compressed (the struct encodings strip JSON's
+/// framing; the container compression then folds the remaining
+/// redundancy — interner words, repeated column structure — typically
+/// another ~2×).
+pub(crate) fn encode_checkpoint_document(detector: &EventDetector, format: WireFormat) -> Vec<u8> {
+    match format {
+        WireFormat::Json => dengraph_json::to_string(&detector.to_json()).into_bytes(),
+        WireFormat::Binary => {
+            let mut body = BinWriter::new();
+            detector.to_bin(&mut body);
+            let packed = dengraph_json::lz::compress(body.as_slice());
+            let mut w = BinWriter::new();
+            w.raw(&CHECKPOINT_MAGIC);
+            w.u64(CONTAINER_VERSION);
+            // Store whichever payload is smaller; tiny or incompressible
+            // states fall back to the raw body.
+            if packed.len() < body.len() {
+                w.byte(METHOD_LZSS);
+                w.raw(&packed);
+            } else {
+                w.byte(METHOD_RAW);
+                w.raw(body.as_slice());
+            }
+            w.into_bytes()
+        }
+    }
+}
+
+/// Decodes a standalone checkpoint document, sniffing the wire format
+/// from the first bytes.  Configuration validation failures surface as
+/// the typed [`RestoreError::Config`], exactly like the JSON-only path.
+pub(crate) fn decode_checkpoint_document(bytes: &[u8]) -> Result<EventDetector, RestoreError> {
+    match WireFormat::sniff(bytes) {
+        WireFormat::Json => {
+            let text = std::str::from_utf8(bytes).map_err(|_| JsonError {
+                message: "json checkpoint is not valid utf-8".into(),
+                offset: 0,
+            })?;
+            let value = dengraph_json::parse(text)?;
+            let config = DetectorConfig::from_json(value.get("config")?)?;
+            config.validate()?;
+            Ok(EventDetector::from_json_validated(config, &value)?)
+        }
+        WireFormat::Binary => {
+            let mut r = BinReader::new(bytes);
+            let magic = r.take(4)?;
+            if magic != CHECKPOINT_MAGIC {
+                return Err(JsonError {
+                    message: "not a dengraph binary checkpoint (bad magic)".into(),
+                    offset: 0,
+                }
+                .into());
+            }
+            let version = r.u64()?;
+            if version != CONTAINER_VERSION {
+                return Err(JsonError {
+                    message: format!("unsupported binary checkpoint version {version}"),
+                    offset: r.pos(),
+                }
+                .into());
+            }
+            let method = r.byte()?;
+            let payload = r.take(r.remaining())?;
+            let decompressed;
+            let body: &[u8] = match method {
+                METHOD_RAW => payload,
+                METHOD_LZSS => {
+                    decompressed = dengraph_json::lz::decompress(payload)?;
+                    &decompressed
+                }
+                other => {
+                    return Err(JsonError {
+                        message: format!("unknown checkpoint payload method {other}"),
+                        offset: 5,
+                    }
+                    .into())
+                }
+            };
+            let mut r = BinReader::new(body);
+            let config = DetectorConfig::from_bin(&mut r)?;
+            config.validate()?;
+            let detector = EventDetector::from_bin_validated(config, &mut r)?;
+            r.expect_end()?;
+            Ok(detector)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// An append-only checkpoint journal: snapshot frames as rebase points,
+/// [`DeltaRecord`] frames between them.
+///
+/// Owned by a [`DetectorSession`](crate::session::DetectorSession) once
+/// [`enable_journal`](crate::session::DetectorSession::enable_journal)
+/// is called; one frame is appended per processed quantum.  The byte log
+/// ([`Self::as_bytes`]) is the durable form — append-friendly, so a
+/// deployment can stream it straight to disk or a replicated log.
+#[derive(Debug)]
+pub struct CheckpointJournal {
+    mode: CheckpointMode,
+    format: WireFormat,
+    bytes: Vec<u8>,
+    deltas_since_snapshot: u32,
+    snapshot_frames: usize,
+    delta_frames: usize,
+    delta_payload_bytes: u64,
+    last_snapshot_bytes: usize,
+}
+
+impl CheckpointJournal {
+    /// Creates an empty journal with an explicit wire format (JSON keeps
+    /// the journal greppable for debugging at a size cost).  Only
+    /// [`DetectorSession::enable_journal`] constructs journals — it
+    /// immediately writes the initial rebase snapshot, without which a
+    /// journal cannot be restored.
+    ///
+    /// [`DetectorSession::enable_journal`]: crate::session::DetectorSession::enable_journal
+    pub(crate) fn with_format(mode: CheckpointMode, format: WireFormat) -> Self {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&JOURNAL_MAGIC);
+        let mut header = BinWriter::new();
+        header.u64(CONTAINER_VERSION);
+        header.byte(match format {
+            WireFormat::Json => 0,
+            WireFormat::Binary => 1,
+        });
+        bytes.extend_from_slice(header.as_slice());
+        Self {
+            mode,
+            format,
+            bytes,
+            deltas_since_snapshot: 0,
+            snapshot_frames: 0,
+            delta_frames: 0,
+            delta_payload_bytes: 0,
+            last_snapshot_bytes: 0,
+        }
+    }
+
+    /// The journal's checkpoint mode.
+    pub fn mode(&self) -> CheckpointMode {
+        self.mode
+    }
+
+    /// The journal's wire format.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// The durable byte log (header plus every frame appended so far).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the journal, returning the byte log.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total journal size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Snapshot frames written so far.
+    pub fn snapshot_frames(&self) -> usize {
+        self.snapshot_frames
+    }
+
+    /// Delta frames written so far.
+    pub fn delta_frames(&self) -> usize {
+        self.delta_frames
+    }
+
+    /// Payload bytes of the most recent snapshot frame.
+    pub fn last_snapshot_bytes(&self) -> usize {
+        self.last_snapshot_bytes
+    }
+
+    /// Mean payload size of a delta frame, in bytes (0.0 before the
+    /// first delta) — the steady-state per-quantum durability cost.
+    pub fn mean_delta_bytes(&self) -> f64 {
+        if self.delta_frames == 0 {
+            0.0
+        } else {
+            self.delta_payload_bytes as f64 / self.delta_frames as f64
+        }
+    }
+
+    fn push_frame(&mut self, tag: u8, payload: &[u8]) {
+        let mut head = BinWriter::new();
+        head.byte(tag);
+        head.usize(payload.len());
+        self.bytes.extend_from_slice(head.as_slice());
+        self.bytes.extend_from_slice(payload);
+    }
+
+    /// Appends a full-snapshot rebase frame.
+    pub(crate) fn append_snapshot(&mut self, detector: &EventDetector) {
+        let payload = encode_checkpoint_document(detector, self.format);
+        self.last_snapshot_bytes = payload.len();
+        self.push_frame(TAG_SNAPSHOT, &payload);
+        self.snapshot_frames += 1;
+        self.deltas_since_snapshot = 0;
+    }
+
+    /// Appends one processed quantum: a delta record, or a snapshot when
+    /// the mode's rebase cadence (or [`CheckpointMode::Full`]) says so.
+    pub(crate) fn record_quantum(&mut self, detector: &EventDetector, summary: &QuantumSummary) {
+        let rebase = match self.mode {
+            CheckpointMode::Full => true,
+            CheckpointMode::Delta { every } => self.deltas_since_snapshot >= every.max(1),
+        };
+        if rebase {
+            self.append_snapshot(detector);
+        } else {
+            let record = detector.make_delta_record(summary);
+            let payload = record.encode(self.format);
+            self.delta_payload_bytes += payload.len() as u64;
+            self.push_frame(TAG_DELTA, &payload);
+            self.delta_frames += 1;
+            self.deltas_since_snapshot += 1;
+        }
+    }
+}
+
+/// Restores a detector from a journal byte log: decode the latest
+/// snapshot frame, then replay every delta frame after it.
+pub(crate) fn restore_journal_detector(bytes: &[u8]) -> Result<EventDetector, RestoreError> {
+    let mut r = BinReader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != JOURNAL_MAGIC {
+        return Err(JsonError {
+            message: "not a dengraph checkpoint journal (bad magic)".into(),
+            offset: 0,
+        }
+        .into());
+    }
+    let version = r.u64()?;
+    if version != CONTAINER_VERSION {
+        return Err(JsonError {
+            message: format!("unsupported journal version {version}"),
+            offset: r.pos(),
+        }
+        .into());
+    }
+    let format = match r.byte()? {
+        0 => WireFormat::Json,
+        1 => WireFormat::Binary,
+        other => {
+            return Err(JsonError {
+                message: format!("unknown journal format byte {other}"),
+                offset: r.pos(),
+            }
+            .into())
+        }
+    };
+    let mut last_snapshot: Option<&[u8]> = None;
+    let mut tail: Vec<&[u8]> = Vec::new();
+    while !r.is_at_end() {
+        let tag = r.byte()?;
+        let payload = r.bytes()?;
+        match tag {
+            TAG_SNAPSHOT => {
+                last_snapshot = Some(payload);
+                tail.clear();
+            }
+            TAG_DELTA => tail.push(payload),
+            other => {
+                return Err(JsonError {
+                    message: format!("unknown journal frame tag {other}"),
+                    offset: r.pos(),
+                }
+                .into())
+            }
+        }
+    }
+    let snapshot = last_snapshot.ok_or_else(|| JsonError {
+        message: "journal contains no snapshot frame to restore from".into(),
+        offset: 0,
+    })?;
+    let mut detector = decode_checkpoint_document(snapshot)?;
+    for payload in tail {
+        let record = DeltaRecord::decode(payload, format)?;
+        detector.apply_delta_record(&record)?;
+    }
+    Ok(detector)
+}

@@ -75,6 +75,42 @@ impl MaintenanceStats {
             clusters_touched: value.get("clusters_touched")?.as_usize()?,
         })
     }
+
+    /// Appends the compact binary encoding (four varints).
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.usize(self.edge_additions);
+        w.usize(self.edge_deletions);
+        w.usize(self.node_removals);
+        w.usize(self.clusters_touched);
+    }
+
+    /// Reconstructs statistics encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            edge_additions: r.usize()?,
+            edge_deletions: r.usize()?,
+            node_removals: r.usize()?,
+            clusters_touched: r.usize()?,
+        })
+    }
+}
+
+impl dengraph_json::Encode for MaintenanceStats {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for MaintenanceStats {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
 }
 
 /// Applies AKG deltas to the cluster registry.
@@ -128,6 +164,20 @@ impl ClusterMaintainer {
         Ok(Self {
             registry: ClusterRegistry::from_json(value.get("registry")?)?,
             last_stats: MaintenanceStats::from_json(value.get("last_stats")?)?,
+        })
+    }
+
+    /// Appends the compact binary encoding (registry plus last stats).
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.registry.to_bin(w);
+        self.last_stats.to_bin(w);
+    }
+
+    /// Reconstructs a maintainer encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            registry: ClusterRegistry::from_bin(r)?,
+            last_stats: MaintenanceStats::from_bin(r)?,
         })
     }
 
@@ -312,6 +362,24 @@ impl ClusterMaintainer {
         }
         self.registry.set_next_id(next_id);
         Some(total)
+    }
+}
+
+impl dengraph_json::Encode for ClusterMaintainer {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for ClusterMaintainer {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 

@@ -222,6 +222,73 @@ impl Cluster {
             updated_quantum: value.get("updated_quantum")?.as_u64()?,
         })
     }
+
+    /// Appends the compact binary encoding: id, the delta-encoded sorted
+    /// node column, the sorted edge list (first endpoint delta-encoded)
+    /// and the lifecycle quanta.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.u64(self.id.0);
+        w.delta_u32s(self.sorted_nodes().into_iter().map(|n| n.0));
+        let mut edges: Vec<EdgeKey> = self.edges.iter().copied().collect();
+        edges.sort_unstable();
+        w.usize(edges.len());
+        let mut prev_a = 0u32;
+        for (i, e) in edges.iter().enumerate() {
+            w.u32(if i == 0 { e.0 .0 } else { e.0 .0 - prev_a });
+            prev_a = e.0 .0;
+            w.u32(e.1 .0);
+        }
+        w.u64(self.born_quantum);
+        w.u64(self.updated_quantum);
+    }
+
+    /// Reconstructs a cluster encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let id = ClusterId(r.u64()?);
+        let nodes: FxHashSet<NodeId> = r.delta_u32s()?.into_iter().map(NodeId).collect();
+        let edge_count = r.seq_len(2)?;
+        let mut edges: FxHashSet<EdgeKey> = FxHashSet::default();
+        let mut prev_a = 0u32;
+        for i in 0..edge_count {
+            let d = r.u32()?;
+            let a = if i == 0 {
+                d
+            } else {
+                prev_a.checked_add(d).ok_or(dengraph_json::JsonError {
+                    message: "edge endpoint overflows u32".into(),
+                    offset: r.pos(),
+                })?
+            };
+            prev_a = a;
+            let b = r.u32()?;
+            edges.insert(EdgeKey::new(NodeId(a), NodeId(b)));
+        }
+        Ok(Self {
+            id,
+            nodes,
+            edges,
+            born_quantum: r.u64()?,
+            updated_quantum: r.u64()?,
+        })
+    }
+}
+
+impl dengraph_json::Encode for Cluster {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for Cluster {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
 }
 
 #[cfg(test)]

@@ -288,16 +288,53 @@ impl ClusterRegistry {
         ])
     }
 
-    /// Reconstructs a registry serialised by [`Self::to_json`], rebuilding
-    /// both indexes from the cluster contents.  Rejects documents whose id
-    /// space is inconsistent — a duplicate cluster id, or a `next_id` not
-    /// strictly above every live id — since either would let a fresh id
-    /// collide with (and silently corrupt) an existing cluster after
-    /// restore.
+    /// Reconstructs a registry serialised by [`Self::to_json`] (the
+    /// decoded parts go through the validation shared with the binary
+    /// decoder).
     pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        let clusters = value
+            .get("clusters")?
+            .as_arr()?
+            .iter()
+            .map(Cluster::from_json)
+            .collect::<dengraph_json::Result<Vec<_>>>()?;
+        Self::from_parts(value.get("next_id")?.as_u64()?, clusters)
+    }
+
+    /// Appends the compact binary encoding: the next fresh id plus every
+    /// live cluster, sorted by id.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.u64(self.next_id);
+        let mut ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            self.clusters[&id].to_bin(w);
+        }
+    }
+
+    /// Reconstructs a registry encoded by [`Self::to_bin`] (the decoded
+    /// parts go through the validation shared with the JSON decoder).
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let next_id = r.u64()?;
+        let count = r.seq_len(4)?;
+        let mut clusters = Vec::with_capacity(count);
+        for _ in 0..count {
+            clusters.push(Cluster::from_bin(r)?);
+        }
+        Self::from_parts(next_id, clusters)
+    }
+
+    /// Assembles a registry from decoded parts, rebuilding both indexes
+    /// from the cluster contents — the single validation path shared by
+    /// the JSON and binary decoders.  Rejects documents whose id space is
+    /// inconsistent — a duplicate cluster id, an edge owned by two
+    /// clusters, or a `next_id` not strictly above every live id — since
+    /// any of those would let a fresh id collide with (and silently
+    /// corrupt) an existing cluster after restore.
+    fn from_parts(next_id: u64, clusters: Vec<Cluster>) -> dengraph_json::Result<Self> {
         let mut registry = Self::new();
-        for encoded in value.get("clusters")?.as_arr()? {
-            let cluster = Cluster::from_json(encoded)?;
+        for cluster in clusters {
             for e in &cluster.edges {
                 if registry.edge_index.insert(*e, cluster.id).is_some() {
                     return Err(dengraph_json::JsonError {
@@ -321,7 +358,7 @@ impl ClusterRegistry {
                 });
             }
         }
-        registry.next_id = value.get("next_id")?.as_u64()?;
+        registry.next_id = next_id;
         if let Some(max_id) = registry.clusters.keys().max() {
             if registry.next_id <= max_id.0 {
                 return Err(dengraph_json::JsonError {
@@ -371,6 +408,24 @@ impl ClusterRegistry {
             }
         }
         Ok(())
+    }
+}
+
+impl dengraph_json::Encode for ClusterRegistry {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for ClusterRegistry {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 

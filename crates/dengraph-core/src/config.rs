@@ -321,6 +321,78 @@ impl DetectorConfig {
             window_index_mode,
         })
     }
+
+    /// Appends the compact binary encoding.  The result is *not*
+    /// validated on decode — callers accepting external input follow up
+    /// with [`Self::validate`], exactly like the JSON path.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.usize(self.quantum_size);
+        w.u32(self.high_state_threshold);
+        w.f64(self.edge_correlation_threshold);
+        w.usize(self.window_quanta);
+        w.bool(self.exact_edge_correlation);
+        w.usize(self.min_sketch_size);
+        w.bool(self.hysteresis);
+        w.f64(self.rank_threshold_factor);
+        w.bool(self.require_noun);
+        // 0 encodes Serial; n ≥ 1 encodes Threads(n) (Threads(0) never
+        // validates, so the overlap is unambiguous).
+        w.usize(match self.parallelism {
+            Parallelism::Serial => 0,
+            Parallelism::Threads(n) => n,
+        });
+        w.byte(match self.window_index_mode {
+            WindowIndexMode::Rebuild => 0,
+            WindowIndexMode::Incremental => 1,
+        });
+    }
+
+    /// Reconstructs a configuration encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            quantum_size: r.usize()?,
+            high_state_threshold: r.u32()?,
+            edge_correlation_threshold: r.f64()?,
+            window_quanta: r.usize()?,
+            exact_edge_correlation: r.bool()?,
+            min_sketch_size: r.usize()?,
+            hysteresis: r.bool()?,
+            rank_threshold_factor: r.f64()?,
+            require_noun: r.bool()?,
+            parallelism: match r.usize()? {
+                0 => Parallelism::Serial,
+                n => Parallelism::Threads(n),
+            },
+            window_index_mode: match r.byte()? {
+                0 => WindowIndexMode::Rebuild,
+                1 => WindowIndexMode::Incremental,
+                other => {
+                    return Err(dengraph_json::JsonError {
+                        message: format!("unknown window_index_mode byte {other}"),
+                        offset: r.pos(),
+                    })
+                }
+            },
+        })
+    }
+}
+
+impl dengraph_json::Encode for DetectorConfig {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for DetectorConfig {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
 }
 
 #[cfg(test)]

@@ -282,6 +282,14 @@ impl EventDetector {
         self.next_quantum
     }
 
+    /// Messages sitting in the partially filled quantum buffer (not yet
+    /// counted by [`Self::total_messages`]).  After a restore, the next
+    /// message this detector expects is stream position
+    /// `total_messages() + buffered_messages()`.
+    pub fn buffered_messages(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Cumulative per-stage wall-clock since construction (or restore).
     /// Diagnostics only — never serialised, and identical configurations
     /// produce identical *outputs* regardless of what this reports.
@@ -495,32 +503,7 @@ impl EventDetector {
             None => None,
         };
         let window = WindowState::from_json(value.get("window")?)?;
-        // The window's geometry is derived state; a checkpoint whose window
-        // contradicts its own (validated) configuration is corrupt, and
-        // restoring it would silently change slide/sketch behaviour.
-        // The materialization threshold is deliberately *not* cross-checked:
-        // every threshold yields bit-identical reads (non-materialized
-        // keywords fall back to the record walk), so a checkpoint written
-        // under a different threshold — including pre-threshold checkpoints,
-        // which decode as "materialize everything" — restores correctly.
-        if window.capacity() != config.window_quanta
-            || window.sketch_size() != config.sketch_size()
-            || window.mode() != config.window_index_mode
-        {
-            return Err(dengraph_json::JsonError {
-                message: format!(
-                    "window geometry (capacity {}, sketch size {}, mode {:?}) contradicts \
-                     the embedded configuration (window_quanta {}, sketch size {}, mode {:?})",
-                    window.capacity(),
-                    window.sketch_size(),
-                    window.mode(),
-                    config.window_quanta,
-                    config.sketch_size(),
-                    config.window_index_mode,
-                ),
-                offset: 0,
-            });
-        }
+        Self::check_window_geometry(&config, &window)?;
         Ok(Self {
             window,
             akg: AkgMaintainer::from_json(config.clone(), value.get("akg")?)?,
@@ -539,6 +522,186 @@ impl EventDetector {
             scratch: ScratchArena::default(),
             config,
         })
+    }
+
+    /// The window's geometry is derived state; a checkpoint whose window
+    /// contradicts its own (validated) configuration is corrupt, and
+    /// restoring it would silently change slide/sketch behaviour.
+    /// The materialization threshold is deliberately *not* cross-checked:
+    /// every threshold yields bit-identical reads (non-materialized
+    /// keywords fall back to the record walk), so a checkpoint written
+    /// under a different threshold — including pre-threshold checkpoints,
+    /// which decode as "materialize everything" — restores correctly.
+    /// Shared by the JSON and binary decoders.
+    fn check_window_geometry(
+        config: &DetectorConfig,
+        window: &WindowState,
+    ) -> dengraph_json::Result<()> {
+        if window.capacity() != config.window_quanta
+            || window.sketch_size() != config.sketch_size()
+            || window.mode() != config.window_index_mode
+        {
+            return Err(dengraph_json::JsonError {
+                message: format!(
+                    "window geometry (capacity {}, sketch size {}, mode {:?}) contradicts \
+                     the embedded configuration (window_quanta {}, sketch size {}, mode {:?})",
+                    window.capacity(),
+                    window.sketch_size(),
+                    window.mode(),
+                    config.window_quanta,
+                    config.sketch_size(),
+                    config.window_index_mode,
+                ),
+                offset: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends the complete detector state in the compact binary format —
+    /// the binary twin of [`Self::to_json`], byte layout:
+    /// config · window · AKG · clusters · tracker · optional interner ·
+    /// partial message buffer · quantum counters.  The document header
+    /// (magic + version) is written by the checkpoint container
+    /// ([`Checkpoint`](crate::session::Checkpoint) /
+    /// [`CheckpointJournal`](crate::checkpoint::CheckpointJournal)), not
+    /// here.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.config.to_bin(w);
+        self.window.to_bin(w);
+        self.akg.to_bin(w);
+        self.clusters.to_bin(w);
+        self.tracker.to_bin(w);
+        match &self.noun_filter {
+            Some((interner, _)) => {
+                w.bool(true);
+                w.usize(interner.len());
+                for (_, word) in interner.iter() {
+                    w.str(word);
+                }
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.buffer.len());
+        for message in &self.buffer {
+            dengraph_stream::json::message_to_bin(message, w);
+        }
+        w.u64(self.next_quantum);
+        w.u64(self.total_messages);
+    }
+
+    /// Reconstructs a detector encoded by [`Self::to_bin`], re-validating
+    /// the embedded configuration exactly like [`Self::from_json`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let config = DetectorConfig::from_bin(r)?;
+        config.validate().map_err(|e| dengraph_json::JsonError {
+            message: format!("invalid configuration in checkpoint: {e}"),
+            offset: r.pos(),
+        })?;
+        Self::from_bin_validated(config, r)
+    }
+
+    /// Decodes the binary detector state under an already-decoded and
+    /// -validated configuration.  The reader must be positioned just past
+    /// the configuration bytes.
+    pub(crate) fn from_bin_validated(
+        config: DetectorConfig,
+        r: &mut dengraph_json::BinReader<'_>,
+    ) -> dengraph_json::Result<Self> {
+        let window = WindowState::from_bin(r)?;
+        Self::check_window_geometry(&config, &window)?;
+        let akg = AkgMaintainer::from_bin(config.clone(), r)?;
+        let clusters = ClusterMaintainer::from_bin(r)?;
+        let tracker = EventTracker::from_bin(r)?;
+        let noun_filter = if r.bool()? {
+            let words = r.seq_len(1)?;
+            let mut interner = KeywordInterner::new();
+            for _ in 0..words {
+                interner.intern(&r.str()?);
+            }
+            Some((interner, NounHeuristic::new()))
+        } else {
+            None
+        };
+        let buffered = r.seq_len(2)?;
+        let mut buffer = Vec::with_capacity(buffered.min(config.quantum_size));
+        for _ in 0..buffered {
+            buffer.push(dengraph_stream::json::message_from_bin(r)?);
+        }
+        Ok(Self {
+            window,
+            akg,
+            clusters,
+            tracker,
+            noun_filter,
+            buffer,
+            next_quantum: r.u64()?,
+            total_messages: r.u64()?,
+            stage_times: StageTimes::default(),
+            scratch: ScratchArena::default(),
+            config,
+        })
+    }
+
+    /// Captures the state transition of the quantum that just completed
+    /// (`summary` must be its summary) as a journal delta record: the
+    /// window record, the AKG delta log still sitting in the scratch
+    /// arena, the quantum's AKG statistics and the reported events.
+    pub(crate) fn make_delta_record(
+        &self,
+        summary: &QuantumSummary,
+    ) -> crate::checkpoint::DeltaRecord {
+        let record = self
+            .window
+            .current()
+            .expect("a quantum was just processed")
+            .clone();
+        debug_assert_eq!(record.index, summary.quantum, "summary is stale");
+        crate::checkpoint::DeltaRecord {
+            record,
+            akg_deltas: self.scratch.deltas.clone(),
+            akg_stats: self.akg.last_stats(),
+            events: summary.events.clone(),
+        }
+    }
+
+    /// Redoes one quantum from a journal delta record — the replay half
+    /// of incremental checkpointing.  Pushes the logged window record,
+    /// re-applies the AKG delta log to the graph and keyword automaton,
+    /// re-runs cluster maintenance from the same deltas (deterministic,
+    /// cluster ids included) and re-observes the logged events; no
+    /// correlation is re-scored.  Rejects records that do not continue
+    /// exactly at this detector's next quantum.
+    pub(crate) fn apply_delta_record(
+        &mut self,
+        record: &crate::checkpoint::DeltaRecord,
+    ) -> dengraph_json::Result<()> {
+        if record.record.index != self.next_quantum {
+            return Err(dengraph_json::JsonError {
+                message: format!(
+                    "journal gap: delta record for quantum {} cannot apply to a detector \
+                     at quantum {}",
+                    record.record.index, self.next_quantum
+                ),
+                offset: 0,
+            });
+        }
+        // The record aggregates the full quantum, superseding any
+        // partially buffered prefix of it restored from the snapshot.
+        self.buffer.clear();
+        let evicted = self.window.push(record.record.clone());
+        if let Some(old) = evicted {
+            self.scratch.record_storage = Some(old.into_storage());
+        }
+        self.akg.replay_deltas(&record.akg_deltas, record.akg_stats);
+        self.clusters
+            .apply_deltas(self.akg.graph(), &record.akg_deltas, record.record.index);
+        for event in &record.events {
+            self.tracker.observe(event);
+        }
+        self.next_quantum = record.record.index + 1;
+        self.total_messages += record.record.message_count as u64;
+        Ok(())
     }
 
     /// Ranks every live cluster and applies the reporting filters.
@@ -614,13 +777,15 @@ impl EventDetector {
 
 #[cfg(test)]
 mod tests {
-    // These unit tests pin the behaviour of the deprecated panic-on-error
-    // constructors for as long as they exist; new code goes through
-    // `DetectorBuilder` (see `crate::session`).
-    #![allow(deprecated)]
-
     use super::*;
     use dengraph_stream::UserId;
+
+    /// Test constructor mirroring what `DetectorBuilder::build` does for
+    /// a known-valid configuration.
+    fn detector(config: DetectorConfig) -> EventDetector {
+        config.validate().expect("test configuration is valid");
+        EventDetector::from_config(config)
+    }
 
     fn cfg() -> DetectorConfig {
         DetectorConfig {
@@ -669,7 +834,7 @@ mod tests {
     #[test]
     fn correlated_burst_is_reported_as_an_event() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         let msgs = event_quantum(&config, 6, 100, &[1, 2, 3], 0);
         let summary = det.push_message_all(msgs);
         assert_eq!(summary.len(), 1);
@@ -700,7 +865,7 @@ mod tests {
     #[test]
     fn uncorrelated_chatter_produces_no_events() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         let mut msgs = Vec::new();
         for u in 0..(config.quantum_size as u64) {
             msgs.push(Message::new(UserId(u), u, vec![KeywordId(u as u32 % 7)]));
@@ -713,7 +878,7 @@ mod tests {
     #[test]
     fn event_evolves_when_a_new_keyword_joins() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         det.push_message_all(event_quantum(&config, 6, 100, &[1, 2, 3], 0));
         // Next quantum the same event gains keyword 4 (the "5.9" of Figure 1).
         let summaries = det.push_message_all(event_quantum(&config, 6, 200, &[1, 2, 3, 4], 1_000));
@@ -730,7 +895,7 @@ mod tests {
     #[test]
     fn event_disappears_after_the_window_slides_past_it() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         det.push_message_all(event_quantum(&config, 6, 100, &[1, 2, 3], 0));
         assert_eq!(det.clusters().cluster_count(), 1);
         // Quanta of pure filler for longer than the window length.
@@ -748,7 +913,7 @@ mod tests {
     #[test]
     fn two_simultaneous_events_are_reported_separately() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         let mut msgs = Vec::new();
         for u in 0..5u64 {
             msgs.push(Message::new(UserId(100 + u), u, vec![k(1), k(2), k(3)]));
@@ -782,7 +947,7 @@ mod tests {
     #[test]
     fn equal_rank_events_are_ordered_by_cluster_id() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         // Two structurally identical bursts in one quantum: same user
         // count, same keyword count, fully correlated within each burst —
         // their ranks are bit-identical.
@@ -821,7 +986,7 @@ mod tests {
     #[test]
     fn flush_processes_partial_quanta() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         for u in 0..5u64 {
             det.push_message(Message::new(UserId(u), u, vec![k(1), k(2), k(3)]));
         }
@@ -835,7 +1000,7 @@ mod tests {
     #[test]
     fn summary_statistics_are_populated() {
         let config = cfg();
-        let mut det = EventDetector::new(config.clone());
+        let mut det = detector(config.clone());
         let summaries = det.push_message_all(event_quantum(&config, 6, 100, &[1, 2, 3], 0));
         let s = &summaries[0];
         assert_eq!(s.quantum, 0);
@@ -855,7 +1020,7 @@ mod tests {
             interner.intern(w);
         }
         let config = cfg();
-        let mut det = EventDetector::new(config.clone()).with_interner(interner);
+        let mut det = detector(config.clone()).with_interner(interner);
         let summaries = det.push_message_all(event_quantum(&config, 6, 100, &[0, 1, 2], 0));
         assert!(
             summaries[0].events.is_empty(),
@@ -865,8 +1030,12 @@ mod tests {
         assert_eq!(det.clusters().cluster_count(), 1);
     }
 
+    /// Pins the deprecated constructor's panic-on-error contract for as
+    /// long as it exists; everything else goes through `DetectorBuilder`
+    /// (or `from_config` for in-crate tests).
     #[test]
     #[should_panic(expected = "invalid detector configuration")]
+    #[allow(deprecated)]
     fn invalid_config_is_rejected() {
         let _ = EventDetector::new(DetectorConfig {
             quantum_size: 0,

@@ -27,6 +27,17 @@ fn keywords_from_json(value: &Value) -> dengraph_json::Result<Vec<KeywordId>> {
         .collect()
 }
 
+/// Keyword lists here are sorted, so the binary form is a delta column.
+fn keywords_to_bin(keywords: &[KeywordId], w: &mut dengraph_json::BinWriter) {
+    w.delta_u32s(keywords.iter().map(|k| k.0));
+}
+
+fn keywords_from_bin(
+    r: &mut dengraph_json::BinReader<'_>,
+) -> dengraph_json::Result<Vec<KeywordId>> {
+    Ok(r.delta_u32s()?.into_iter().map(KeywordId).collect())
+}
+
 /// A per-quantum snapshot of a reported event (one ranked cluster).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectedEvent {
@@ -63,6 +74,44 @@ impl DetectedEvent {
             rank: value.get("rank")?.as_f64()?,
             support: value.get("support")?.as_usize()?,
         })
+    }
+
+    /// Appends the compact binary encoding.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.u64(self.cluster_id.0);
+        w.u64(self.quantum);
+        keywords_to_bin(&self.keywords, w);
+        w.f64(self.rank);
+        w.usize(self.support);
+    }
+
+    /// Reconstructs a snapshot encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Ok(Self {
+            cluster_id: ClusterId(r.u64()?),
+            quantum: r.u64()?,
+            keywords: keywords_from_bin(r)?,
+            rank: r.f64()?,
+            support: r.usize()?,
+        })
+    }
+}
+
+impl dengraph_json::Encode for DetectedEvent {
+    fn encode_json(&self) -> Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for DetectedEvent {
+    fn decode_json(value: &Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 
@@ -169,6 +218,80 @@ impl EventRecord {
             initial_size: value.get("initial_size")?.as_usize()?,
         })
     }
+
+    /// Appends the compact binary encoding.  Rank-history quanta are
+    /// ascending (one report per quantum), so they delta-encode.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.u64(self.cluster_id.0);
+        w.u64(self.first_seen);
+        w.u64(self.last_seen);
+        keywords_to_bin(&self.keywords, w);
+        keywords_to_bin(&self.all_keywords, w);
+        w.usize(self.rank_history.len());
+        let mut prev = 0u64;
+        for (i, &(q, rank)) in self.rank_history.iter().enumerate() {
+            w.u64(if i == 0 { q } else { q - prev });
+            prev = q;
+            w.f64(rank);
+        }
+        w.f64(self.peak_rank);
+        w.usize(self.peak_support);
+        w.usize(self.initial_size);
+    }
+
+    /// Reconstructs a record encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let cluster_id = ClusterId(r.u64()?);
+        let first_seen = r.u64()?;
+        let last_seen = r.u64()?;
+        let keywords = keywords_from_bin(r)?;
+        let all_keywords = keywords_from_bin(r)?;
+        let history = r.seq_len(9)?;
+        let mut rank_history = Vec::with_capacity(history);
+        let mut prev = 0u64;
+        for i in 0..history {
+            let d = r.u64()?;
+            let q = if i == 0 {
+                d
+            } else {
+                prev.checked_add(d).ok_or(dengraph_json::JsonError {
+                    message: "rank-history quantum overflows u64".into(),
+                    offset: r.pos(),
+                })?
+            };
+            prev = q;
+            rank_history.push((q, r.f64()?));
+        }
+        Ok(Self {
+            cluster_id,
+            first_seen,
+            last_seen,
+            keywords,
+            all_keywords,
+            rank_history,
+            peak_rank: r.f64()?,
+            peak_support: r.usize()?,
+            initial_size: r.usize()?,
+        })
+    }
+}
+
+impl dengraph_json::Encode for EventRecord {
+    fn encode_json(&self) -> Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for EventRecord {
+    fn decode_json(value: &Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
 }
 
 /// Accumulates [`DetectedEvent`] snapshots into [`EventRecord`]s.
@@ -265,6 +388,46 @@ impl EventTracker {
             records.insert(record.cluster_id, record);
         }
         Ok(Self { records })
+    }
+
+    /// Appends the compact binary encoding: every record, ordered by
+    /// cluster id.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        let mut ids: Vec<ClusterId> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            self.records[&id].to_bin(w);
+        }
+    }
+
+    /// Reconstructs a tracker encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let count = r.seq_len(8)?;
+        let mut records = FxHashMap::default();
+        for _ in 0..count {
+            let record = EventRecord::from_bin(r)?;
+            records.insert(record.cluster_id, record);
+        }
+        Ok(Self { records })
+    }
+}
+
+impl dengraph_json::Encode for EventTracker {
+    fn encode_json(&self) -> Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for EventTracker {
+    fn decode_json(value: &Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 

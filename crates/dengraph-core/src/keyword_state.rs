@@ -58,6 +58,30 @@ pub(crate) type KeywordSpan = (KeywordId, u32, u32);
 /// and the keyword span table).
 pub(crate) type RecordStorage = (Vec<UserId>, Vec<KeywordSpan>);
 
+/// Upper bound on keyword ids accepted by the checkpoint *decoders* of
+/// the id-indexed structures (window index slots, state-machine bits).
+/// Both allocate proportionally to the largest id, so a corrupted id near
+/// `u32::MAX` would otherwise force a multi-gigabyte resize before any
+/// other validation could reject the document.  The bound caps the
+/// decode-time allocation at roughly half a gigabyte of index slots —
+/// the same order the *live* dense-id layout would occupy for such a
+/// vocabulary, so no state a deployment can actually run is rejected.
+/// Raise this constant together with the deployment's memory envelope if
+/// interned vocabularies ever approach four million keywords.
+const MAX_DECODED_KEYWORD_INDEX: usize = 1 << 22;
+
+fn check_keyword_index(idx: usize, offset: usize) -> dengraph_json::Result<()> {
+    if idx > MAX_DECODED_KEYWORD_INDEX {
+        return Err(dengraph_json::JsonError {
+            message: format!(
+                "keyword id {idx} exceeds the decoder bound {MAX_DECODED_KEYWORD_INDEX}"
+            ),
+            offset,
+        });
+    }
+    Ok(())
+}
+
 /// Per-quantum aggregation of the stream.
 ///
 /// Stored as two flat arrays instead of a map-of-sets: `users` holds the
@@ -230,6 +254,89 @@ impl QuantumRecord {
             users,
             spans,
         })
+    }
+
+    /// Appends the compact binary encoding — the record's flat layout
+    /// written almost verbatim: the delta-encoded keyword column of the
+    /// span table, then each span's sorted user run as a delta column.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.u64(self.index);
+        w.usize(self.message_count);
+        w.delta_u32s(self.spans.iter().map(|&(k, _, _)| k.0));
+        for &(_, s, e) in &self.spans {
+            // UserId is a transparent u64 wrapper; encode the raw column.
+            w.usize((e - s) as usize);
+            let mut prev = 0u64;
+            for (i, u) in self.users[s as usize..e as usize].iter().enumerate() {
+                w.u64(if i == 0 { u.0 } else { u.0 - prev });
+                prev = u.0;
+            }
+        }
+    }
+
+    /// Reconstructs a record encoded by [`Self::to_bin`].  Unlike the JSON
+    /// decoder, the binary decoder accepts only the canonical form —
+    /// strictly ascending keywords and strictly ascending users per span —
+    /// and rejects anything else as corrupt.
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let corrupt = |r: &dengraph_json::BinReader<'_>, message: &str| dengraph_json::JsonError {
+            message: message.into(),
+            offset: r.pos(),
+        };
+        let index = r.u64()?;
+        let message_count = r.usize()?;
+        let keywords = r.delta_u32s()?;
+        if keywords.windows(2).any(|p| p[0] >= p[1]) {
+            return Err(corrupt(r, "record keywords must be strictly ascending"));
+        }
+        let mut users: Vec<UserId> = Vec::new();
+        let mut spans: Vec<KeywordSpan> = Vec::with_capacity(keywords.len());
+        for k in keywords {
+            let run = r.seq_len(1)?;
+            if run == 0 {
+                return Err(corrupt(r, "record span has no users"));
+            }
+            let start = users.len() as u32;
+            let mut prev = 0u64;
+            for i in 0..run {
+                let d = r.u64()?;
+                let u = if i == 0 {
+                    d
+                } else {
+                    match (d, prev.checked_add(d)) {
+                        (1.., Some(u)) => u,
+                        _ => return Err(corrupt(r, "span users must be strictly ascending")),
+                    }
+                };
+                prev = u;
+                users.push(UserId(u));
+            }
+            spans.push((KeywordId(k), start, start + run as u32));
+        }
+        Ok(Self {
+            index,
+            message_count,
+            users,
+            spans,
+        })
+    }
+}
+
+impl dengraph_json::Encode for QuantumRecord {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for QuantumRecord {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 
@@ -572,6 +679,7 @@ impl WindowIndex {
             // so a hand-edited checkpoint cannot break the merge invariant.
             users.sort_unstable_by_key(|&(u, _)| u);
             let idx = keyword.index();
+            check_keyword_index(idx, 0)?;
             if idx >= index.entries.len() {
                 index.entries.resize_with(idx + 1, || None);
             }
@@ -588,6 +696,94 @@ impl WindowIndex {
                     offset: 0,
                 });
             }
+            index.live += 1;
+        }
+        Ok(index)
+    }
+
+    /// Appends the compact binary encoding: per live entry (ascending by
+    /// keyword) the sorted refcount column split into a delta-encoded user
+    /// column plus a count column, the sub-sketch store and the recency
+    /// mark.
+    fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.usize(self.sketch_size);
+        w.usize(self.materialize_threshold);
+        w.usize(self.live);
+        let mut prev_k = 0u32;
+        for (i, (keyword, entry)) in self.live_entries().enumerate() {
+            w.u32(if i == 0 {
+                keyword.0
+            } else {
+                keyword.0 - prev_k
+            });
+            prev_k = keyword.0;
+            w.usize(entry.users.len());
+            let mut prev_u = 0u64;
+            for (j, &(u, _)) in entry.users.iter().enumerate() {
+                w.u64(if j == 0 { u.0 } else { u.0 - prev_u });
+                prev_u = u.0;
+            }
+            for &(_, count) in &entry.users {
+                w.u32(count);
+            }
+            entry.sketches.to_bin(w);
+            w.u64(entry.last_seen);
+        }
+    }
+
+    /// Reconstructs an index encoded by [`Self::to_bin`].  Keywords and
+    /// per-entry users must be strictly ascending (the canonical form).
+    fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let corrupt = |r: &dengraph_json::BinReader<'_>, message: &str| dengraph_json::JsonError {
+            message: message.into(),
+            offset: r.pos(),
+        };
+        let mut index = Self::new(r.usize()?);
+        index.materialize_threshold = r.usize()?.max(1);
+        let live = r.seq_len(4)?;
+        let mut prev_k = 0u32;
+        for i in 0..live {
+            let d = r.u32()?;
+            let keyword = if i == 0 {
+                d
+            } else {
+                match (d, prev_k.checked_add(d)) {
+                    (1.., Some(k)) => k,
+                    _ => return Err(corrupt(r, "index keywords must be strictly ascending")),
+                }
+            };
+            prev_k = keyword;
+            let len = r.seq_len(1)?;
+            let mut users: Vec<(UserId, u32)> = Vec::with_capacity(len);
+            let mut prev_u = 0u64;
+            for j in 0..len {
+                let d = r.u64()?;
+                let u = if j == 0 {
+                    d
+                } else {
+                    match (d, prev_u.checked_add(d)) {
+                        (1.., Some(u)) => u,
+                        _ => return Err(corrupt(r, "index users must be strictly ascending")),
+                    }
+                };
+                prev_u = u;
+                users.push((UserId(u), 0));
+            }
+            for slot in &mut users {
+                slot.1 = r.u32()?;
+            }
+            let sketches = EpochSketchStore::from_bin(r)?;
+            let last_seen = r.u64()?;
+            let idx = keyword as usize;
+            check_keyword_index(idx, r.pos())?;
+            if idx >= index.entries.len() {
+                index.entries.resize_with(idx + 1, || None);
+            }
+            index.entries[idx] = Some(KeywordWindowEntry {
+                users,
+                sketches,
+                last_seen,
+            });
             index.live += 1;
         }
         Ok(index)
@@ -949,6 +1145,85 @@ impl WindowState {
             index,
         })
     }
+
+    /// Appends the compact binary encoding — geometry, hasher seed, the
+    /// retained records (oldest first) and, in incremental mode, the live
+    /// index.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.usize(self.capacity);
+        w.usize(self.sketch_size);
+        w.u64(self.hasher.seed());
+        w.byte(match self.mode() {
+            WindowIndexMode::Rebuild => 0,
+            WindowIndexMode::Incremental => 1,
+        });
+        w.usize(self.window.len());
+        for record in &self.window {
+            record.to_bin(w);
+        }
+        if let Some(index) = &self.index {
+            index.to_bin(w);
+        }
+    }
+
+    /// Reconstructs a window encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let capacity = match r.usize()? {
+            0 => {
+                return Err(dengraph_json::JsonError {
+                    message: "window capacity must be at least 1".into(),
+                    offset: r.pos(),
+                })
+            }
+            c => c,
+        };
+        let sketch_size = r.usize()?;
+        let seed = r.u64()?;
+        let mode = match r.byte()? {
+            0 => WindowIndexMode::Rebuild,
+            1 => WindowIndexMode::Incremental,
+            other => {
+                return Err(dengraph_json::JsonError {
+                    message: format!("unknown window mode byte {other}"),
+                    offset: r.pos(),
+                })
+            }
+        };
+        let records = r.seq_len(2)?;
+        let mut window = VecDeque::with_capacity(records.min(capacity + 1));
+        for _ in 0..records {
+            window.push_back(QuantumRecord::from_bin(r)?);
+        }
+        let index = match mode {
+            WindowIndexMode::Rebuild => None,
+            WindowIndexMode::Incremental => Some(WindowIndex::from_bin(r)?),
+        };
+        Ok(Self {
+            window,
+            capacity,
+            hasher: UserHasher::new(seed),
+            sketch_size,
+            index,
+        })
+    }
+}
+
+impl dengraph_json::Encode for WindowState {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for WindowState {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
 }
 
 /// The two-state (low/high) automaton state of a keyword.
@@ -1073,10 +1348,56 @@ impl KeywordStateMachine {
     pub fn from_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
         let mut machine = Self::new();
         for k in value.get("high")?.as_arr()? {
+            let keyword = KeywordId(k.as_u32()?);
+            check_keyword_index(keyword.index(), 0)?;
             // `observe` with a saturated count is exactly "force High".
-            machine.observe(KeywordId(k.as_u32()?), 1, 1);
+            machine.observe(keyword, 1, 1);
         }
         Ok(machine)
+    }
+
+    /// Appends the compact binary encoding: the sorted High keywords as
+    /// one delta column.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        let high: Vec<u32> = self
+            .high_bits
+            .iter()
+            .enumerate()
+            .flat_map(|(word, &bits)| {
+                (0..64)
+                    .filter(move |b| bits & (1u64 << b) != 0)
+                    .map(move |b| (word * 64 + b) as u32)
+            })
+            .collect();
+        w.delta_u32s(high.iter().copied());
+    }
+
+    /// Reconstructs a machine encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let mut machine = Self::new();
+        for k in r.delta_u32s()? {
+            check_keyword_index(k as usize, r.pos())?;
+            machine.observe(KeywordId(k), 1, 1);
+        }
+        Ok(machine)
+    }
+}
+
+impl dengraph_json::Encode for KeywordStateMachine {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for KeywordStateMachine {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 

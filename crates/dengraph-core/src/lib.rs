@@ -20,6 +20,7 @@
 //! | [`event`] | §7.2.2 | event records, evolution and post-hoc spuriousness |
 //! | [`detector`] | all | the end-to-end streaming [`EventDetector`] |
 //! | [`session`] | service surface | [`DetectorBuilder`], push-based [`EventSink`]s, [`Checkpoint`]/restore |
+//! | [`checkpoint`] | durability | [`CheckpointMode`], per-quantum [`DeltaRecord`]s, the [`CheckpointJournal`] |
 //! | [`baseline`] | §7.3 | offline biconnected-component clustering and global SCP recomputation |
 //! | [`evaluation`] | §7 | ground-truth matching, precision/recall, quality, comparisons, throughput |
 //!
@@ -56,6 +57,7 @@
 
 pub mod akg;
 pub mod baseline;
+pub mod checkpoint;
 pub mod ckg;
 pub mod cluster;
 pub mod config;
@@ -68,8 +70,10 @@ pub(crate) mod scratch;
 pub mod session;
 
 pub use akg::{AkgMaintainer, GraphDelta};
+pub use checkpoint::{CheckpointJournal, CheckpointMode, DeltaRecord};
 pub use cluster::{Cluster, ClusterId, ClusterMaintainer, ClusterRegistry};
 pub use config::{ConfigError, DetectorConfig, Parallelism};
+pub use dengraph_json::WireFormat;
 pub use detector::{EventDetector, QuantumSummary, StageTimes};
 pub use event::{DetectedEvent, EventRecord, EventTracker};
 pub use keyword_state::WindowIndexMode;

@@ -51,13 +51,14 @@
 //! assert_eq!(resumed.quanta_processed(), session.quanta_processed());
 //! ```
 
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::sync::{Arc, Mutex};
 
-use dengraph_json::JsonError;
+use dengraph_json::{JsonError, WireFormat};
 use dengraph_stream::{Message, Quantum};
 use dengraph_text::KeywordInterner;
 
+use crate::checkpoint::{self, CheckpointJournal, CheckpointMode};
 use crate::config::{ConfigError, DetectorConfig, Parallelism, WindowIndexMode};
 use crate::detector::{EventDetector, QuantumSummary};
 use crate::event::EventRecord;
@@ -185,6 +186,7 @@ impl DetectorBuilder {
         Ok(DetectorSession {
             detector,
             sinks: Vec::new(),
+            journal: None,
         })
     }
 }
@@ -326,20 +328,36 @@ impl EventSink for VecSink {
 /// Writes one JSON object per notification to any [`Write`] destination
 /// (a file, a socket, a `Vec<u8>` in tests):
 /// `{"type":"quantum",…}`, `{"type":"event",…}`, `{"type":"slide",…}`.
+///
+/// Writes are buffered behind a [`BufWriter`] and flushed **once per
+/// quantum batch** (and on drop), so a file- or socket-backed sink costs
+/// one syscall per quantum instead of one per notification.
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write> {
-    writer: W,
+    writer: BufWriter<W>,
 }
 
 impl<W: Write> JsonLinesSink<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
-        Self { writer }
+        Self {
+            writer: BufWriter::new(writer),
+        }
     }
 
-    /// Unwraps the inner writer.
-    pub fn into_inner(self) -> W {
-        self.writer
+    /// Flushes buffered lines to the underlying writer.  Called
+    /// automatically at every quantum-batch boundary and on drop;
+    /// exposed for subscribers that need an explicit sync point.
+    pub fn flush(&mut self) {
+        // A sink must never abort the detector; delivery failures are the
+        // subscriber's problem (mirror of ignoring a broken pipe).
+        let _ = self.writer.flush();
+    }
+
+    /// Unwraps the inner writer, flushing buffered lines first.
+    pub fn into_inner(mut self) -> W {
+        self.flush();
+        self.writer.into_parts().0
     }
 
     fn write_line(&mut self, kind: &str, body: dengraph_json::Value) {
@@ -350,8 +368,6 @@ impl<W: Write> JsonLinesSink<W> {
         };
         line.insert("type".to_string(), Value::str(kind));
         let text = dengraph_json::to_string(&Value::Obj(line));
-        // A sink must never abort the detector; delivery failures are the
-        // subscriber's problem (mirror of ignoring a broken pipe).
         let _ = writeln!(self.writer, "{text}");
     }
 }
@@ -374,6 +390,19 @@ impl<W: Write> EventSink for JsonLinesSink<W> {
                 ("window_quanta", Value::from(window_quanta)),
             ]),
         );
+    }
+
+    fn on_quantum_batch(&mut self, batch: &QuantumNotifications<'_>) {
+        // Default fan-out (slide → quantum → events), then one flush for
+        // the whole quantum.
+        if let Some(evicted) = batch.evicted_quantum {
+            self.on_slide(evicted, batch.window_quanta);
+        }
+        self.on_quantum(batch.summary);
+        for record in batch.records {
+            self.on_event(record);
+        }
+        self.flush();
     }
 }
 
@@ -485,6 +514,7 @@ impl From<ConfigError> for RestoreError {
 pub struct DetectorSession {
     detector: EventDetector,
     sinks: Vec<Box<dyn EventSink>>,
+    journal: Option<CheckpointJournal>,
 }
 
 impl std::fmt::Debug for DetectorSession {
@@ -492,6 +522,7 @@ impl std::fmt::Debug for DetectorSession {
         f.debug_struct("DetectorSession")
             .field("detector", &self.detector)
             .field("sinks", &self.sinks.len())
+            .field("journal", &self.journal.is_some())
             .finish()
     }
 }
@@ -549,12 +580,22 @@ impl DetectorSession {
         self.detector.quanta_processed()
     }
 
+    /// Messages sitting in the partially filled quantum buffer (not yet
+    /// counted by [`Self::total_messages`]).  The next message any
+    /// restored session expects is stream position
+    /// `total_messages() + buffered_messages()` — a journal restore may
+    /// land on a snapshot that still carries a partial buffer (taken
+    /// mid-quantum) and those messages must **not** be re-fed.
+    pub fn buffered_messages(&self) -> usize {
+        self.detector.buffered_messages()
+    }
+
     /// Streams one message; when the quantum completes, sinks are notified
     /// and the summary is also returned.
     pub fn push_message(&mut self, message: Message) -> Option<QuantumSummary> {
         let summary = self.detector.push_message(message);
         if let Some(summary) = &summary {
-            Self::dispatch(&self.detector, &mut self.sinks, summary);
+            self.after_quantum(summary);
         }
         summary
     }
@@ -563,7 +604,7 @@ impl DetectorSession {
     pub fn flush(&mut self) -> Option<QuantumSummary> {
         let summary = self.detector.flush();
         if let Some(summary) = &summary {
-            Self::dispatch(&self.detector, &mut self.sinks, summary);
+            self.after_quantum(summary);
         }
         summary
     }
@@ -571,8 +612,18 @@ impl DetectorSession {
     /// Processes one pre-batched quantum, notifying sinks.
     pub fn process_quantum(&mut self, quantum: &Quantum) -> QuantumSummary {
         let summary = self.detector.process_quantum(quantum);
-        Self::dispatch(&self.detector, &mut self.sinks, &summary);
+        self.after_quantum(&summary);
         summary
+    }
+
+    /// Everything that happens once per completed quantum besides the
+    /// detector pipeline itself: append to the checkpoint journal (if
+    /// enabled), then push the batch to every sink.
+    fn after_quantum(&mut self, summary: &QuantumSummary) {
+        if let Some(journal) = &mut self.journal {
+            journal.record_quantum(&self.detector, summary);
+        }
+        Self::dispatch(&self.detector, &mut self.sinks, summary);
     }
 
     /// Runs an entire message slice through the detector (batching into
@@ -625,10 +676,35 @@ impl DetectorSession {
     /// registry, event tracker, the partially filled message buffer and
     /// all counters.  Attached sinks are *not* part of the snapshot;
     /// re-attach them after [`Self::restore`].
+    ///
+    /// This is the JSON (debugging / cross-version fallback) form; the
+    /// compact binary form is [`Self::checkpoint_bytes`] with
+    /// [`WireFormat::Binary`].
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             value: self.detector.to_json(),
         }
+    }
+
+    /// Snapshots the complete detector state as standalone durable bytes
+    /// in the requested wire format.  [`WireFormat::Binary`] (the
+    /// default format) is typically several times smaller than the JSON
+    /// text; [`WireFormat::Json`] yields exactly
+    /// [`Checkpoint::to_json_string`]'s bytes.  [`Self::restore_bytes`]
+    /// accepts either, sniffing the format from the first byte.
+    pub fn checkpoint_bytes(&self, format: WireFormat) -> Vec<u8> {
+        checkpoint::encode_checkpoint_document(&self.detector, format)
+    }
+
+    /// Reconstructs a session from checkpoint bytes written by
+    /// [`Self::checkpoint_bytes`] (either wire format — the format is
+    /// sniffed, JSON being the cross-version fallback).
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Self, RestoreError> {
+        Ok(Self {
+            detector: checkpoint::decode_checkpoint_document(bytes)?,
+            sinks: Vec::new(),
+            journal: None,
+        })
     }
 
     /// Reconstructs a session from a checkpoint.  The restored session
@@ -645,6 +721,63 @@ impl DetectorSession {
         Ok(Self {
             detector,
             sinks: Vec::new(),
+            journal: None,
+        })
+    }
+
+    /// Enables incremental checkpointing: from now on every processed
+    /// quantum appends one frame to an internal [`CheckpointJournal`]
+    /// (binary wire format) — a full snapshot under
+    /// [`CheckpointMode::Full`], an O(quantum Δ) [`DeltaRecord`] under
+    /// [`CheckpointMode::Delta`] with periodic snapshot rebases.  The
+    /// journal opens with a snapshot of the *current* state, so enabling
+    /// mid-stream is safe.  Re-enabling replaces the previous journal.
+    ///
+    /// [`DeltaRecord`]: crate::checkpoint::DeltaRecord
+    pub fn enable_journal(&mut self, mode: CheckpointMode) -> &mut Self {
+        self.enable_journal_with_format(mode, WireFormat::Binary)
+    }
+
+    /// [`Self::enable_journal`] with an explicit wire format (JSON keeps
+    /// the journal greppable for debugging, at a size cost).
+    pub fn enable_journal_with_format(
+        &mut self,
+        mode: CheckpointMode,
+        format: WireFormat,
+    ) -> &mut Self {
+        let mut journal = CheckpointJournal::with_format(mode, format);
+        journal.append_snapshot(&self.detector);
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The active checkpoint journal, if [`Self::enable_journal`] was
+    /// called.  Its [`as_bytes`](CheckpointJournal::as_bytes) is the
+    /// durable, append-friendly byte log.
+    pub fn journal(&self) -> Option<&CheckpointJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Detaches and returns the active journal, disabling journaling.
+    pub fn take_journal(&mut self) -> Option<CheckpointJournal> {
+        self.journal.take()
+    }
+
+    /// Reconstructs a session from a checkpoint-journal byte log:
+    /// restores the *latest* snapshot frame, then replays every delta
+    /// frame after it.  The restored session is bit-identical to the
+    /// session that wrote the journal as of its last frame; resume the
+    /// stream from position `total_messages() + buffered_messages()` —
+    /// the buffer is non-empty exactly when the restore landed on a
+    /// snapshot taken mid-quantum with no delta after it, and those
+    /// buffered messages must not be re-fed.  Re-enable journaling (and
+    /// re-attach sinks) explicitly if the resumed session should keep
+    /// checkpointing.
+    pub fn restore_from_journal(bytes: &[u8]) -> Result<Self, RestoreError> {
+        Ok(Self {
+            detector: checkpoint::restore_journal_detector(bytes)?,
+            sinks: Vec::new(),
+            journal: None,
         })
     }
 }

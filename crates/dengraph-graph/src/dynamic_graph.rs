@@ -315,6 +315,58 @@ impl DynamicGraph {
         Ok(graph)
     }
 
+    /// Appends the compact binary encoding: the delta-encoded sorted node
+    /// column, then the edge list sorted by key with the first endpoint
+    /// delta-encoded (edges sorted by `EdgeKey` repeat their first
+    /// endpoint in runs, so it compresses to near one byte per edge).
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        let mut nodes: Vec<NodeId> = self.nodes().collect();
+        nodes.sort_unstable();
+        w.delta_u32s(nodes.iter().map(|n| n.0));
+        let mut edges: Vec<(EdgeKey, f64)> = self.edges().collect();
+        edges.sort_by_key(|(k, _)| *k);
+        w.usize(edges.len());
+        let mut prev_a = 0u32;
+        for (i, (key, weight)) in edges.iter().enumerate() {
+            w.u32(if i == 0 { key.0 .0 } else { key.0 .0 - prev_a });
+            prev_a = key.0 .0;
+            w.u32(key.1 .0);
+            w.f64(*weight);
+        }
+    }
+
+    /// Reconstructs a graph encoded by [`Self::to_bin`].
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let mut graph = DynamicGraph::new();
+        for n in r.delta_u32s()? {
+            graph.add_node(NodeId(n));
+        }
+        let edges = r.seq_len(2)?;
+        let mut prev_a = 0u32;
+        for i in 0..edges {
+            let d = r.u32()?;
+            let a = if i == 0 {
+                d
+            } else {
+                prev_a.checked_add(d).ok_or(dengraph_json::JsonError {
+                    message: "edge endpoint overflows u32".into(),
+                    offset: r.pos(),
+                })?
+            };
+            prev_a = a;
+            let b = r.u32()?;
+            let weight = r.f64()?;
+            if a == b {
+                return Err(dengraph_json::JsonError {
+                    message: "self-loop in encoded graph".into(),
+                    offset: r.pos(),
+                });
+            }
+            graph.add_edge(NodeId(a), NodeId(b), weight);
+        }
+        Ok(graph)
+    }
+
     /// Builds the induced subgraph over `nodes` (keeping weights).
     pub fn induced_subgraph<'a, I: IntoIterator<Item = &'a NodeId>>(
         &self,
@@ -335,6 +387,24 @@ impl DynamicGraph {
             }
         }
         sub
+    }
+}
+
+impl dengraph_json::Encode for DynamicGraph {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for DynamicGraph {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
     }
 }
 

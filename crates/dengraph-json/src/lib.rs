@@ -1,4 +1,5 @@
-//! Minimal JSON support for dengraph.
+//! The dengraph codec layer: a JSON value model plus a compact binary
+//! wire format behind one [`Encode`]/[`Decode`] abstraction.
 //!
 //! The build environment has no crates.io access, so trace serialisation
 //! and benchmark artefacts use this hand-written value model instead of
@@ -6,6 +7,22 @@
 //! simplification: numbers are held as `f64` when fractional and as
 //! `i128` otherwise, which losslessly covers every integer the workspace
 //! serialises (`u64` user ids included).
+//!
+//! Since PR 5 the crate also hosts the workspace's serialisation
+//! *abstraction*: the [`codec`] module defines the [`Encode`]/[`Decode`]
+//! trait pair and [`WireFormat`] (JSON for debugging and cross-version
+//! fallback, binary for durable checkpoints), and the [`binary`] module
+//! provides the varint/delta-column primitives the binary format is built
+//! from.  [`JsonError`] doubles as the error type of both formats — for a
+//! binary document the `offset` is the byte position in the binary
+//! stream.
+
+pub mod binary;
+pub mod codec;
+pub mod lz;
+
+pub use binary::{BinReader, BinWriter};
+pub use codec::{Decode, Encode, WireFormat};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

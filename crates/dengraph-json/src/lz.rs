@@ -1,0 +1,266 @@
+//! A small, dependency-free LZSS codec for document payloads.
+//!
+//! The binary struct encodings (see [`crate::binary`]) remove JSON's
+//! framing overhead, but whole-checkpoint documents still carry large
+//! repetitive sections — above all the interner word list, plus the
+//! recurring structure of per-keyword columns.  Checkpoint *containers*
+//! run their payload through this codec (struct-level encodings stay
+//! raw: compression is a property of the durable document, not of the
+//! codec abstraction).
+//!
+//! The format is classic byte-oriented LZSS:
+//!
+//! * a varint with the uncompressed length, then token groups;
+//! * each group is one flag byte (bit *i* set ⇒ item *i* is a match)
+//!   followed by up to 8 items;
+//! * a literal item is one raw byte; a match item is two bytes encoding
+//!   a distance in `1..=4096` and a length in `3..=18`
+//!   (`byte0 = (dist-1) & 0xFF`,
+//!   `byte1 = (dist-1) >> 8 | (len-3) << 4`).
+//!
+//! The encoder is greedy with a bounded hash-chain search, so both
+//! directions are deterministic — the same input always produces the
+//! same bytes, which the bit-identical checkpoint tests rely on.  The
+//! decoder validates every token against the declared output length and
+//! never allocates more than it (truncated or corrupted streams fail
+//! with a [`JsonError`]).
+
+use crate::binary::{BinReader, BinWriter};
+use crate::{JsonError, Result};
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+/// How many chain links the encoder follows per position; bounds
+/// worst-case encode time without affecting correctness.
+const MAX_CHAIN: usize = 32;
+
+fn hash3(bytes: &[u8]) -> usize {
+    let v = (bytes[0] as u32) | ((bytes[1] as u32) << 8) | ((bytes[2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 13;
+
+/// Compresses `input` into a standalone LZSS stream.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    // Varint uncompressed length, via the canonical varint writer.
+    let mut header = BinWriter::new();
+    header.usize(input.len());
+    let mut out = header.into_bytes();
+    out.reserve(input.len() / 2 + 16);
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let mut pos = 0usize;
+    let mut flags_at = usize::MAX;
+    let mut flag_bit = 8u32;
+    let emit = |out: &mut Vec<u8>, flags_at: &mut usize, flag_bit: &mut u32, is_match: bool| {
+        if *flag_bit == 8 {
+            *flags_at = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+        if is_match {
+            out[*flags_at] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+    };
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash3(&input[pos..]);
+            let mut candidate = head[h];
+            let limit = input.len().min(pos + MAX_MATCH);
+            for _ in 0..MAX_CHAIN {
+                if candidate == usize::MAX || candidate + WINDOW <= pos {
+                    break;
+                }
+                let mut len = 0usize;
+                while pos + len < limit && input[candidate + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - candidate;
+                    if len == MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[candidate % WINDOW];
+            }
+        }
+        if best_len >= MIN_MATCH {
+            emit(&mut out, &mut flags_at, &mut flag_bit, true);
+            let d = best_dist - 1;
+            out.push((d & 0xFF) as u8);
+            out.push(((d >> 8) as u8) | (((best_len - MIN_MATCH) as u8) << 4));
+            // Index every covered position so later matches can refer
+            // inside this run.
+            for p in pos..pos + best_len {
+                if p + MIN_MATCH <= input.len() {
+                    let h = hash3(&input[p..]);
+                    prev[p % WINDOW] = head[h];
+                    head[h] = p;
+                }
+            }
+            pos += best_len;
+        } else {
+            emit(&mut out, &mut flags_at, &mut flag_bit, false);
+            out.push(input[pos]);
+            if pos + MIN_MATCH <= input.len() {
+                let h = hash3(&input[pos..]);
+                prev[pos % WINDOW] = head[h];
+                head[h] = pos;
+            }
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let fail = |message: &str, offset: usize| -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset,
+        }
+    };
+    // Varint uncompressed length, via the canonical varint reader.
+    let mut header = BinReader::new(input);
+    let expected = header.usize()?;
+    let mut pos = header.pos();
+    // Every output byte costs at least 1/8 flag bit + either a literal
+    // byte or 3/18ths of a match token, so `expected` can exceed the
+    // remaining input by at most a factor of ~16; reject anything wilder
+    // before allocating.
+    if expected / 18 > input.len().saturating_sub(pos).saturating_mul(2) {
+        return Err(fail("lzss length implausible for input size", pos));
+    }
+    let mut out = Vec::with_capacity(expected);
+    while out.len() < expected {
+        let &flags = input
+            .get(pos)
+            .ok_or_else(|| fail("truncated lzss stream", pos))?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == expected {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                let b0 = *input
+                    .get(pos)
+                    .ok_or_else(|| fail("truncated lzss match", pos))?;
+                let b1 = *input
+                    .get(pos + 1)
+                    .ok_or_else(|| fail("truncated lzss match", pos))?;
+                pos += 2;
+                let dist = ((b0 as usize) | (((b1 & 0x0F) as usize) << 8)) + 1;
+                let len = ((b1 >> 4) as usize) + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(fail("lzss match before start of output", pos));
+                }
+                if out.len() + len > expected {
+                    return Err(fail("lzss match overruns declared length", pos));
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            } else {
+                let &b = input
+                    .get(pos)
+                    .ok_or_else(|| fail("truncated lzss literal", pos))?;
+                pos += 1;
+                out.push(b);
+            }
+        }
+    }
+    if pos != input.len() {
+        return Err(fail("trailing bytes after lzss stream", pos));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: &[u8]) {
+        let packed = compress(input);
+        let back = decompress(&packed).expect("round trip decodes");
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn round_trips_edge_cases() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(&[0u8; 1000]);
+        round_trip(b"abcabcabcabcabcabc");
+    }
+
+    #[test]
+    fn round_trips_text_and_shrinks_it() {
+        let text = "the quick brown fox jumps over the lazy dog ".repeat(100);
+        let packed = compress(text.as_bytes());
+        assert!(packed.len() < text.len() / 3, "got {}", packed.len());
+        round_trip(text.as_bytes());
+    }
+
+    #[test]
+    fn round_trips_incompressible_data_with_bounded_overhead() {
+        // A xorshift stream: no 3-byte repeats to speak of.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + data.len() / 8 + 16);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn round_trips_long_runs_and_overlapping_matches() {
+        let mut data = Vec::new();
+        for i in 0..50u8 {
+            data.extend(std::iter::repeat_n(i, 100));
+        }
+        round_trip(&data);
+        // Distances larger than the window force literals; still correct.
+        let mut far = vec![7u8; 10];
+        far.extend(std::iter::repeat_n(0, WINDOW + 100));
+        far.extend(vec![7u8; 10]);
+        round_trip(&far);
+    }
+
+    #[test]
+    fn rejects_corrupted_streams() {
+        let packed = compress(b"hello hello hello hello");
+        // Truncations.
+        for cut in 0..packed.len() {
+            assert!(decompress(&packed[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // Trailing garbage.
+        let mut bad = packed.clone();
+        bad.push(0);
+        assert!(decompress(&bad).is_err());
+        // A match pointing before the start of the output: declared length
+        // 10, one match item, distance 4096 against an empty output.
+        let bad = vec![10, 0b0000_0001, 0xFF, 0x0F];
+        assert!(decompress(&bad).is_err());
+        // Absurd declared length with a tiny stream.
+        let mut bad = vec![0xFF; 9];
+        bad.push(0x01);
+        assert!(decompress(&bad).is_err());
+    }
+}

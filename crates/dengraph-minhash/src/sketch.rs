@@ -190,6 +190,64 @@ impl MinHashSketch {
         }
         Ok(sketch)
     }
+
+    /// Appends the compact binary encoding: `p`, then the ascending minima
+    /// as a delta-encoded column.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.usize(self.p);
+        w.delta_u64s(&self.minima);
+    }
+
+    /// Reconstructs a sketch encoded by [`Self::to_bin`].  The sketch
+    /// size is bounded ([`MAX_DECODED_SKETCH_SIZE`]) so a corrupted
+    /// document cannot drive a huge capacity reservation.
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let mut sketch = Self::new(decode_sketch_size(r)?);
+        for m in r.delta_u64s()? {
+            sketch.insert_hash(m);
+        }
+        Ok(sketch)
+    }
+}
+
+/// Upper bound on the sketch size `p` accepted by the binary decoders.
+/// Constructing a sketch reserves `p` slots up front, so the decoders
+/// must refuse a corrupt `p` *before* building the sketch; real sketch
+/// sizes are two to three orders of magnitude below this bound
+/// (`min(σ/2, 1/τ)` with a small configured floor).
+pub const MAX_DECODED_SKETCH_SIZE: usize = 1 << 20;
+
+/// Reads and bounds a sketch size for [`MinHashSketch::from_bin`] /
+/// [`EpochSketchStore::from_bin`](crate::EpochSketchStore::from_bin).
+pub(crate) fn decode_sketch_size(
+    r: &mut dengraph_json::BinReader<'_>,
+) -> dengraph_json::Result<usize> {
+    let p = r.usize()?;
+    if p > MAX_DECODED_SKETCH_SIZE {
+        return Err(dengraph_json::JsonError {
+            message: format!("sketch size {p} exceeds the decoder bound {MAX_DECODED_SKETCH_SIZE}"),
+            offset: r.pos(),
+        });
+    }
+    Ok(p)
+}
+
+impl dengraph_json::Encode for MinHashSketch {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for MinHashSketch {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,67 @@ impl EpochSketchStore {
         }
         Ok(store)
     }
+
+    /// Appends the compact binary encoding: `p`, then one
+    /// `(delta-encoded epoch, sub-sketch)` pair per live epoch, oldest
+    /// first.  The cached union is recomputed on decode, exactly like the
+    /// JSON path.
+    pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
+        w.usize(self.p);
+        w.usize(self.epochs.len());
+        let mut prev = 0u64;
+        for (i, (epoch, sketch)) in self.epochs.iter().enumerate() {
+            w.u64(if i == 0 { *epoch } else { epoch - prev });
+            prev = *epoch;
+            sketch.to_bin(w);
+        }
+    }
+
+    /// Reconstructs a store encoded by [`Self::to_bin`].  Non-increasing
+    /// epochs and out-of-bound sketch sizes (possible only in a corrupted
+    /// document) are rejected.
+    pub fn from_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        let mut store = Self::new(crate::sketch::decode_sketch_size(r)?);
+        let count = r.seq_len(2)?;
+        let mut prev = 0u64;
+        for i in 0..count {
+            let d = r.u64()?;
+            let epoch = if i == 0 {
+                d
+            } else {
+                match (d, prev.checked_add(d)) {
+                    (1.., Some(e)) => e,
+                    _ => {
+                        return Err(dengraph_json::JsonError {
+                            message: "epochs must be strictly increasing".into(),
+                            offset: r.pos(),
+                        })
+                    }
+                }
+            };
+            prev = epoch;
+            store.push(epoch, MinHashSketch::from_bin(r)?);
+        }
+        Ok(store)
+    }
+}
+
+impl dengraph_json::Encode for EpochSketchStore {
+    fn encode_json(&self) -> dengraph_json::Value {
+        self.to_json()
+    }
+    fn encode_bin(&self, w: &mut dengraph_json::BinWriter) {
+        self.to_bin(w)
+    }
+}
+
+impl dengraph_json::Decode for EpochSketchStore {
+    fn decode_json(value: &dengraph_json::Value) -> dengraph_json::Result<Self> {
+        Self::from_json(value)
+    }
+    fn decode_bin(r: &mut dengraph_json::BinReader<'_>) -> dengraph_json::Result<Self> {
+        Self::from_bin(r)
+    }
 }
 
 #[cfg(test)]

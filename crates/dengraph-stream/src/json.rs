@@ -43,6 +43,34 @@ pub fn message_from_value(value: &Value) -> Result<Message> {
     })
 }
 
+/// Appends the compact binary encoding of one message.  Keywords are
+/// written in occurrence order (not delta-encoded) — the order is part of
+/// the message and must round-trip exactly.
+pub fn message_to_bin(message: &Message, w: &mut dengraph_json::BinWriter) {
+    w.u64(message.user.0);
+    w.u64(message.time);
+    w.usize(message.keywords.len());
+    for k in &message.keywords {
+        w.u32(k.0);
+    }
+}
+
+/// Decodes one message encoded by [`message_to_bin`].
+pub fn message_from_bin(r: &mut dengraph_json::BinReader<'_>) -> Result<Message> {
+    let user = UserId(r.u64()?);
+    let time = r.u64()?;
+    let count = r.seq_len(1)?;
+    let mut keywords = Vec::with_capacity(count);
+    for _ in 0..count {
+        keywords.push(KeywordId(r.u32()?));
+    }
+    Ok(Message {
+        user,
+        time,
+        keywords,
+    })
+}
+
 fn kind_to_str(kind: GroundTruthEventKind) -> &'static str {
     match kind {
         GroundTruthEventKind::Headline => "headline",

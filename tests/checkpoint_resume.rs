@@ -1,17 +1,26 @@
-//! The checkpoint/restore contract, at two levels.
+//! The checkpoint/restore contract, at three levels.
 //!
 //! **State round-trips** — for every serialised state struct (dynamic
 //! graph, sliding-window state incl. the incremental index, epoch sketch
 //! store, cluster registry) a ChaCha8-seeded property loop asserts
-//! `from_json(to_json(state)) == state` over randomly built instances.
+//! `from_json(to_json(state)) == state` over randomly built instances
+//! (the binary↔JSON equivalence loops live in
+//! `tests/codec_equivalence.rs`).
 //!
 //! **Mid-stream equivalence** — the acceptance criterion of the session
-//! API: run N quanta, checkpoint through the *JSON string* form, restore
-//! into a fresh session, run M more quanta — and the concatenated
+//! API: run N quanta, checkpoint through a *durable wire form* (JSON
+//! string, binary bytes, or a delta-checkpoint journal), restore into a
+//! fresh session, run M more quanta — and the concatenated
 //! `QuantumSummary` stream plus the final long-term event records must be
 //! **bit-identical** to an uninterrupted N+M run.  Checked across window
-//! sizes × `Parallelism` × `WindowIndexMode`, with the split point placed
-//! mid-quantum so the partial message buffer round-trips too.
+//! sizes × `Parallelism` × `WindowIndexMode` × `CheckpointMode`, with the
+//! full-snapshot split placed mid-quantum so the partial message buffer
+//! round-trips too (journal restores resume at the last completed
+//! quantum boundary and re-feed the partial tail).
+//!
+//! **Size targets** — the binary full checkpoint must be at most half
+//! the JSON one, and steady-state journal delta records at least 10×
+//! smaller than a binary full snapshot.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -19,8 +28,8 @@ use rand_chacha::ChaCha8Rng;
 use dengraph_core::cluster::{edge_addition, edge_deletion, ClusterRegistry};
 use dengraph_core::keyword_state::{QuantumRecord, WindowState};
 use dengraph_core::{
-    Checkpoint, DetectorBuilder, DetectorConfig, DetectorSession, Parallelism, QuantumSummary,
-    VecSink, WindowIndexMode,
+    Checkpoint, CheckpointMode, DetectorBuilder, DetectorConfig, DetectorSession, Parallelism,
+    QuantumSummary, VecSink, WindowIndexMode, WireFormat,
 };
 use dengraph_graph::{DynamicGraph, NodeId};
 use dengraph_minhash::{EpochSketchStore, MinHashSketch, UserHasher};
@@ -186,25 +195,67 @@ fn build(trace: &Trace, config: &DetectorConfig) -> DetectorSession {
         .expect("valid config")
 }
 
-/// Runs `messages[..split]`, checkpoints through the JSON string form,
-/// restores a fresh session and finishes the stream on it.  Returns the
+/// Which durable wire form carries the state across the interruption.
+#[derive(Debug, Clone, Copy)]
+enum Cut {
+    /// The JSON `Checkpoint` string (the debugging / fallback format).
+    JsonString,
+    /// `checkpoint_bytes(WireFormat::Binary)` → `restore_bytes`.
+    BinaryBytes,
+    /// A checkpoint journal written per quantum from the start of the
+    /// run; restore replays the journal-tail deltas on top of the latest
+    /// snapshot and resumes at the last completed quantum boundary.
+    Journal(CheckpointMode),
+}
+
+/// Runs `messages[..split]`, carries the state across `cut`, restores a
+/// fresh session and finishes the stream on it.  Returns the
 /// concatenated summary stream and the restored session.
 fn run_with_interruption(
     trace: &Trace,
     config: &DetectorConfig,
     split: usize,
+    cut: Cut,
 ) -> (Vec<QuantumSummary>, DetectorSession) {
     let mut first = build(trace, config);
+    if let Cut::Journal(mode) = cut {
+        first.enable_journal(mode);
+    }
     let mut summaries = Vec::new();
     for message in &trace.messages[..split] {
         summaries.extend(first.push_message(message.clone()));
     }
-    // Through the durable wire form, not just the value model.
-    let text = first.checkpoint().to_json_string();
-    drop(first);
-    let checkpoint = Checkpoint::from_json_str(&text).expect("checkpoint parses");
-    let mut second = DetectorSession::restore(&checkpoint).expect("checkpoint restores");
-    for message in &trace.messages[split..] {
+    let (mut second, resume_at) = match cut {
+        Cut::JsonString => {
+            let text = first.checkpoint().to_json_string();
+            drop(first);
+            let checkpoint = Checkpoint::from_json_str(&text).expect("checkpoint parses");
+            let second = DetectorSession::restore(&checkpoint).expect("checkpoint restores");
+            (second, split)
+        }
+        Cut::BinaryBytes => {
+            let bytes = first.checkpoint_bytes(WireFormat::Binary);
+            drop(first);
+            let second = DetectorSession::restore_bytes(&bytes).expect("binary restores");
+            (second, split)
+        }
+        Cut::Journal(_) => {
+            let bytes = first
+                .journal()
+                .expect("journal enabled")
+                .as_bytes()
+                .to_vec();
+            drop(first);
+            let second = DetectorSession::restore_from_journal(&bytes).expect("journal restores");
+            // Resume from the restored session's exact stream position:
+            // processed messages plus any partial buffer the restored
+            // snapshot still carries (the latter must not be re-fed).
+            let resume_at = second.total_messages() as usize + second.buffered_messages();
+            assert!(resume_at <= split, "journal cannot be ahead of the feed");
+            (second, resume_at)
+        }
+    };
+    for message in &trace.messages[resume_at..] {
         summaries.extend(second.push_message(message.clone()));
     }
     summaries.extend(second.flush());
@@ -214,7 +265,9 @@ fn run_with_interruption(
 #[test]
 fn mid_stream_restore_is_bit_identical_across_profiles() {
     let trace = StreamGenerator::new(tw_profile(61, ProfileScale::Small)).generate();
-    // Mid-quantum split: the partial message buffer must survive the trip.
+    // Mid-quantum split: the partial message buffer must survive the trip
+    // (full-snapshot cuts), and journal restores must rewind to the last
+    // quantum boundary correctly.
     let split = trace.messages.len() * 2 / 3 + 7;
     assert!(split < trace.messages.len());
 
@@ -225,24 +278,32 @@ fn mid_stream_restore_is_bit_identical_across_profiles() {
                     .with_window_quanta(window_quanta)
                     .with_parallelism(parallelism)
                     .with_window_index_mode(mode);
-                let label = format!("w={window_quanta} {parallelism} {mode:?}");
 
                 let mut uninterrupted = build(&trace, &config);
                 let full = uninterrupted.run(&trace.messages);
-                let (stitched, resumed) = run_with_interruption(&trace, &config, split);
 
-                assert_eq!(
-                    canonical(&full),
-                    canonical(&stitched),
-                    "{label}: summary stream diverged after restore"
-                );
-                assert_eq!(
-                    format!("{:#?}", uninterrupted.event_records()),
-                    format!("{:#?}", resumed.event_records()),
-                    "{label}: long-term event records diverged after restore"
-                );
-                assert_eq!(uninterrupted.total_messages(), resumed.total_messages());
-                assert_eq!(uninterrupted.quanta_processed(), resumed.quanta_processed());
+                for cut in [
+                    Cut::JsonString,
+                    Cut::BinaryBytes,
+                    Cut::Journal(CheckpointMode::Delta { every: 3 }),
+                    Cut::Journal(CheckpointMode::Full),
+                ] {
+                    let label = format!("w={window_quanta} {parallelism} {mode:?} {cut:?}");
+                    let (stitched, resumed) = run_with_interruption(&trace, &config, split, cut);
+
+                    assert_eq!(
+                        canonical(&full),
+                        canonical(&stitched),
+                        "{label}: summary stream diverged after restore"
+                    );
+                    assert_eq!(
+                        format!("{:#?}", uninterrupted.event_records()),
+                        format!("{:#?}", resumed.event_records()),
+                        "{label}: long-term event records diverged after restore"
+                    );
+                    assert_eq!(uninterrupted.total_messages(), resumed.total_messages());
+                    assert_eq!(uninterrupted.quanta_processed(), resumed.quanta_processed());
+                }
             }
         }
     }
@@ -258,18 +319,108 @@ fn mid_stream_restore_is_bit_identical_on_event_dense_streams() {
         let split = trace.messages.len() * fraction / 4 + 3;
         let mut uninterrupted = build(&trace, &config);
         let full = uninterrupted.run(&trace.messages);
-        let (stitched, resumed) = run_with_interruption(&trace, &config, split);
-        assert_eq!(
-            canonical(&full),
-            canonical(&stitched),
-            "split at {split}: summary stream diverged"
-        );
-        assert_eq!(
-            format!("{:#?}", uninterrupted.event_records()),
-            format!("{:#?}", resumed.event_records()),
-            "split at {split}: event records diverged"
-        );
+        for cut in [
+            Cut::JsonString,
+            Cut::BinaryBytes,
+            Cut::Journal(CheckpointMode::Delta { every: 5 }),
+        ] {
+            let (stitched, resumed) = run_with_interruption(&trace, &config, split, cut);
+            assert_eq!(
+                canonical(&full),
+                canonical(&stitched),
+                "split at {split} via {cut:?}: summary stream diverged"
+            );
+            assert_eq!(
+                format!("{:#?}", uninterrupted.event_records()),
+                format!("{:#?}", resumed.event_records()),
+                "split at {split} via {cut:?}: event records diverged"
+            );
+        }
     }
+}
+
+/// A journal enabled *mid-quantum* opens with a snapshot that still
+/// carries the partial message buffer.  Restoring from that journal
+/// before any delta frame lands must not double-process the buffered
+/// messages: the resume position is `total_messages() +
+/// buffered_messages()`, and continuing from there is bit-identical to
+/// the uninterrupted run.
+#[test]
+fn journal_enabled_mid_quantum_restores_without_double_processing() {
+    let trace = StreamGenerator::new(tw_profile(65, ProfileScale::Small)).generate();
+    let config = DetectorConfig::nominal().with_window_quanta(6);
+    let quantum = config.quantum_size;
+    // Stop mid-quantum with nothing journaled after the initial snapshot.
+    let split = quantum * 3 + quantum / 2;
+
+    let mut uninterrupted = build(&trace, &config);
+    let full = uninterrupted.run(&trace.messages);
+
+    let mut first = build(&trace, &config);
+    let mut summaries = Vec::new();
+    for message in &trace.messages[..split] {
+        summaries.extend(first.push_message(message.clone()));
+    }
+    // Journaling starts here — mid-quantum, buffer half full.
+    first.enable_journal(CheckpointMode::Delta { every: 4 });
+    let bytes = first.journal().unwrap().as_bytes().to_vec();
+    drop(first);
+
+    let mut second = DetectorSession::restore_from_journal(&bytes).expect("journal restores");
+    assert_eq!(second.buffered_messages(), quantum / 2, "buffer survives");
+    let resume_at = second.total_messages() as usize + second.buffered_messages();
+    assert_eq!(resume_at, split, "no message may be dropped or re-fed");
+    for message in &trace.messages[resume_at..] {
+        summaries.extend(second.push_message(message.clone()));
+    }
+    summaries.extend(second.flush());
+    assert_eq!(
+        canonical(&full),
+        canonical(&summaries),
+        "mid-quantum journal restore diverged"
+    );
+}
+
+/// The size acceptance criteria of the codec layer: a binary full
+/// checkpoint at most half the JSON one, and steady-state delta records
+/// at least 10× smaller than a binary full snapshot.
+#[test]
+fn binary_and_delta_checkpoints_meet_size_targets() {
+    let trace = StreamGenerator::new(tw_profile(64, ProfileScale::Small)).generate();
+    let config = DetectorConfig::nominal().with_window_quanta(12);
+    let mut session = DetectorBuilder::from_config(config)
+        .interner(trace.interner.clone())
+        .build()
+        .expect("valid config");
+    // A rebase interval beyond the run length keeps every steady-state
+    // entry a delta record.
+    session.enable_journal(CheckpointMode::Delta { every: 10_000 });
+    session.run(&trace.messages);
+
+    let json = session.checkpoint_bytes(WireFormat::Json);
+    let binary = session.checkpoint_bytes(WireFormat::Binary);
+    assert_eq!(
+        json.len(),
+        session.checkpoint().to_json_string().len(),
+        "json bytes form must match the Checkpoint string form"
+    );
+    assert!(
+        binary.len() * 2 <= json.len(),
+        "binary checkpoint {} exceeds half the json checkpoint {}",
+        binary.len(),
+        json.len()
+    );
+
+    let journal = session.journal().expect("journal enabled");
+    assert_eq!(journal.snapshot_frames(), 1, "initial rebase only");
+    assert!(journal.delta_frames() >= 10, "trace too short to judge");
+    let mean_delta = journal.mean_delta_bytes();
+    assert!(
+        mean_delta * 10.0 <= binary.len() as f64,
+        "mean delta record ({mean_delta:.0} bytes) is not 10x smaller than a \
+         binary full snapshot ({} bytes)",
+        binary.len()
+    );
 }
 
 /// A restored session pushes to freshly attached sinks exactly what the
