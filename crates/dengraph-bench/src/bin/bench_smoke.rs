@@ -1,24 +1,37 @@
 //! CI bench smoke: runs the end-to-end detector over a tiny synthetic TW
-//! trace and writes a `BENCH_pr.json` artifact tracking the repo's two
+//! trace and writes a `BENCH_pr.json` artifact tracking the repo's
 //! headline ratios per PR:
 //!
 //! * **serial vs sharded** (the `Parallelism` knob) — msgs/sec at 1 and 4
-//!   threads, and
+//!   threads,
 //! * **rebuild vs incremental window index** (the `WindowIndexMode` knob)
 //!   — msgs/sec with per-read window walks vs the incremental per-keyword
-//!   index.
+//!   index, and
+//! * **durable journal cost** — write overhead of the file-backed WAL
+//!   (`journal_write_overhead_pct`, gated at ≤ 10% under `Fsync::Never`)
+//!   and crash-recovery latency from the full trace's journal
+//!   (`recovery_ms`).
 //!
 //! Keep the workload small: this runs on every pull request.
 //!
-//! Usage: `cargo run -p dengraph-bench --release --bin bench_smoke [out.json]`
+//! Usage:
+//!   cargo run -p dengraph-bench --release --bin bench_smoke [out.json]
+//!   cargo run -p dengraph-bench --release --bin bench_smoke -- \
+//!       --compare BENCH_pr.json BENCH_baseline.json
+//!
+//! `--compare` is the machine-checked trend gate: it prints a markdown
+//! table (also appended to `$GITHUB_STEP_SUMMARY` when set), emits
+//! `::warning` annotations per regressed metric, and exits 2 when any
+//! metric regressed — the CI step turns that exit code into a non-fatal
+//! warning, so noisy hardware cannot turn the gate red.
 
 use std::time::Instant;
 
 use dengraph_bench::{build_trace, TraceKind};
 use dengraph_core::evaluation::measure_throughput;
 use dengraph_core::{
-    CheckpointMode, DetectorBuilder, DetectorConfig, DetectorSession, Parallelism, WindowIndexMode,
-    WireFormat,
+    CheckpointMode, DetectorBuilder, DetectorConfig, DetectorSession, DurableJournalConfig,
+    FsyncPolicy, Parallelism, WindowIndexMode, WireFormat,
 };
 use dengraph_json::Value;
 use dengraph_stream::generator::profiles::ProfileScale;
@@ -27,9 +40,25 @@ use dengraph_stream::generator::profiles::ProfileScale;
 /// sharded pipeline).
 const PARALLEL_THREADS: usize = 4;
 
+/// The acceptance ceiling on durable-journal write overhead (percent of
+/// serial msgs/sec lost with `Fsync::Never`).
+const MAX_JOURNAL_OVERHEAD_PCT: f64 = 10.0;
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        let (pr, baseline) = match (args.get(1), args.get(2)) {
+            (Some(pr), Some(baseline)) => (pr.clone(), baseline.clone()),
+            _ => {
+                eprintln!("usage: bench_smoke --compare <BENCH_pr.json> <BENCH_baseline.json>");
+                std::process::exit(1);
+            }
+        };
+        std::process::exit(compare(&pr, &baseline));
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_pr.json".to_string());
 
     let trace = build_trace(TraceKind::TimeWindow, ProfileScale::Small);
@@ -59,11 +88,86 @@ fn main() {
     let window_index_speedup = serial / rebuild;
     let hardware_threads = Parallelism::auto().threads();
 
+    // Durable WAL cost: the same serial workload with the file-backed
+    // journal appending one frame per quantum (`Fsync::Never`, so this
+    // measures the framing + encoding + write() cost, not disk sync
+    // latency).  Journaled and plain runs are measured in interleaved
+    // pairs with the identical harness, and the gated number is the
+    // *median* of the per-pair throughput ratios: pairing cancels slow
+    // machine-wide drift (thermal, noisy neighbours) and the median
+    // discards rounds where a scheduler hiccup landed inside exactly one
+    // half of a pair — a single bad round cannot fail the gate.  The
+    // last journaled run's directory then feeds the crash-recovery
+    // measurement.
+    let journal_dir =
+        std::env::temp_dir().join(format!("dengraph-bench-journal-{}", std::process::id()));
+    let durable_config = DurableJournalConfig {
+        fsync: FsyncPolicy::Never,
+        ..DurableJournalConfig::default()
+    };
+    let timed_run = |session: &mut DetectorSession| {
+        let start = Instant::now();
+        session.run(&trace.messages);
+        trace.messages.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+    let mut ratios = Vec::new();
+    let mut journaled = 0.0f64;
+    let mut plain = 0.0f64;
+    for round in 0..8 {
+        let _ = std::fs::remove_dir_all(&journal_dir);
+        let mut session = DetectorBuilder::from_config(base.clone())
+            .interner(trace.interner.clone())
+            .durable_journal(&journal_dir, durable_config)
+            .build()
+            .expect("bench config is valid and temp dir is writable");
+        let with_journal = timed_run(&mut session);
+        assert!(
+            session.journal_io_error().is_none(),
+            "journal append failed: {:?}",
+            session.journal_io_error()
+        );
+        drop(session);
+        let mut session = DetectorBuilder::from_config(base.clone())
+            .interner(trace.interner.clone())
+            .build()
+            .expect("bench config is valid");
+        let without_journal = timed_run(&mut session);
+        if round > 0 {
+            // Round 0 is the warm-up pair.
+            ratios.push(with_journal / without_journal);
+            journaled = journaled.max(with_journal);
+            plain = plain.max(without_journal);
+        }
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[ratios.len() / 2];
+    let journal_write_overhead_pct = (1.0 - median_ratio) * 100.0;
+    assert!(
+        journal_write_overhead_pct <= MAX_JOURNAL_OVERHEAD_PCT,
+        "durable journal write overhead {journal_write_overhead_pct:.1}% exceeds \
+         {MAX_JOURNAL_OVERHEAD_PCT}% (per-pair ratios {ratios:.3?}; best journaled \
+         {journaled:.0} vs best plain {plain:.0} msgs/s)"
+    );
+
+    // Crash recovery from the full-trace journal left on disk by the
+    // overhead runs: scan segments, restore the latest snapshot, replay
+    // the delta tail.  Best of three.
+    let mut recovery_ms = f64::INFINITY;
+    let mut recovered_quanta = 0u64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let recovered =
+            DetectorSession::restore_from_dir(&journal_dir).expect("journal directory restores");
+        recovery_ms = recovery_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        recovered_quanta = recovered.quanta_processed();
+    }
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
     // Per-stage attribution of the serial hot path: one dedicated run,
     // reading the detector's cumulative stage timers afterwards.  The same
-    // session also carries a delta-checkpoint journal (its appends happen
-    // outside the stage timers) and then feeds the checkpoint round-trip
-    // measurements below.
+    // session also carries an in-memory delta-checkpoint journal (its
+    // appends happen outside the stage timers) and then feeds the
+    // checkpoint round-trip measurements below.
     let mut session = DetectorBuilder::from_config(base.clone())
         .interner(trace.interner.clone())
         .build()
@@ -72,6 +176,11 @@ fn main() {
     // delta record, giving a clean per-quantum durability cost.
     session.enable_journal(CheckpointMode::Delta { every: 1 << 20 });
     session.run(&trace.messages);
+    assert_eq!(
+        session.quanta_processed(),
+        recovered_quanta,
+        "journal recovery lost quanta"
+    );
     let stage_times = session.detector().stage_times();
     let stage_ms = Value::obj(
         stage_times
@@ -81,7 +190,7 @@ fn main() {
     );
     let journal = session.journal().expect("journal enabled");
     let delta_checkpoint_bytes = journal.mean_delta_bytes();
-    let journal_bytes = journal.as_bytes().to_vec();
+    let journal_bytes = journal.memory_bytes().expect("in-memory journal").to_vec();
 
     // Checkpoint round trips, both wire formats; best of three each.
     // `checkpoint_bytes`/`checkpoint_ms`/`restore_ms` track the binary
@@ -153,6 +262,12 @@ fn main() {
             Value::from(delta_checkpoint_bytes),
         ),
         ("journal_restore_ms", Value::from(journal_restore_ms)),
+        ("journaled_msgs_per_sec", Value::from(journaled)),
+        (
+            "journal_write_overhead_pct",
+            Value::from(journal_write_overhead_pct),
+        ),
+        ("recovery_ms", Value::from(recovery_ms)),
         ("stage_ms", stage_ms),
     ]);
     let json = dengraph_json::to_string(&report);
@@ -178,6 +293,11 @@ fn main() {
          {journal_restore_ms:.2} ms",
         checkpoint_bytes as f64 / delta_checkpoint_bytes.max(1.0)
     );
+    println!(
+        "durable WAL: {journaled:.0} msgs/s journaled \
+         ({journal_write_overhead_pct:.1}% overhead, fsync=never), \
+         crash recovery {recovery_ms:.2} ms"
+    );
     let total_ms = stage_times.total_ns() as f64 / 1e6;
     print!("stages:");
     for (name, ms) in stage_times.as_millis() {
@@ -187,4 +307,178 @@ fn main() {
         );
     }
     println!();
+}
+
+// ---------------------------------------------------------------------------
+// --compare: the machine-checked trend gate
+// ---------------------------------------------------------------------------
+
+/// Metrics where *bigger is worse*, warned at > 1.25x the baseline.
+const GROWTH_METRICS: [&str; 5] = [
+    "checkpoint_bytes",
+    "delta_checkpoint_bytes",
+    "checkpoint_ms",
+    "restore_ms",
+    "recovery_ms",
+];
+
+/// Metrics shown in the comparison table (superset of the gated ones).
+const TABLE_METRICS: [&str; 10] = [
+    "serial_msgs_per_sec",
+    "parallel_msgs_per_sec",
+    "window_index_speedup",
+    "checkpoint_bytes",
+    "delta_checkpoint_bytes",
+    "checkpoint_ms",
+    "restore_ms",
+    "journal_restore_ms",
+    "journal_write_overhead_pct",
+    "recovery_ms",
+];
+
+fn metric(report: &Value, key: &str) -> Option<f64> {
+    report.get(key).ok().and_then(|v| v.as_f64().ok())
+}
+
+fn fmt_metric(v: f64) -> String {
+    if v.abs() < 100.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Compares a fresh `BENCH_pr.json` against the committed baseline.
+/// Returns the process exit code: 0 when clean (or when either report is
+/// missing/unreadable — an advisory gate must not turn a bench failure
+/// into a second failure), 2 when at least one metric regressed.
+fn compare(pr_path: &str, baseline_path: &str) -> i32 {
+    let load = |path: &str| -> Option<Value> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                println!("::notice title=bench compare skipped::{path}: {e}");
+                return None;
+            }
+        };
+        match dengraph_json::parse(&text) {
+            Ok(value) => Some(value),
+            Err(e) => {
+                println!("::notice title=bench compare skipped::{path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(fresh), Some(base)) = (load(pr_path), load(baseline_path)) else {
+        return 0;
+    };
+
+    let mut lines = vec![
+        "## bench_smoke vs committed baseline".to_string(),
+        String::new(),
+        "| metric | baseline | this PR | ratio |".to_string(),
+        "|---|---|---|---|".to_string(),
+    ];
+    for key in TABLE_METRICS {
+        if let (Some(now), Some(was)) = (metric(&fresh, key), metric(&base, key)) {
+            let ratio = if was.abs() > f64::EPSILON {
+                format!("{:.2}x", now / was)
+            } else {
+                "—".to_string()
+            };
+            lines.push(format!(
+                "| {key} | {} | {} | {ratio} |",
+                fmt_metric(was),
+                fmt_metric(now)
+            ));
+        }
+    }
+    if let Ok(Value::Obj(map)) = fresh.get("stage_ms") {
+        let breakdown = map
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().ok().map(|ms| format!("{k} {ms:.2}ms")))
+            .collect::<Vec<_>>()
+            .join(" ");
+        lines.push(String::new());
+        lines.push(format!("stage breakdown: {breakdown}"));
+    }
+
+    let mut regressions = 0usize;
+    let mut warn = |lines: &mut Vec<String>, title: &str, detail: String| {
+        lines.push(String::new());
+        lines.push("> [!WARNING]".to_string());
+        lines.push(format!(
+            "> {detail} If intentional, refresh {baseline_path}."
+        ));
+        println!("::warning title={title}::{detail}");
+        regressions += 1;
+    };
+
+    // Throughput: smaller is worse, warn below 0.9x of the baseline.
+    if let (Some(now), Some(was)) = (
+        metric(&fresh, "serial_msgs_per_sec"),
+        metric(&base, "serial_msgs_per_sec"),
+    ) {
+        let ratio = now / was;
+        if ratio < 0.9 {
+            warn(
+                &mut lines,
+                "bench regression",
+                format!(
+                    "serial throughput regressed to {ratio:.2}x of the baseline \
+                     ({now:.0} vs {was:.0} msgs/sec)."
+                ),
+            );
+        }
+    }
+    // Checkpoint size / latency trend: bigger is worse, warn above 1.25x
+    // (CI timing is noisy, and a size growth can be a deliberate trade).
+    for key in GROWTH_METRICS {
+        if let (Some(now), Some(was)) = (metric(&fresh, key), metric(&base, key)) {
+            if was.abs() > f64::EPSILON && now / was > 1.25 {
+                warn(
+                    &mut lines,
+                    "checkpoint regression",
+                    format!(
+                        "{key} regressed to {:.2}x of the baseline ({} vs {}).",
+                        now / was,
+                        fmt_metric(now),
+                        fmt_metric(was)
+                    ),
+                );
+            }
+        }
+    }
+    // Journal write overhead is gated on its absolute acceptance ceiling,
+    // not baseline drift: the budget is "≤ 10% of serial throughput".
+    if let Some(now) = metric(&fresh, "journal_write_overhead_pct") {
+        if now > MAX_JOURNAL_OVERHEAD_PCT {
+            warn(
+                &mut lines,
+                "journal overhead",
+                format!(
+                    "journal_write_overhead_pct at {now:.1}% exceeds the \
+                     {MAX_JOURNAL_OVERHEAD_PCT}% acceptance ceiling."
+                ),
+            );
+        }
+    }
+
+    let rendered = lines.join("\n");
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        if let Ok(mut summary) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(summary_path)
+        {
+            let _ = writeln!(summary, "{rendered}");
+        }
+    }
+    println!("{rendered}");
+    if regressions > 0 {
+        2
+    } else {
+        0
+    }
 }

@@ -33,12 +33,21 @@
 //! ```text
 //! checkpoint  = D6 'D' 'G' 'C'  version  detector-state
 //! journal     = D6 'D' 'G' 'J'  version  format-byte  frame*
-//! frame       = tag(01 snapshot | 02 delta)  varint(len)  payload
+//! frame       = tag(01 snapshot | 02 delta)  len u32-LE  crc32 u32-LE  payload
 //! ```
 //!
 //! Snapshot payloads are complete checkpoint documents (themselves
 //! sniffable); delta payloads are [`DeltaRecord`]s in the journal's
-//! configured [`WireFormat`].
+//! configured [`WireFormat`].  Since PR 6 the journal frame layout is
+//! the checksummed fixed-width framing of [`dengraph_json::frame`] —
+//! the same byte stream whether the journal lives in memory or in the
+//! segment files of [`crate::wal`] — and restoring a journal *recovers*:
+//! a torn tail (truncated or corrupt final frames, e.g. from a crash
+//! mid-append) rolls back to the last fully-durable quantum instead of
+//! failing the restore.
+
+use std::io;
+use std::path::Path;
 
 use dengraph_json::{BinReader, BinWriter, Decode, Encode, JsonError, Value, WireFormat};
 
@@ -48,20 +57,18 @@ use crate::detector::{EventDetector, QuantumSummary};
 use crate::event::DetectedEvent;
 use crate::keyword_state::QuantumRecord;
 use crate::session::RestoreError;
+use crate::wal::{self, DurableJournalConfig, FsyncPolicy, JournalWriter, SegmentedJournal};
 
 /// Magic prefix of a binary checkpoint document.
 pub(crate) const CHECKPOINT_MAGIC: [u8; 4] =
     [dengraph_json::codec::BINARY_MAGIC_BYTE, b'D', b'G', b'C'];
 
-/// Magic prefix of a checkpoint journal.
-pub(crate) const JOURNAL_MAGIC: [u8; 4] =
-    [dengraph_json::codec::BINARY_MAGIC_BYTE, b'D', b'G', b'J'];
-
-/// Version of both binary container layouts.
+/// Version of the binary checkpoint-document container (the journal
+/// container is versioned separately — [`crate::wal::JOURNAL_VERSION`]).
 const CONTAINER_VERSION: u64 = 1;
 
-const TAG_SNAPSHOT: u8 = 1;
-const TAG_DELTA: u8 = 2;
+pub(crate) const TAG_SNAPSHOT: u8 = 1;
+pub(crate) const TAG_DELTA: u8 = 2;
 
 /// How a session checkpoints into its journal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +208,46 @@ impl Decode for DeltaRecord {
     }
 }
 
+/// Borrowed view of a [`DeltaRecord`] used on the per-quantum append hot
+/// path: produces byte-identical encodings without first cloning the
+/// window record, the AKG delta log and the event list out of the
+/// detector (`delta_record_view_encodes_identically` pins the identity).
+pub(crate) struct DeltaRecordView<'a> {
+    pub(crate) record: &'a QuantumRecord,
+    pub(crate) akg_deltas: &'a [GraphDelta],
+    pub(crate) akg_stats: AkgQuantumStats,
+    pub(crate) events: &'a [DetectedEvent],
+}
+
+impl Encode for DeltaRecordView<'_> {
+    fn encode_json(&self) -> Value {
+        Value::obj([
+            ("record", self.record.to_json()),
+            (
+                "akg_deltas",
+                Value::arr(self.akg_deltas.iter().map(|d| d.to_json())),
+            ),
+            ("akg_stats", self.akg_stats.to_json()),
+            (
+                "events",
+                Value::arr(self.events.iter().map(|e| e.to_json())),
+            ),
+        ])
+    }
+    fn encode_bin(&self, w: &mut BinWriter) {
+        self.record.to_bin(w);
+        w.usize(self.akg_deltas.len());
+        for d in self.akg_deltas {
+            d.to_bin(w);
+        }
+        self.akg_stats.to_bin(w);
+        w.usize(self.events.len());
+        for e in self.events {
+            e.to_bin(w);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint documents
 // ---------------------------------------------------------------------------
@@ -303,19 +350,38 @@ pub(crate) fn decode_checkpoint_document(bytes: &[u8]) -> Result<EventDetector, 
 // Journal
 // ---------------------------------------------------------------------------
 
+/// Where a [`CheckpointJournal`]'s frames go.
+#[derive(Debug)]
+enum JournalBackend {
+    /// The PR-5 in-memory byte log (tests, ablations, callers that ship
+    /// the bytes to their own storage).
+    Memory(JournalWriter<Vec<u8>>),
+    /// The durable on-disk backend: rotating, compacting segment files.
+    Durable(SegmentedJournal),
+}
+
 /// An append-only checkpoint journal: snapshot frames as rebase points,
 /// [`DeltaRecord`] frames between them.
 ///
 /// Owned by a [`DetectorSession`](crate::session::DetectorSession) once
 /// [`enable_journal`](crate::session::DetectorSession::enable_journal)
-/// is called; one frame is appended per processed quantum.  The byte log
-/// ([`Self::as_bytes`]) is the durable form — append-friendly, so a
-/// deployment can stream it straight to disk or a replicated log.
-#[derive(Debug)]
+/// (in-memory byte log, [`Self::memory_bytes`]) or
+/// [`enable_durable_journal`](crate::session::DetectorSession::enable_durable_journal)
+/// (file-backed write-ahead log) is called; one frame is appended per
+/// processed quantum.
+///
+/// Durable appends can fail.  Because they run inside the infallible
+/// per-quantum hot path, the first I/O error is latched
+/// ([`Self::io_error`]) and the journal stops appending — the detector
+/// keeps running, and the caller checks/clears the condition at its own
+/// cadence (e.g. once per quantum batch) via
+/// [`DetectorSession::journal_io_error`](crate::session::DetectorSession::journal_io_error).
 pub struct CheckpointJournal {
     mode: CheckpointMode,
     format: WireFormat,
-    bytes: Vec<u8>,
+    backend: JournalBackend,
+    /// First append/sync failure, latched; all later appends are skipped.
+    io_error: Option<io::Error>,
     deltas_since_snapshot: u32,
     snapshot_frames: usize,
     delta_frames: usize,
@@ -323,34 +389,72 @@ pub struct CheckpointJournal {
     last_snapshot_bytes: usize,
 }
 
+impl std::fmt::Debug for CheckpointJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointJournal")
+            .field("mode", &self.mode)
+            .field("format", &self.format)
+            .field("durable", &self.is_durable())
+            .field("io_error", &self.io_error)
+            .field("snapshot_frames", &self.snapshot_frames)
+            .field("delta_frames", &self.delta_frames)
+            .finish()
+    }
+}
+
 impl CheckpointJournal {
-    /// Creates an empty journal with an explicit wire format (JSON keeps
-    /// the journal greppable for debugging at a size cost).  Only
-    /// [`DetectorSession::enable_journal`] constructs journals — it
+    /// Creates an empty in-memory journal with an explicit wire format
+    /// (JSON keeps the journal greppable for debugging at a size cost).
+    /// Only [`DetectorSession::enable_journal`] constructs journals — it
     /// immediately writes the initial rebase snapshot, without which a
     /// journal cannot be restored.
     ///
     /// [`DetectorSession::enable_journal`]: crate::session::DetectorSession::enable_journal
     pub(crate) fn with_format(mode: CheckpointMode, format: WireFormat) -> Self {
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&JOURNAL_MAGIC);
-        let mut header = BinWriter::new();
-        header.u64(CONTAINER_VERSION);
-        header.byte(match format {
-            WireFormat::Json => 0,
-            WireFormat::Binary => 1,
-        });
-        bytes.extend_from_slice(header.as_slice());
+        let writer = JournalWriter::new(Vec::new(), format, FsyncPolicy::Never)
+            .expect("writing to a Vec cannot fail");
         Self {
             mode,
             format,
-            bytes,
+            backend: JournalBackend::Memory(writer),
+            io_error: None,
             deltas_since_snapshot: 0,
             snapshot_frames: 0,
             delta_frames: 0,
             delta_payload_bytes: 0,
             last_snapshot_bytes: 0,
         }
+    }
+
+    /// Opens a durable journal under `dir` and writes (and always
+    /// fsyncs) the initial rebase snapshot of `detector`, then compacts
+    /// any segments left behind by previous journal incarnations in the
+    /// same directory — startup compaction is safe precisely because the
+    /// fresh snapshot is already durable.
+    pub(crate) fn open_durable(
+        dir: &Path,
+        config: DurableJournalConfig,
+        detector: &EventDetector,
+    ) -> io::Result<Self> {
+        let segments =
+            SegmentedJournal::create(dir, config.format, config.fsync, config.segment_bytes)?;
+        let mut journal = Self {
+            mode: config.mode,
+            format: config.format,
+            backend: JournalBackend::Durable(segments),
+            io_error: None,
+            deltas_since_snapshot: 0,
+            snapshot_frames: 0,
+            delta_frames: 0,
+            delta_payload_bytes: 0,
+            last_snapshot_bytes: 0,
+        };
+        journal.append_snapshot_inner(detector)?;
+        journal.sync()?;
+        if let JournalBackend::Durable(segments) = &mut journal.backend {
+            segments.compact()?;
+        }
+        Ok(journal)
     }
 
     /// The journal's checkpoint mode.
@@ -363,19 +467,70 @@ impl CheckpointJournal {
         self.format
     }
 
-    /// The durable byte log (header plus every frame appended so far).
-    pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+    /// The in-memory byte log — header plus every frame appended so far
+    /// (`None` for a durable journal, whose bytes live in the segment
+    /// files under [`Self::directory`]).
+    pub fn memory_bytes(&self) -> Option<&[u8]> {
+        match &self.backend {
+            JournalBackend::Memory(writer) => Some(writer.sink()),
+            JournalBackend::Durable(_) => None,
+        }
     }
 
-    /// Consumes the journal, returning the byte log.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+    /// Whether this journal writes to segment files rather than memory.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.backend, JournalBackend::Durable(_))
     }
 
-    /// Total journal size in bytes.
+    /// The durable journal's directory (`None` for in-memory journals).
+    pub fn directory(&self) -> Option<&Path> {
+        match &self.backend {
+            JournalBackend::Memory(_) => None,
+            JournalBackend::Durable(segments) => Some(segments.dir()),
+        }
+    }
+
+    /// The journal's fsync policy (in-memory journals report
+    /// [`FsyncPolicy::Never`]; there is nothing to sync).
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        match &self.backend {
+            JournalBackend::Memory(_) => FsyncPolicy::Never,
+            JournalBackend::Durable(segments) => segments.fsync(),
+        }
+    }
+
+    /// The first append/sync I/O failure, if any.  Once set, the journal
+    /// has stopped appending (the detector keeps running); restore from
+    /// the frames that did reach the log recovers the quantum before the
+    /// failure.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.io_error.as_ref()
+    }
+
+    /// Forces all appended frames to stable storage now, regardless of
+    /// [`FsyncPolicy`] (a no-op for in-memory journals).  Returns the
+    /// latched error if the journal already failed.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(e) = &self.io_error {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        let result = match &mut self.backend {
+            JournalBackend::Memory(_) => Ok(()),
+            JournalBackend::Durable(segments) => segments.sync(),
+        };
+        if let Err(e) = &result {
+            self.io_error = Some(io::Error::new(e.kind(), e.to_string()));
+        }
+        result
+    }
+
+    /// Total journal size in bytes (on disk for durable journals, of the
+    /// byte log for in-memory ones).
     pub fn len_bytes(&self) -> usize {
-        self.bytes.len()
+        match &self.backend {
+            JournalBackend::Memory(writer) => writer.sink().len(),
+            JournalBackend::Durable(segments) => segments.total_bytes() as usize,
+        }
     }
 
     /// Snapshot frames written so far.
@@ -403,102 +558,87 @@ impl CheckpointJournal {
         }
     }
 
-    fn push_frame(&mut self, tag: u8, payload: &[u8]) {
-        let mut head = BinWriter::new();
-        head.byte(tag);
-        head.usize(payload.len());
-        self.bytes.extend_from_slice(head.as_slice());
-        self.bytes.extend_from_slice(payload);
+    fn push_frame(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        match &mut self.backend {
+            JournalBackend::Memory(writer) => writer.append_frame(tag, payload),
+            JournalBackend::Durable(segments) => segments.append_frame(tag, payload),
+        }
     }
 
-    /// Appends a full-snapshot rebase frame.
-    pub(crate) fn append_snapshot(&mut self, detector: &EventDetector) {
+    /// Appends a full-snapshot rebase frame.  The statistics counters
+    /// update only when the frame actually reached the log.
+    fn append_snapshot_inner(&mut self, detector: &EventDetector) -> io::Result<()> {
         let payload = encode_checkpoint_document(detector, self.format);
+        self.push_frame(TAG_SNAPSHOT, &payload)?;
         self.last_snapshot_bytes = payload.len();
-        self.push_frame(TAG_SNAPSHOT, &payload);
         self.snapshot_frames += 1;
         self.deltas_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Infallible wrapper over [`Self::append_snapshot_inner`] for the
+    /// in-memory enable path; latches I/O failures like
+    /// [`Self::record_quantum`].
+    pub(crate) fn append_snapshot(&mut self, detector: &EventDetector) {
+        if self.io_error.is_some() {
+            return;
+        }
+        if let Err(e) = self.append_snapshot_inner(detector) {
+            self.io_error = Some(e);
+        }
     }
 
     /// Appends one processed quantum: a delta record, or a snapshot when
     /// the mode's rebase cadence (or [`CheckpointMode::Full`]) says so.
+    ///
+    /// Runs inside the infallible per-quantum pipeline, so an I/O failure
+    /// is latched ([`Self::io_error`]) rather than returned; the journal
+    /// stops appending from that point on.
     pub(crate) fn record_quantum(&mut self, detector: &EventDetector, summary: &QuantumSummary) {
+        if self.io_error.is_some() {
+            return;
+        }
+        if let Err(e) = self.record_quantum_inner(detector, summary) {
+            self.io_error = Some(e);
+        }
+    }
+
+    fn record_quantum_inner(
+        &mut self,
+        detector: &EventDetector,
+        summary: &QuantumSummary,
+    ) -> io::Result<()> {
         let rebase = match self.mode {
             CheckpointMode::Full => true,
             CheckpointMode::Delta { every } => self.deltas_since_snapshot >= every.max(1),
         };
         if rebase {
-            self.append_snapshot(detector);
+            self.append_snapshot_inner(detector)?;
+            // A rebase makes every earlier segment dead weight — but only
+            // once the snapshot is durable.  Under `Never` nothing is
+            // synced, so compaction waits for the next explicit sync or
+            // the next startup.
+            if let JournalBackend::Durable(segments) = &mut self.backend {
+                if segments.fsync() != FsyncPolicy::Never {
+                    segments.sync()?;
+                    segments.compact()?;
+                }
+            }
         } else {
-            let record = detector.make_delta_record(summary);
-            let payload = record.encode(self.format);
+            let payload = detector.encode_delta_record(summary, self.format);
+            self.push_frame(TAG_DELTA, &payload)?;
             self.delta_payload_bytes += payload.len() as u64;
-            self.push_frame(TAG_DELTA, &payload);
             self.delta_frames += 1;
             self.deltas_since_snapshot += 1;
         }
+        Ok(())
     }
 }
 
 /// Restores a detector from a journal byte log: decode the latest
-/// snapshot frame, then replay every delta frame after it.
+/// snapshot frame, then replay every delta frame after it.  A torn tail
+/// recovers to the last durable quantum instead of failing (see
+/// [`crate::wal`]).
 pub(crate) fn restore_journal_detector(bytes: &[u8]) -> Result<EventDetector, RestoreError> {
-    let mut r = BinReader::new(bytes);
-    let magic = r.take(4)?;
-    if magic != JOURNAL_MAGIC {
-        return Err(JsonError {
-            message: "not a dengraph checkpoint journal (bad magic)".into(),
-            offset: 0,
-        }
-        .into());
-    }
-    let version = r.u64()?;
-    if version != CONTAINER_VERSION {
-        return Err(JsonError {
-            message: format!("unsupported journal version {version}"),
-            offset: r.pos(),
-        }
-        .into());
-    }
-    let format = match r.byte()? {
-        0 => WireFormat::Json,
-        1 => WireFormat::Binary,
-        other => {
-            return Err(JsonError {
-                message: format!("unknown journal format byte {other}"),
-                offset: r.pos(),
-            }
-            .into())
-        }
-    };
-    let mut last_snapshot: Option<&[u8]> = None;
-    let mut tail: Vec<&[u8]> = Vec::new();
-    while !r.is_at_end() {
-        let tag = r.byte()?;
-        let payload = r.bytes()?;
-        match tag {
-            TAG_SNAPSHOT => {
-                last_snapshot = Some(payload);
-                tail.clear();
-            }
-            TAG_DELTA => tail.push(payload),
-            other => {
-                return Err(JsonError {
-                    message: format!("unknown journal frame tag {other}"),
-                    offset: r.pos(),
-                }
-                .into())
-            }
-        }
-    }
-    let snapshot = last_snapshot.ok_or_else(|| JsonError {
-        message: "journal contains no snapshot frame to restore from".into(),
-        offset: 0,
-    })?;
-    let mut detector = decode_checkpoint_document(snapshot)?;
-    for payload in tail {
-        let record = DeltaRecord::decode(payload, format)?;
-        detector.apply_delta_record(&record)?;
-    }
-    Ok(detector)
+    wal::restore_detector_from_bytes(bytes).map(|(detector, _report)| detector)
 }

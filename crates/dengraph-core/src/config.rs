@@ -30,6 +30,9 @@ pub enum ConfigError {
     /// `Parallelism::Threads(0)` — the worker pool would hang forever
     /// waiting for a thread that does not exist.
     ZeroThreads,
+    /// The builder's durable journal could not be opened (the message
+    /// carries the journal directory and the underlying I/O error).
+    Journal(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -48,6 +51,7 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "rank_threshold_factor must be non-negative, got {v}")
             }
             ConfigError::ZeroThreads => write!(f, "parallelism thread count must be at least 1"),
+            ConfigError::Journal(detail) => write!(f, "cannot open durable journal: {detail}"),
         }
     }
 }

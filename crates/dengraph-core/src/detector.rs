@@ -643,26 +643,28 @@ impl EventDetector {
         })
     }
 
-    /// Captures the state transition of the quantum that just completed
-    /// (`summary` must be its summary) as a journal delta record: the
-    /// window record, the AKG delta log still sitting in the scratch
+    /// Encodes the state transition of the quantum that just completed
+    /// (`summary` must be its summary) as a journal delta-record payload:
+    /// the window record, the AKG delta log still sitting in the scratch
     /// arena, the quantum's AKG statistics and the reported events.
-    pub(crate) fn make_delta_record(
+    /// Encodes straight from the borrowed state — this runs once per
+    /// quantum on the journaled hot path, so it must not clone the
+    /// delta log or the window record first.
+    pub(crate) fn encode_delta_record(
         &self,
         summary: &QuantumSummary,
-    ) -> crate::checkpoint::DeltaRecord {
-        let record = self
-            .window
-            .current()
-            .expect("a quantum was just processed")
-            .clone();
+        format: dengraph_json::WireFormat,
+    ) -> Vec<u8> {
+        use dengraph_json::Encode as _;
+        let record = self.window.current().expect("a quantum was just processed");
         debug_assert_eq!(record.index, summary.quantum, "summary is stale");
-        crate::checkpoint::DeltaRecord {
+        crate::checkpoint::DeltaRecordView {
             record,
-            akg_deltas: self.scratch.deltas.clone(),
+            akg_deltas: &self.scratch.deltas,
             akg_stats: self.akg.last_stats(),
-            events: summary.events.clone(),
+            events: &summary.events,
         }
+        .encode(format)
     }
 
     /// Redoes one quantum from a journal delta record — the replay half
@@ -859,6 +861,41 @@ mod tests {
                 }
             }
             out
+        }
+    }
+
+    #[test]
+    fn delta_record_view_encodes_identically() {
+        use dengraph_json::{Encode as _, WireFormat};
+        let config = cfg();
+        let mut det = detector(config.clone());
+        let mut summaries = det.push_message_all(event_quantum(&config, 6, 100, &[1, 2, 3], 0));
+        summaries.extend(det.push_message_all(event_quantum(
+            &config,
+            6,
+            200,
+            &[1, 2, 3, 4],
+            1_000,
+        )));
+        let summary = summaries.last().expect("two quanta processed");
+        assert!(!summary.events.is_empty(), "fixture must exercise events");
+        // The owned record the hot path used to build and encode.
+        let owned = crate::checkpoint::DeltaRecord {
+            record: det
+                .window
+                .current()
+                .expect("a quantum was just processed")
+                .clone(),
+            akg_deltas: det.scratch.deltas.clone(),
+            akg_stats: det.akg.last_stats(),
+            events: summary.events.clone(),
+        };
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            assert_eq!(
+                det.encode_delta_record(summary, format),
+                owned.encode(format),
+                "borrowed view must encode byte-identically ({format})"
+            );
         }
     }
 

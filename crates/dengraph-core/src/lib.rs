@@ -21,6 +21,7 @@
 //! | [`detector`] | all | the end-to-end streaming [`EventDetector`] |
 //! | [`session`] | service surface | [`DetectorBuilder`], push-based [`EventSink`]s, [`Checkpoint`]/restore |
 //! | [`checkpoint`] | durability | [`CheckpointMode`], per-quantum [`DeltaRecord`]s, the [`CheckpointJournal`] |
+//! | [`wal`] | durability | segmented on-disk write-ahead log: [`FsyncPolicy`], rotation, compaction, torn-write recovery |
 //! | [`baseline`] | §7.3 | offline biconnected-component clustering and global SCP recomputation |
 //! | [`evaluation`] | §7 | ground-truth matching, precision/recall, quality, comparisons, throughput |
 //!
@@ -68,6 +69,7 @@ pub mod keyword_state;
 pub mod ranking;
 pub(crate) mod scratch;
 pub mod session;
+pub mod wal;
 
 pub use akg::{AkgMaintainer, GraphDelta};
 pub use checkpoint::{CheckpointJournal, CheckpointMode, DeltaRecord};
@@ -81,4 +83,8 @@ pub use ranking::cluster_rank;
 pub use session::{
     Checkpoint, DetectorBuilder, DetectorSession, EventSink, FnSink, JsonLinesSink,
     QuantumNotifications, RestoreError, VecSink,
+};
+pub use wal::{
+    DurableJournalConfig, FsyncPolicy, JournalFrameEvent, JournalReader, JournalSink,
+    JournalWriter, RecoveryReport, TornWrite, TornWriteReason,
 };

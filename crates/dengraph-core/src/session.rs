@@ -51,7 +51,8 @@
 //! assert_eq!(resumed.quanta_processed(), session.quanta_processed());
 //! ```
 
-use std::io::{BufWriter, Write};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use dengraph_json::{JsonError, WireFormat};
@@ -62,6 +63,7 @@ use crate::checkpoint::{self, CheckpointJournal, CheckpointMode};
 use crate::config::{ConfigError, DetectorConfig, Parallelism, WindowIndexMode};
 use crate::detector::{EventDetector, QuantumSummary};
 use crate::event::EventRecord;
+use crate::wal::{self, DurableJournalConfig, RecoveryReport};
 
 // ---------------------------------------------------------------------------
 // Builder
@@ -77,6 +79,20 @@ use crate::event::EventRecord;
 pub struct DetectorBuilder {
     config: DetectorConfig,
     interner: Option<KeywordInterner>,
+    journal: Option<JournalSpec>,
+}
+
+/// What kind of checkpoint journal [`DetectorBuilder::build`] enables.
+#[derive(Debug, Clone)]
+enum JournalSpec {
+    Memory {
+        mode: CheckpointMode,
+        format: WireFormat,
+    },
+    Durable {
+        dir: PathBuf,
+        config: DurableJournalConfig,
+    },
 }
 
 impl DetectorBuilder {
@@ -91,6 +107,7 @@ impl DetectorBuilder {
         Self {
             config,
             interner: None,
+            journal: None,
         }
     }
 
@@ -167,6 +184,34 @@ impl DetectorBuilder {
         self
     }
 
+    /// Enables an in-memory checkpoint journal (binary wire format) on
+    /// the built session — the builder form of
+    /// [`DetectorSession::enable_journal`].
+    pub fn journal(mut self, mode: CheckpointMode) -> Self {
+        self.journal = Some(JournalSpec::Memory {
+            mode,
+            format: WireFormat::Binary,
+        });
+        self
+    }
+
+    /// Enables a durable, file-backed write-ahead journal under `dir` on
+    /// the built session — the builder form of
+    /// [`DetectorSession::enable_durable_journal`].  An I/O failure while
+    /// opening the journal surfaces from [`Self::build`] as
+    /// [`ConfigError::Journal`].
+    pub fn durable_journal(
+        mut self,
+        dir: impl Into<PathBuf>,
+        config: DurableJournalConfig,
+    ) -> Self {
+        self.journal = Some(JournalSpec::Durable {
+            dir: dir.into(),
+            config,
+        });
+        self
+    }
+
     /// The configuration assembled so far.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
@@ -183,11 +228,23 @@ impl DetectorBuilder {
         if let Some(interner) = self.interner {
             detector = detector.with_interner(interner);
         }
-        Ok(DetectorSession {
+        let mut session = DetectorSession {
             detector,
             sinks: Vec::new(),
             journal: None,
-        })
+        };
+        match self.journal {
+            None => {}
+            Some(JournalSpec::Memory { mode, format }) => {
+                session.enable_journal_with_format(mode, format);
+            }
+            Some(JournalSpec::Durable { dir, config }) => {
+                session
+                    .enable_durable_journal(&dir, config)
+                    .map_err(|e| ConfigError::Journal(format!("{}: {e}", dir.display())))?;
+            }
+        }
+        Ok(session)
     }
 }
 
@@ -332,43 +389,104 @@ impl EventSink for VecSink {
 /// Writes are buffered behind a [`BufWriter`] and flushed **once per
 /// quantum batch** (and on drop), so a file- or socket-backed sink costs
 /// one syscall per quantum instead of one per notification.
+///
+/// A sink must never abort the detector, so delivery failures do not
+/// propagate out of the notification callbacks; instead the **first**
+/// write/flush error is latched.  Callers that care about delivery call
+/// [`Self::close`] when done — it surfaces the latched error (or the
+/// final flush's) as a real `Err`.  A sink dropped with an unreported
+/// error logs it to stderr rather than swallowing it.
 #[derive(Debug)]
 pub struct JsonLinesSink<W: Write> {
-    writer: BufWriter<W>,
+    /// `None` only after `close`/`into_inner` moved the writer out.
+    writer: Option<BufWriter<W>>,
+    error: Option<io::Error>,
 }
 
 impl<W: Write> JsonLinesSink<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
         Self {
-            writer: BufWriter::new(writer),
+            writer: Some(BufWriter::new(writer)),
+            error: None,
         }
     }
 
     /// Flushes buffered lines to the underlying writer.  Called
     /// automatically at every quantum-batch boundary and on drop;
     /// exposed for subscribers that need an explicit sync point.
+    /// Failures are latched (see [`Self::last_error`]), not returned —
+    /// a sink must never abort the detector mid-quantum.
     pub fn flush(&mut self) {
-        // A sink must never abort the detector; delivery failures are the
-        // subscriber's problem (mirror of ignoring a broken pipe).
-        let _ = self.writer.flush();
+        if let Some(writer) = &mut self.writer {
+            if let Err(e) = writer.flush() {
+                self.latch(e);
+            }
+        }
     }
 
-    /// Unwraps the inner writer, flushing buffered lines first.
+    /// The first write or flush failure since the sink was created, if
+    /// any.  Once set, it stays set (later lines may have been lost).
+    pub fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and unwraps the inner writer, surfacing the latched error
+    /// (or the final flush's) instead of discarding it — the "did every
+    /// line reach the destination?" exit path.
+    pub fn close(mut self) -> io::Result<W> {
+        let mut writer = self.writer.take().expect("writer present until close");
+        let flushed = writer.flush();
+        let inner = writer.into_parts().0;
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        flushed?;
+        Ok(inner)
+    }
+
+    /// Unwraps the inner writer, flushing buffered lines first.  Any
+    /// latched delivery error is debug-logged on drop; use
+    /// [`Self::close`] to receive it instead.
     pub fn into_inner(mut self) -> W {
         self.flush();
-        self.writer.into_parts().0
+        let writer = self.writer.take().expect("writer present until into_inner");
+        // Drop still runs on `self` and reports `self.error` if set.
+        writer.into_parts().0
+    }
+
+    fn latch(&mut self, e: io::Error) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
     }
 
     fn write_line(&mut self, kind: &str, body: dengraph_json::Value) {
         use dengraph_json::Value;
+        let Some(writer) = &mut self.writer else {
+            return;
+        };
         let mut line = match body {
             Value::Obj(map) => map,
             other => [("value".to_string(), other)].into_iter().collect(),
         };
         line.insert("type".to_string(), Value::str(kind));
         let text = dengraph_json::to_string(&Value::Obj(line));
-        let _ = writeln!(self.writer, "{text}");
+        if let Err(e) = writeln!(writer, "{text}") {
+            self.latch(e);
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        self.flush();
+        // Dropping is the lossy exit: an error nobody collected via
+        // `close()`/`last_error()` would vanish silently, so make it at
+        // least visible.
+        if let Some(e) = &self.error {
+            eprintln!("dengraph: JsonLinesSink dropped with undelivered output: {e}");
+        }
     }
 }
 
@@ -475,6 +593,12 @@ pub enum RestoreError {
     Json(JsonError),
     /// The checkpoint's embedded configuration is degenerate.
     Config(ConfigError),
+    /// The journal directory could not be read (the message carries the
+    /// path and the underlying I/O error).  Note a *torn* journal tail is
+    /// not an error — recovery rolls back to the last durable quantum —
+    /// but an unreadable directory or a journal with no complete
+    /// snapshot is.
+    Io(String),
 }
 
 impl std::fmt::Display for RestoreError {
@@ -482,6 +606,7 @@ impl std::fmt::Display for RestoreError {
         match self {
             RestoreError::Json(e) => write!(f, "malformed checkpoint: {e}"),
             RestoreError::Config(e) => write!(f, "invalid configuration in checkpoint: {e}"),
+            RestoreError::Io(detail) => write!(f, "cannot read journal: {detail}"),
         }
     }
 }
@@ -751,11 +876,57 @@ impl DetectorSession {
         self
     }
 
-    /// The active checkpoint journal, if [`Self::enable_journal`] was
-    /// called.  Its [`as_bytes`](CheckpointJournal::as_bytes) is the
-    /// durable, append-friendly byte log.
+    /// Enables the durable, file-backed write-ahead journal: every
+    /// processed quantum appends one checksummed frame to rotating
+    /// segment files under `dir`, fsynced per
+    /// [`config.fsync`](crate::wal::FsyncPolicy), so a crash loses at
+    /// most the configured durability window and
+    /// [`Self::restore_from_dir`] recovers the rest.
+    ///
+    /// Opening writes (and always fsyncs) an initial snapshot of the
+    /// *current* state, then compacts segments left behind by earlier
+    /// journal incarnations in the same directory.  Re-enabling replaces
+    /// the previous journal.  Errors *after* this point do not surface
+    /// from `push_message` — the first one is latched
+    /// ([`Self::journal_io_error`]) and journaling stops while the
+    /// detector keeps running.
+    pub fn enable_durable_journal(
+        &mut self,
+        dir: impl AsRef<Path>,
+        config: DurableJournalConfig,
+    ) -> io::Result<&mut Self> {
+        let journal = CheckpointJournal::open_durable(dir.as_ref(), config, &self.detector)?;
+        self.journal = Some(journal);
+        Ok(self)
+    }
+
+    /// The active checkpoint journal, if [`Self::enable_journal`] or
+    /// [`Self::enable_durable_journal`] was called.  For an in-memory
+    /// journal, [`memory_bytes`](CheckpointJournal::memory_bytes) is the
+    /// durable, append-friendly byte log; a durable journal's bytes live
+    /// in its segment files instead.
     pub fn journal(&self) -> Option<&CheckpointJournal> {
         self.journal.as_ref()
+    }
+
+    /// The journal's latched I/O error, if journaling has failed (always
+    /// `None` for in-memory journals and sessions without a journal).
+    /// After a failure the journal no longer appends; the detector keeps
+    /// running.
+    pub fn journal_io_error(&self) -> Option<&io::Error> {
+        self.journal.as_ref().and_then(|j| j.io_error())
+    }
+
+    /// Forces all journaled frames to stable storage now, regardless of
+    /// the configured [`FsyncPolicy`](crate::wal::FsyncPolicy) — the
+    /// explicit sync point for `FsyncPolicy::Never`/`EveryN`
+    /// deployments.  A no-op without a journal; returns the latched
+    /// error if journaling already failed.
+    pub fn sync_journal(&mut self) -> io::Result<()> {
+        match &mut self.journal {
+            Some(journal) => journal.sync(),
+            None => Ok(()),
+        }
     }
 
     /// Detaches and returns the active journal, disabling journaling.
@@ -779,6 +950,42 @@ impl DetectorSession {
             sinks: Vec::new(),
             journal: None,
         })
+    }
+
+    /// Recovers a session from a durable journal directory written by
+    /// [`Self::enable_durable_journal`]: scans the segment files in
+    /// order, restores the latest snapshot and replays the delta tail.
+    ///
+    /// This is the crash-recovery entry point, so a **torn tail** —
+    /// truncated or checksum-corrupt final frames from a crash
+    /// mid-append — is *not* an error: recovery stops at the tear and
+    /// the session resumes from the last fully-durable quantum (resume
+    /// the stream from `total_messages() + buffered_messages()`, exactly
+    /// like [`Self::restore_from_journal`]).  Errors are reserved for a
+    /// directory that is unreadable, is not a journal, or holds no
+    /// complete snapshot.  Journaling is **not** re-enabled on the
+    /// recovered session; call [`Self::enable_durable_journal`] again
+    /// (same directory is fine — recovery and startup compaction ignore
+    /// the torn tail and the fresh snapshot supersedes it).
+    pub fn restore_from_dir(dir: impl AsRef<Path>) -> Result<Self, RestoreError> {
+        Self::restore_from_dir_with_report(dir).map(|(session, _report)| session)
+    }
+
+    /// [`Self::restore_from_dir`] plus the [`RecoveryReport`] describing
+    /// what was scanned, how many deltas were replayed, and where (if
+    /// anywhere) the journal was torn.
+    pub fn restore_from_dir_with_report(
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), RestoreError> {
+        let (detector, report) = wal::restore_detector_from_dir(dir.as_ref())?;
+        Ok((
+            Self {
+                detector,
+                sinks: Vec::new(),
+                journal: None,
+            },
+            report,
+        ))
     }
 }
 
@@ -983,6 +1190,43 @@ mod tests {
         let slide = dengraph_json::parse(lines[1]).unwrap();
         assert_eq!(slide.get("type").unwrap().as_str().unwrap(), "slide");
         assert_eq!(slide.get("evicted_quantum").unwrap().as_u64().unwrap(), 7);
+    }
+
+    #[test]
+    fn json_lines_sink_close_surfaces_latched_write_errors() {
+        /// Accepts `good` bytes, then fails every later write.
+        #[derive(Debug)]
+        struct FailingWriter {
+            good: usize,
+        }
+        impl io::Write for FailingWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.good == 0 {
+                    return Err(io::Error::other("disk full"));
+                }
+                let n = buf.len().min(self.good);
+                self.good -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        // Clean path: close() hands the writer back.
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.on_slide(3, 4);
+        let bytes = sink.close().expect("clean close succeeds");
+        assert!(!bytes.is_empty());
+
+        // Failure path: the error latched mid-run comes out of close()
+        // instead of being dropped on the floor.
+        let mut sink = JsonLinesSink::new(FailingWriter { good: 4 });
+        sink.on_slide(3, 4);
+        sink.flush();
+        assert!(sink.last_error().is_some(), "flush latches the write error");
+        let err = sink.close().expect_err("close surfaces the latched error");
+        assert_eq!(err.to_string(), "disk full");
     }
 
     #[test]

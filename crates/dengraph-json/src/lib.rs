@@ -19,10 +19,12 @@
 
 pub mod binary;
 pub mod codec;
+pub mod frame;
 pub mod lz;
 
 pub use binary::{BinReader, BinWriter};
 pub use codec::{Decode, Encode, WireFormat};
+pub use frame::{FrameEvent, FrameScanner, TornReason, FRAME_HEADER_LEN};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

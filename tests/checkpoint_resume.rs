@@ -243,7 +243,8 @@ fn run_with_interruption(
             let bytes = first
                 .journal()
                 .expect("journal enabled")
-                .as_bytes()
+                .memory_bytes()
+                .expect("in-memory journal")
                 .to_vec();
             drop(first);
             let second = DetectorSession::restore_from_journal(&bytes).expect("journal restores");
@@ -363,7 +364,7 @@ fn journal_enabled_mid_quantum_restores_without_double_processing() {
     }
     // Journaling starts here — mid-quantum, buffer half full.
     first.enable_journal(CheckpointMode::Delta { every: 4 });
-    let bytes = first.journal().unwrap().as_bytes().to_vec();
+    let bytes = first.journal().unwrap().memory_bytes().unwrap().to_vec();
     drop(first);
 
     let mut second = DetectorSession::restore_from_journal(&bytes).expect("journal restores");

@@ -363,21 +363,29 @@ fn binary_decoders_bound_corrupt_sizes_and_ids() {
     assert!(KeywordStateMachine::decode_json(&huge).is_err());
 }
 
+/// Journal restore must *recover* from damage the CRC framing can
+/// detect (torn tails roll back to the last durable quantum) while
+/// still rejecting bytes that are not a journal at all.
 #[test]
-fn journal_restore_rejects_corrupted_documents() {
+fn journal_restore_recovers_torn_tails_and_rejects_non_journals() {
     let trace = StreamGenerator::new(tw_profile(72, ProfileScale::Small)).generate();
     let mut session = DetectorBuilder::from_config(DetectorConfig::nominal().with_window_quanta(8))
         .build()
         .expect("valid config");
     session.enable_journal(CheckpointMode::Delta { every: 4 });
     session.run(&trace.messages);
+    let quanta = session.quanta_processed();
     let bytes = session
         .journal()
         .expect("journal enabled")
-        .as_bytes()
+        .memory_bytes()
+        .expect("in-memory journal")
         .to_vec();
-    assert!(DetectorSession::restore_from_journal(&bytes).is_ok());
+    let full = DetectorSession::restore_from_journal(&bytes).expect("clean journal restores");
+    assert_eq!(full.quanta_processed(), quanta);
 
+    // The segment header is load-bearing: bytes without it are not a
+    // journal, torn or otherwise.
     for i in 0..4 {
         let mut bad = bytes.clone();
         bad[i] ^= 0xFF;
@@ -388,15 +396,20 @@ fn journal_restore_rejects_corrupted_documents() {
     }
     // Header-only journal: no snapshot frame to restore from.
     assert!(DetectorSession::restore_from_journal(&bytes[..6]).is_err());
-    // A cut one byte short of the end lands mid-frame: rejected.
-    assert!(DetectorSession::restore_from_journal(&bytes[..bytes.len() - 1]).is_err());
-    // Arbitrary truncations must never panic.  A cut landing exactly on a
-    // frame boundary is a valid (shorter) journal, so only cleanliness —
-    // not failure — is asserted here.
+    // A cut one byte short of the end tears the final frame: recovery
+    // rolls back exactly one quantum instead of failing.
+    let torn = DetectorSession::restore_from_journal(&bytes[..bytes.len() - 1])
+        .expect("torn tail recovers");
+    assert_eq!(torn.quanta_processed(), quanta - 1);
+    // Arbitrary truncations never panic and never restore *ahead* of the
+    // cut; they fail only while the initial snapshot frame is incomplete.
     for cut in (7..bytes.len()).step_by(991) {
-        let _ = DetectorSession::restore_from_journal(&bytes[..cut]);
+        if let Ok(recovered) = DetectorSession::restore_from_journal(&bytes[..cut]) {
+            assert!(recovered.quanta_processed() <= quanta, "cut at {cut}");
+        }
     }
-    // Unknown frame tag.
+    // Corrupting the first frame's tag byte breaks its checksum, so the
+    // journal has no valid snapshot frame left: rejected.
     let mut bad = bytes.clone();
     let tag_offset = 6; // magic(4) + version(1) + format(1)
     bad[tag_offset] = 9;
