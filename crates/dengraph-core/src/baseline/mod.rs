@@ -11,6 +11,8 @@
 //!   the benefit of incremental maintenance, and doubles as the correctness
 //!   oracle for property P3.
 
+// Module docs live as `//!` inner docs in each module's own file (outer
+// `///` docs here would re-scope their intra-doc links into this file).
 pub mod offline_bc;
 pub mod offline_scp;
 

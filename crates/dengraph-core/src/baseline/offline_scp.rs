@@ -24,7 +24,9 @@ pub fn offline_scp_clusters(graph: &DynamicGraph) -> Vec<Cluster> {
         .into_iter()
         .enumerate()
         .map(|(i, c)| {
+            // lint: allow(L001, set-to-set conversions; membership is order-independent)
             let nodes: FxHashSet<_> = c.nodes.iter().copied().collect();
+            // lint: allow(L001, set-to-set conversions; membership is order-independent)
             let edges: FxHashSet<_> = c.edges.iter().copied().collect();
             Cluster::new(ClusterId(i as u64), nodes, edges, 0)
         })

@@ -558,6 +558,79 @@ impl CheckpointJournal {
         }
     }
 
+    /// Deep-checks the journal by re-reading every byte it has written:
+    /// segment headers parse and agree on the wire format, segment
+    /// sequence numbers are contiguous up to the live segment, every
+    /// frame passes its CRC (no torn writes in a journal that never
+    /// crashed), delta payloads decode and carry strictly increasing
+    /// quantum numbers, and at least one snapshot rebase point exists so
+    /// the journal is restorable.  O(journal size) — a validation aid
+    /// (the `invariants` feature wires it into quantum boundaries), not
+    /// a hot-path check.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        if let Some(e) = &self.io_error {
+            return Err(format!("journal latched an I/O error: {e}"));
+        }
+        let mut last_quantum: Option<u64> = None;
+        let (snapshots, deltas) = match &self.backend {
+            JournalBackend::Memory(writer) => {
+                let counts =
+                    validate_segment_frames(writer.sink(), self.format, &mut last_quantum, "log")?;
+                // The in-memory log is never compacted, so the frame
+                // counters must match the bytes exactly.
+                if counts != (self.snapshot_frames, self.delta_frames) {
+                    return Err(format!(
+                        "byte log holds {counts:?} (snapshot, delta) frames but the counters say ({}, {})",
+                        self.snapshot_frames, self.delta_frames
+                    ));
+                }
+                counts
+            }
+            JournalBackend::Durable(segments) => {
+                let listed = wal::list_segments(segments.dir())
+                    .map_err(|e| format!("cannot list journal segments: {e}"))?;
+                if listed.last().map(|&(seq, _)| seq) != Some(segments.current_seq()) {
+                    return Err(format!(
+                        "live segment {} is not the newest on disk ({:?})",
+                        segments.current_seq(),
+                        listed.last().map(|&(seq, _)| seq)
+                    ));
+                }
+                let mut totals = (0usize, 0usize);
+                let mut prev_seq: Option<u64> = None;
+                // lint: allow(L001, Vec iteration in sequence order — listed is sorted)
+                for (seq, path) in &listed {
+                    if prev_seq.is_some_and(|p| *seq != p + 1) {
+                        return Err(format!("segment sequence gap: {seq} follows {prev_seq:?}"));
+                    }
+                    prev_seq = Some(*seq);
+                    let bytes = std::fs::read(path)
+                        .map_err(|e| format!("cannot read segment {seq}: {e}"))?;
+                    let label = format!("segment {seq}");
+                    let counts =
+                        validate_segment_frames(&bytes, self.format, &mut last_quantum, &label)?;
+                    totals.0 += counts.0;
+                    totals.1 += counts.1;
+                }
+                // Compaction drops whole old segments, so the on-disk
+                // counts can only be at or below the lifetime counters.
+                if totals.0 > self.snapshot_frames || totals.1 > self.delta_frames {
+                    return Err(format!(
+                        "disk holds {totals:?} (snapshot, delta) frames but only ({}, {}) were ever written",
+                        self.snapshot_frames, self.delta_frames
+                    ));
+                }
+                totals
+            }
+        };
+        if snapshots == 0 {
+            return Err(format!(
+                "journal holds {deltas} delta frames but no snapshot rebase point"
+            ));
+        }
+        Ok(())
+    }
+
     fn push_frame(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
         match &mut self.backend {
             JournalBackend::Memory(writer) => writer.append_frame(tag, payload),
@@ -632,6 +705,51 @@ impl CheckpointJournal {
             self.deltas_since_snapshot += 1;
         }
         Ok(())
+    }
+}
+
+/// Walks one journal segment's bytes frame by frame for
+/// [`CheckpointJournal::validate_invariants`]: the header must parse and
+/// match the journal's wire format, every frame must pass its CRC, and
+/// delta payloads must decode with strictly increasing quantum numbers
+/// (threaded across segments via `last_quantum`).  Returns the
+/// `(snapshot, delta)` frame counts.
+fn validate_segment_frames(
+    bytes: &[u8],
+    format: WireFormat,
+    last_quantum: &mut Option<u64>,
+    label: &str,
+) -> Result<(usize, usize), String> {
+    let mut reader =
+        wal::JournalReader::new(bytes).map_err(|e| format!("{label}: bad segment header: {e}"))?;
+    if reader.format() != format {
+        return Err(format!(
+            "{label}: segment declares {:?} but the journal writes {:?}",
+            reader.format(),
+            format
+        ));
+    }
+    let (mut snapshots, mut deltas) = (0usize, 0usize);
+    loop {
+        match reader.next_frame() {
+            wal::JournalFrameEvent::Snapshot(_) => snapshots += 1,
+            wal::JournalFrameEvent::Delta(payload) => {
+                let record = DeltaRecord::decode(payload, format)
+                    .map_err(|e| format!("{label}: undecodable delta frame: {e}"))?;
+                if last_quantum.is_some_and(|q| record.quantum() <= q) {
+                    return Err(format!(
+                        "{label}: delta quantum {} does not advance past {last_quantum:?}",
+                        record.quantum()
+                    ));
+                }
+                *last_quantum = Some(record.quantum());
+                deltas += 1;
+            }
+            wal::JournalFrameEvent::End => return Ok((snapshots, deltas)),
+            wal::JournalFrameEvent::Torn { offset, reason } => {
+                return Err(format!("{label}: torn frame at byte {offset}: {reason}"))
+            }
+        }
     }
 }
 

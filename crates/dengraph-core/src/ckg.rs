@@ -71,6 +71,7 @@ impl CkgTracker {
     pub fn node_count(&self) -> usize {
         let mut nodes = FxHashSet::default();
         for q in &self.window {
+            // lint: allow(L001, distinct count via set union; the result is order-independent)
             nodes.extend(q.nodes.iter().copied());
         }
         nodes.len()
@@ -81,6 +82,7 @@ impl CkgTracker {
     pub fn edge_count(&self) -> usize {
         let mut edges = FxHashSet::default();
         for q in &self.window {
+            // lint: allow(L001, distinct count via set union; the result is order-independent)
             edges.extend(q.edges.iter().copied());
         }
         edges.len()

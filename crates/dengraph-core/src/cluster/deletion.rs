@@ -54,6 +54,7 @@ fn repair_cluster(registry: &mut ClusterRegistry, id: ClusterId, quantum: u64) -
         .map(|group| {
             let edge_set: FxHashSet<EdgeKey> = group.into_iter().collect();
             let mut node_set: FxHashSet<NodeId> = FxHashSet::default();
+            // lint: allow(L001, deriving a set from a set; membership is order-independent)
             for e in &edge_set {
                 node_set.insert(e.0);
                 node_set.insert(e.1);

@@ -20,6 +20,8 @@
 //! * [`maintainer`] — [`ClusterMaintainer`], which drives the above from the
 //!   stream of [`GraphDelta`](crate::akg::GraphDelta)s produced by the AKG.
 
+// Module docs live as `//!` inner docs in each module's own file (outer
+// `///` docs here would re-scope their intra-doc links into this file).
 pub mod addition;
 pub mod deletion;
 pub mod maintainer;
@@ -114,15 +116,20 @@ impl Cluster {
     /// a cluster from edges alone, or after manually editing the edge set).
     pub fn sync_nodes_to_edges(&mut self) {
         self.nodes.clear();
+        // lint: allow(L001, rebuilding a set from a set; membership is order-independent)
         for e in &self.edges {
             self.nodes.insert(e.0);
             self.nodes.insert(e.1);
         }
     }
 
-    /// Neighbours of `n` along cluster edges.
+    /// Neighbours of `n` along cluster edges, sorted ascending so that
+    /// consumers folding floats over them (e.g. [`crate::ranking`]) are
+    /// independent of the edge set's hash-iteration order.
     pub fn cluster_neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        self.edges.iter().filter_map(|e| e.other(n)).collect()
+        let mut v: Vec<NodeId> = self.edges.iter().filter_map(|e| e.other(n)).collect();
+        v.sort_unstable();
+        v
     }
 
     /// Does the cluster's own edge set provide a path of length at most
@@ -137,6 +144,7 @@ impl Cluster {
         for _depth in 1..=max_len {
             let mut next = Vec::new();
             for &u in &frontier {
+                // lint: allow(L001, bounded-depth reachability; the boolean result is order-independent)
                 for e in &self.edges {
                     // Never traverse the direct edge itself.
                     if *e == direct {

@@ -39,8 +39,10 @@ impl ClusterRegistry {
         self.clusters.is_empty()
     }
 
-    /// Iterates over all live clusters.
+    /// Iterates over all live clusters in unspecified (hash) order;
+    /// deterministic consumers sort by id (the report path does).
     pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        // lint: allow(L001, order-free accessor; deterministic consumers sort by cluster id)
         self.clusters.values()
     }
 
@@ -96,9 +98,11 @@ impl ClusterRegistry {
             edges.iter().all(|e| !self.edge_index.contains_key(e)),
             "edge already owned by another cluster"
         );
+        // lint: allow(L001, index insertion; the resulting maps are order-independent)
         for e in &edges {
             self.edge_index.insert(*e, id);
         }
+        // lint: allow(L001, index insertion; the resulting maps are order-independent)
         for n in &nodes {
             self.node_index.entry(*n).or_default().insert(id);
         }
@@ -110,11 +114,13 @@ impl ClusterRegistry {
     /// Removes a cluster entirely, cleaning both indexes.
     pub fn remove(&mut self, id: ClusterId) -> Option<Cluster> {
         let cluster = self.clusters.remove(&id)?;
+        // lint: allow(L001, index removal; the resulting maps are order-independent)
         for e in &cluster.edges {
             if self.edge_index.get(e) == Some(&id) {
                 self.edge_index.remove(e);
             }
         }
+        // lint: allow(L001, index removal; the resulting maps are order-independent)
         for n in &cluster.nodes {
             if let Some(set) = self.node_index.get_mut(n) {
                 set.remove(&id);
@@ -138,6 +144,7 @@ impl ClusterRegistry {
     ) -> ClusterId {
         // Which existing clusters share an edge with the new material?
         let mut touched: FxHashSet<ClusterId> = FxHashSet::default();
+        // lint: allow(L001, collecting into a set that is sorted before use below)
         for e in &edges {
             if let Some(&cid) = self.edge_index.get(e) {
                 touched.insert(cid);
@@ -192,9 +199,11 @@ impl ClusterRegistry {
                 continue;
             }
             let new_id = if i == 0 { id } else { self.fresh_id() };
+            // lint: allow(L001, index insertion; the resulting maps are order-independent)
             for e in &edges {
                 self.edge_index.insert(*e, new_id);
             }
+            // lint: allow(L001, index insertion; the resulting maps are order-independent)
             for n in &nodes {
                 self.node_index.entry(*n).or_default().insert(new_id);
             }
@@ -234,10 +243,12 @@ impl ClusterRegistry {
     /// caller guarantees the id and edges collide with nothing present.
     pub(crate) fn install(&mut self, cluster: Cluster) {
         debug_assert!(!self.clusters.contains_key(&cluster.id));
+        // lint: allow(L001, index insertion; the resulting maps are order-independent)
         for e in &cluster.edges {
             let previous = self.edge_index.insert(*e, cluster.id);
             debug_assert!(previous.is_none(), "edge owned by two clusters");
         }
+        // lint: allow(L001, index insertion; the resulting maps are order-independent)
         for n in &cluster.nodes {
             self.node_index.entry(*n).or_default().insert(cluster.id);
         }
@@ -335,6 +346,7 @@ impl ClusterRegistry {
     fn from_parts(next_id: u64, clusters: Vec<Cluster>) -> dengraph_json::Result<Self> {
         let mut registry = Self::new();
         for cluster in clusters {
+            // lint: allow(L001, index rebuild; duplicate-edge rejection fires regardless of order)
             for e in &cluster.edges {
                 if registry.edge_index.insert(*e, cluster.id).is_some() {
                     return Err(dengraph_json::JsonError {
@@ -343,6 +355,7 @@ impl ClusterRegistry {
                     });
                 }
             }
+            // lint: allow(L001, index rebuild; the resulting maps are order-independent)
             for n in &cluster.nodes {
                 registry
                     .node_index
@@ -375,8 +388,19 @@ impl ClusterRegistry {
 
     /// Checks the internal invariants (each edge owned by exactly the
     /// cluster the index says; node index consistent; clusters satisfy SCP
-    /// and have ≥ 3 nodes).  Used by tests and debug assertions.
+    /// and have ≥ 3 nodes; `next_id` strictly above every live id so fresh
+    /// ids can never collide).  Used by tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
+        // lint: allow(L001, validation max-fold; max is order-independent)
+        if let Some(max_id) = self.clusters.keys().max() {
+            if self.next_id <= max_id.0 {
+                return Err(format!(
+                    "next_id {} is not above the highest live cluster id {max_id}",
+                    self.next_id
+                ));
+            }
+        }
+        // lint: allow(L001, validation walk; pass/fail is order-independent and the first error reported is not part of the output contract)
         for (id, c) in &self.clusters {
             if c.nodes.len() < 3 {
                 return Err(format!("cluster {id} has fewer than 3 nodes"));
@@ -384,22 +408,26 @@ impl ClusterRegistry {
             if !c.satisfies_scp() {
                 return Err(format!("cluster {id} violates the short-cycle property"));
             }
+            // lint: allow(L001, validation walk; pass/fail is order-independent)
             for e in &c.edges {
                 if self.edge_index.get(e) != Some(id) {
                     return Err(format!("edge {e:?} of cluster {id} not indexed to it"));
                 }
             }
+            // lint: allow(L001, validation walk; pass/fail is order-independent)
             for n in &c.nodes {
                 if !self.node_index.get(n).is_some_and(|s| s.contains(id)) {
                     return Err(format!("node {n} of cluster {id} missing from node index"));
                 }
             }
         }
+        // lint: allow(L001, validation walk; pass/fail is order-independent)
         for (e, id) in &self.edge_index {
             if !self.clusters.get(id).is_some_and(|c| c.edges.contains(e)) {
                 return Err(format!("edge index entry {e:?} -> {id} is dangling"));
             }
         }
+        // lint: allow(L001, validation walk; pass/fail is order-independent)
         for (n, ids) in &self.node_index {
             for id in ids {
                 if !self.clusters.get(id).is_some_and(|c| c.nodes.contains(n)) {

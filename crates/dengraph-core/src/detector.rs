@@ -401,6 +401,12 @@ impl EventDetector {
         }
         self.stage_times.report_ns += report_ns + stage_start.elapsed().as_nanos() as u64;
 
+        #[cfg(feature = "invariants")]
+        if let Err(e) = self.validate_invariants() {
+            // lint: allow(L002, the invariants feature exists to fail loudly the moment state corrupts; it is never enabled in production builds)
+            panic!("invariant violated after quantum {quantum}: {e}");
+        }
+
         QuantumSummary {
             quantum,
             messages: messages.len(),
@@ -412,6 +418,33 @@ impl EventDetector {
             events,
             evicted_quantum,
         }
+    }
+
+    /// Deep-checks the structural invariants of every stateful component:
+    /// the AKG's sorted-adjacency/edge-symmetry contract
+    /// ([`dengraph_graph::DynamicGraph::validate_invariants`]), the sliding
+    /// window and its incremental index against a raw record walk
+    /// ([`WindowState::validate_invariants`](crate::keyword_state::WindowState::validate_invariants)),
+    /// and the cluster registry's index/SCP/id-allocation contract
+    /// ([`ClusterRegistry::check_invariants`](crate::cluster::ClusterRegistry::check_invariants)).
+    ///
+    /// O(total state) — a validation aid.  Under the `invariants` cargo
+    /// feature this runs automatically at every quantum boundary and
+    /// panics on the first violation; without the feature it is only ever
+    /// invoked explicitly (tests, debugging sessions).
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        self.akg
+            .graph()
+            .validate_invariants()
+            .map_err(|e| format!("AKG: {e}"))?;
+        self.window
+            .validate_invariants()
+            .map_err(|e| format!("window: {e}"))?;
+        self.clusters
+            .registry()
+            .check_invariants()
+            .map_err(|e| format!("cluster registry: {e}"))?;
+        Ok(())
     }
 
     /// Serialises the complete detector state — configuration, sliding

@@ -12,6 +12,8 @@
 //! trace's ground truth, and [`ground_truth_report`], which reproduces the
 //! structure of the Section 7.1 / Table 1 study.
 
+// Module docs live as `//!` inner docs in each module's own file (outer
+// `///` docs here would re-scope their intra-doc links into this file).
 pub mod comparison;
 pub mod matching;
 pub mod precision_recall;

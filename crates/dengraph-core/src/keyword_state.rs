@@ -1064,6 +1064,164 @@ impl WindowState {
         self.window.iter().map(|r| r.message_count).sum()
     }
 
+    /// Deep-checks every structural invariant of the window and its
+    /// incremental index, recomputing each per-keyword aggregate from a
+    /// raw record walk and comparing bit-for-bit.  O(w · Δ · keywords) —
+    /// strictly a debugging/validation aid (the `invariants` feature wires
+    /// it into quantum boundaries); never call it on a hot path.
+    ///
+    /// Checked:
+    /// * the window holds at most `capacity` records with strictly
+    ///   increasing quantum indices;
+    /// * every record's span table is strictly ascending by keyword,
+    ///   covers the flat user column contiguously and exactly, and each
+    ///   span's user run is non-empty and strictly ascending (the
+    ///   invariant `fold_pairs` owns);
+    /// * under [`WindowIndexMode::Incremental`]: the live-entry count
+    ///   matches, every keyword some record brought at least
+    ///   `materialize_threshold` users is materialized, and each entry's
+    ///   refcount column, recency mark, per-quantum epoch list and cached
+    ///   merged sketch are identical to a from-scratch rebuild over the
+    ///   records.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        if self.window.len() > self.capacity {
+            return Err(format!(
+                "window holds {} records but capacity is {}",
+                self.window.len(),
+                self.capacity
+            ));
+        }
+        let mut prev_index: Option<u64> = None;
+        for record in &self.window {
+            if prev_index.is_some_and(|p| record.index <= p) {
+                return Err(format!(
+                    "quantum indices not strictly increasing: {} after {:?}",
+                    record.index, prev_index
+                ));
+            }
+            prev_index = Some(record.index);
+            let mut cursor = 0u32;
+            let mut prev_keyword: Option<KeywordId> = None;
+            for &(k, s, e) in &record.spans {
+                if prev_keyword.is_some_and(|p| k <= p) {
+                    return Err(format!(
+                        "record {}: span keywords not strictly ascending at {k}",
+                        record.index
+                    ));
+                }
+                prev_keyword = Some(k);
+                if s != cursor || e <= s {
+                    return Err(format!(
+                        "record {}: span of {k} is [{s}, {e}) but the column cursor is {cursor}",
+                        record.index
+                    ));
+                }
+                cursor = e;
+                let run = &record.users[s as usize..e as usize];
+                if run.windows(2).any(|p| p[0] >= p[1]) {
+                    return Err(format!(
+                        "record {}: users of {k} are not strictly ascending",
+                        record.index
+                    ));
+                }
+            }
+            if cursor as usize != record.users.len() {
+                return Err(format!(
+                    "record {}: spans cover {cursor} users but the column holds {}",
+                    record.index,
+                    record.users.len()
+                ));
+            }
+        }
+        let Some(index) = &self.index else {
+            return Ok(());
+        };
+        if index.sketch_size != self.sketch_size {
+            return Err(format!(
+                "index sketch size {} disagrees with the window's {}",
+                index.sketch_size, self.sketch_size
+            ));
+        }
+        let live = index.entries.iter().filter(|slot| slot.is_some()).count();
+        if live != index.live {
+            return Err(format!(
+                "index live count is {} but {live} entries are occupied",
+                index.live
+            ));
+        }
+        // Materialization soundness: a record bringing at least the
+        // threshold of distinct users forces an entry, and that entry can
+        // only die when the keyword leaves the window entirely — so while
+        // such a record is still in the window, the entry must exist.
+        for record in &self.window {
+            for (keyword, users) in record.iter() {
+                if users.len() >= index.materialize_threshold && index.entry(keyword).is_none() {
+                    return Err(format!(
+                        "{keyword} brought {} users in quantum {} (threshold {}) \
+                         but has no index entry",
+                        users.len(),
+                        record.index,
+                        index.materialize_threshold
+                    ));
+                }
+            }
+        }
+        for (keyword, entry) in index.live_entries() {
+            // Rebuild the refcount column, epoch list and recency mark
+            // exactly the way the retroactive materialization path does.
+            let mut expected_users: Vec<(UserId, u32)> = Vec::new();
+            let mut expected_epochs: Vec<u64> = Vec::new();
+            let mut expected_last = None;
+            let mut sketch = MinHashSketch::new(self.sketch_size);
+            for record in &self.window {
+                let run = record.users_of(keyword);
+                if run.is_empty() {
+                    continue;
+                }
+                merge_refcounts(&mut expected_users, run);
+                expected_epochs.push(record.index);
+                expected_last = Some(record.index);
+                for u in run {
+                    sketch.insert(&self.hasher, u.raw());
+                }
+            }
+            if entry.users != expected_users {
+                return Err(format!(
+                    "{keyword}: refcount column disagrees with the record walk \
+                     ({} cached vs {} recomputed entries)",
+                    entry.users.len(),
+                    expected_users.len()
+                ));
+            }
+            if expected_users.is_empty() {
+                return Err(format!(
+                    "{keyword}: index entry is live but not in the window"
+                ));
+            }
+            if Some(entry.last_seen) != expected_last {
+                return Err(format!(
+                    "{keyword}: last_seen is {} but the record walk says {expected_last:?}",
+                    entry.last_seen
+                ));
+            }
+            if entry.sketches.len() != expected_epochs.len()
+                || entry.sketches.latest_epoch() != expected_last
+            {
+                return Err(format!(
+                    "{keyword}: {} sub-sketches cached but {} window quanta contain the keyword",
+                    entry.sketches.len(),
+                    expected_epochs.len()
+                ));
+            }
+            if *entry.sketches.merged() != sketch {
+                return Err(format!(
+                    "{keyword}: cached merged sketch differs from a from-scratch rebuild"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Serialises the window — capacity, sketch parameters, hasher seed,
     /// the retained quantum records (oldest first) and, under
     /// [`WindowIndexMode::Incremental`], the live per-keyword index with

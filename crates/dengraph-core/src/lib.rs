@@ -56,6 +56,9 @@
 //!
 //! For push-based delivery and checkpoint/restore, see [`session`].
 
+// Module docs live as `//!` inner docs in each module's own file;
+// adding outer `///` docs here would merge with them and re-scope
+// their intra-doc links into this file, breaking `cargo doc`.
 pub mod akg;
 pub mod baseline;
 pub mod checkpoint;

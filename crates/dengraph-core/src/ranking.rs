@@ -44,7 +44,10 @@ pub fn cluster_rank<S: NodeSupport>(cluster: &Cluster, graph: &DynamicGraph, sup
         return 0.0;
     }
     let mut total = 0.0;
-    for &node in &cluster.nodes {
+    // Sorted iteration: the f64 accumulation below is not associative, so
+    // summing in hash order would make the rank depend on how the node
+    // set happened to be built.
+    for node in cluster.sorted_nodes() {
         let w = support.support(node) as f64;
         // Diagonal contribution C_ii = 1.
         let mut row = 1.0;
@@ -62,6 +65,7 @@ pub fn cluster_rank<S: NodeSupport>(cluster: &Cluster, graph: &DynamicGraph, sup
 /// keywords (upper-bounded here by the sum of per-node supports, which is
 /// what the paper's weight vector uses).
 pub fn cluster_support<S: NodeSupport>(cluster: &Cluster, support: &S) -> usize {
+    // lint: allow(L001, usize sum is commutative; the result is order-independent)
     cluster.nodes.iter().map(|&n| support.support(n)).sum()
 }
 

@@ -751,6 +751,23 @@ impl DetectorSession {
         Self::dispatch(&self.detector, &mut self.sinks, summary);
     }
 
+    /// Deep-checks the session's structural invariants: every stateful
+    /// detector component
+    /// ([`EventDetector::validate_invariants`]) plus, when a journal is
+    /// enabled, a full re-read of its frame log
+    /// ([`CheckpointJournal::validate_invariants`]).  O(total state +
+    /// journal size) — a validation aid for tests and debugging, wired
+    /// into quantum boundaries by the `invariants` cargo feature.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        self.detector.validate_invariants()?;
+        if let Some(journal) = &self.journal {
+            journal
+                .validate_invariants()
+                .map_err(|e| format!("journal: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// Runs an entire message slice through the detector (batching into
     /// quanta, flushing the remainder), notifying sinks along the way.
     /// Returns one summary per quantum, like the old polling API.

@@ -431,6 +431,11 @@ impl SegmentedJournal {
         &self.dir
     }
 
+    /// Sequence number of the segment currently being written.
+    pub(crate) fn current_seq(&self) -> u64 {
+        self.current_seq
+    }
+
     /// The configured fsync policy.
     pub(crate) fn fsync(&self) -> FsyncPolicy {
         self.fsync

@@ -72,7 +72,10 @@ impl<'g> LowLink<'g> {
                     // Back edge.
                     if wi < self.index[&v] {
                         self.edge_stack.push(EdgeKey::new(v, w));
-                        let lv = self.low.get_mut(&v).expect("v visited");
+                        let lv = self
+                            .low
+                            .get_mut(&v)
+                            .expect("DFS invariant: every stacked node has a low entry");
                         *lv = (*lv).min(wi);
                     }
                 } else {

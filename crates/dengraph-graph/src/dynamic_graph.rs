@@ -249,14 +249,18 @@ impl DynamicGraph {
         self.adj.is_empty()
     }
 
-    /// Iterates over all node ids.
+    /// Iterates over all node ids in unspecified (hash) order; callers
+    /// that need determinism sort, as `to_json` does.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // lint: allow(L001, order-free accessor; deterministic consumers collect and sort)
         self.adj.keys().copied()
     }
 
-    /// Iterates over all edges as normalised keys with weights.
-    /// Each undirected edge is yielded exactly once.
+    /// Iterates over all edges as normalised keys with weights, in
+    /// unspecified (hash) order.  Each undirected edge is yielded exactly
+    /// once; callers that need determinism sort, as `to_json` does.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeKey, f64)> + '_ {
+        // lint: allow(L001, order-free accessor; deterministic consumers collect and sort)
         self.adj.iter().flat_map(|(&a, nbrs)| {
             nbrs.iter()
                 .filter(move |&&(b, _)| a <= b)
@@ -268,6 +272,64 @@ impl DynamicGraph {
     pub fn clear(&mut self) {
         self.adj.clear();
         self.edge_count = 0;
+    }
+
+    /// Deep-checks the representation invariants: every neighbour list is
+    /// strictly ascending by id (the documented canonical order), free of
+    /// self-loops, symmetric (each `(a, b, w)` entry has a matching
+    /// `(b, a, w)` with a **bit-identical** weight), and `edge_count`
+    /// equals half the sum of degrees.
+    ///
+    /// This is the runtime side of the determinism contract: checkers call
+    /// it at quantum boundaries under the `invariants` feature of
+    /// `dengraph-core`.  Cost is `O(V + E log d)`, so it is not meant for
+    /// per-message use.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        let mut degree_sum = 0usize;
+        // lint: allow(L001, validation walk; pass/fail is order-independent)
+        for (&a, nbrs) in &self.adj {
+            degree_sum += nbrs.len();
+            let mut prev: Option<NodeId> = None;
+            for &(b, w) in nbrs {
+                if a == b {
+                    return Err(format!("node {a} has a self-loop"));
+                }
+                if let Some(p) = prev {
+                    if b <= p {
+                        return Err(format!(
+                            "neighbour list of {a} is not strictly ascending: {b} after {p}"
+                        ));
+                    }
+                }
+                prev = Some(b);
+                let mirrored = self
+                    .adj
+                    .get(&b)
+                    .and_then(|m| m.binary_search_by_key(&a, |&(n, _)| n).ok().map(|i| m[i].1));
+                match mirrored {
+                    None => {
+                        return Err(format!("edge ({a}, {b}) has no mirror entry at {b}"));
+                    }
+                    Some(mw) if mw.to_bits() != w.to_bits() => {
+                        return Err(format!(
+                            "edge ({a}, {b}) weight differs between directions: {w} vs {mw}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if !degree_sum.is_multiple_of(2) {
+            return Err(format!("degree sum {degree_sum} is odd"));
+        }
+        if degree_sum / 2 != self.edge_count {
+            return Err(format!(
+                "edge_count {} disagrees with degree sum / 2 = {}",
+                self.edge_count,
+                degree_sum / 2
+            ));
+        }
+        Ok(())
     }
 
     /// Serialises the graph to a [`dengraph_json::Value`]: the sorted node

@@ -55,6 +55,7 @@ pub fn density(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> f64 {
 /// Number of edges with both endpoints in `nodes`.
 pub fn count_internal_edges(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> usize {
     let mut count = 0;
+    // lint: allow(L001, usize count is commutative; the result is order-independent)
     for &u in nodes {
         for v in graph.neighbors(u) {
             if u < v && nodes.contains(&v) {
@@ -74,6 +75,7 @@ pub fn diameter(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> Option<usize
         return None;
     }
     let mut max_dist = 0usize;
+    // lint: allow(L001, max over usize BFS depths is order-independent)
     for &start in nodes {
         // BFS within the node set.
         let mut dist: crate::fxhash::FxHashMap<NodeId, usize> = crate::fxhash::FxHashMap::default();

@@ -53,6 +53,7 @@ pub fn edge_has_short_cycle_within(
 /// Singleton and empty sets satisfy SCP vacuously; a set inducing no edges
 /// also does.
 pub fn subgraph_satisfies_scp(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> bool {
+    // lint: allow(L001, universally-quantified boolean check; the result is order-independent)
     for &u in nodes {
         for v in graph.neighbors(u) {
             if u < v && nodes.contains(&v) && !edge_has_short_cycle_within(graph, u, v, nodes) {
@@ -120,6 +121,7 @@ pub fn scp_edge_groups(graph: &DynamicGraph) -> Vec<Vec<EdgeKey>> {
                 on_cycle[e_bc] = true;
             }
             // 4-cycles a–b–d–c–a.
+            // lint: allow(L001, union-find partitions are order-independent and groups are canonically sorted before return)
             for &d in &b_neighbors {
                 if d != c && graph.contains_edge(c, d) {
                     let e_ac = index[&EdgeKey::new(a, c)];

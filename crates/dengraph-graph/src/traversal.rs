@@ -108,6 +108,7 @@ where
 /// Is the subgraph induced by `nodes` connected?  (Vacuously true for
 /// empty or singleton sets.)
 pub fn is_connected_within(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> bool {
+    // lint: allow(L001, connectivity is the same from any start node; the boolean result is order-independent)
     let Some(&start) = nodes.iter().next() else {
         return true;
     };
@@ -118,13 +119,15 @@ pub fn is_connected_within(graph: &DynamicGraph, nodes: &FxHashSet<NodeId>) -> b
     nodes.iter().all(|n| reached.contains(n))
 }
 
-/// Connected components of the subgraph induced by `nodes`.
+/// Connected components of the subgraph induced by `nodes`.  The order
+/// of the returned components is unspecified.
 pub fn connected_components_within(
     graph: &DynamicGraph,
     nodes: &FxHashSet<NodeId>,
 ) -> Vec<FxHashSet<NodeId>> {
     let mut remaining: FxHashSet<NodeId> = nodes.clone();
     let mut out = Vec::new();
+    // lint: allow(L001, the partition's content is order-independent; component order is documented as unspecified and no production consumer depends on it)
     while let Some(&start) = remaining.iter().next() {
         let comp = reachable_within(graph, start, |n| remaining.contains(&n), None);
         for n in &comp {

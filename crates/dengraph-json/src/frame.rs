@@ -212,8 +212,16 @@ impl<'a> FrameScanner<'a> {
             };
         }
         let tag = remaining[0];
-        let len = u32::from_le_bytes(remaining[1..5].try_into().expect("4 bytes")) as usize;
-        let want = u32::from_le_bytes(remaining[5..9].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(
+            remaining[1..5]
+                .try_into()
+                .expect("header length checked against FRAME_HEADER_LEN above"),
+        ) as usize;
+        let want = u32::from_le_bytes(
+            remaining[5..9]
+                .try_into()
+                .expect("header length checked against FRAME_HEADER_LEN above"),
+        );
         if remaining.len() - FRAME_HEADER_LEN < len {
             return FrameEvent::Torn {
                 offset: self.pos,

@@ -17,6 +17,9 @@
 //! binary document the `offset` is the byte position in the binary
 //! stream.
 
+// Module docs live as `//!` inner docs in each module's own file;
+// adding outer `///` docs here would merge with them and re-scope
+// their intra-doc links into this file, breaking `cargo doc`.
 pub mod binary;
 pub mod codec;
 pub mod frame;
@@ -451,7 +454,12 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            // The scan above only advances over single-byte ASCII, so
+            // this is unreachable; report a parse error rather than
+            // panicking if the invariant is ever broken.
+            return err("non-ASCII bytes inside a number".to_string(), start);
+        };
         if fractional {
             match text.parse::<f64>() {
                 Ok(f) => Ok(Value::Float(f)),

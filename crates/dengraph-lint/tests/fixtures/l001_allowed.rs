@@ -1,0 +1,30 @@
+// Fixture: justified, exempt, and false-positive L001 cases — none may fire.
+use std::collections::HashSet;
+
+pub fn justified(set: &HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    // lint: allow(L001, wrapping sum is commutative so the result is order-independent)
+    for v in set {
+        acc += *v;
+    }
+    acc
+}
+
+pub fn feeds_sort(set: &HashSet<u64>) -> Vec<u64> {
+    let mut out: Vec<u64> = set.iter().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn vec_is_not_a_hash_container(rows: &Vec<u64>) -> u64 {
+    let mut acc = 0;
+    for v in rows.iter() {
+        acc += *v;
+    }
+    acc
+}
+
+pub fn shadowed_name() -> usize {
+    let items: Vec<u64> = Vec::new();
+    items.iter().count()
+}

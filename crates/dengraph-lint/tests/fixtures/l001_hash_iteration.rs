@@ -1,0 +1,26 @@
+// Known-bad fixture: every hash-iteration form L001 must catch.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    index: HashMap<u64, u64>,
+}
+
+pub fn bad_for_loop(set: &HashSet<u64>) -> u64 {
+    let mut out = Vec::new();
+    for v in set {
+        out.push(*v); // order leaks into `out`
+    }
+    out[0]
+}
+
+pub fn bad_methods(state: &State) -> Vec<u64> {
+    let mut out: Vec<u64> = state.index.keys().copied().collect();
+    out.extend(state.index.values().copied());
+    let pairs: Vec<(u64, u64)> = state.index.iter().map(|(k, v)| (*k, *v)).collect();
+    out.push(pairs.len() as u64);
+    out
+}
+
+pub fn bad_drain(map: &mut HashMap<u64, u64>) -> Vec<u64> {
+    map.drain().map(|(k, _)| k).collect()
+}

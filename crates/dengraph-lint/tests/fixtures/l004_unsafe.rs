@@ -1,0 +1,23 @@
+// Known-bad fixture for L004: undocumented unsafe.
+
+pub fn bad_unsafe(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn good_unsafe(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` points to a live, aligned u32
+    // for the duration of this call.
+    unsafe { *p }
+}
+
+pub fn good_multiline_statement(p: *const u32) -> u32 {
+    // SAFETY: same contract as above; the unsafe block sits on a
+    // continuation line of this let statement.
+    let value: u32 =
+        unsafe { *p };
+    value
+}
+
+pub fn string_mentioning_unsafe() -> &'static str {
+    "unsafe is just data here"
+}

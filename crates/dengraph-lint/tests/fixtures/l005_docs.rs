@@ -1,0 +1,23 @@
+//! Fixture for L005: public items must carry rustdoc.
+
+pub fn bad_undocumented() {}
+
+pub struct BadStruct;
+
+/// Documented: fine.
+pub fn good_documented() {}
+
+/// Documented through an attribute stack.
+#[derive(Debug)]
+#[deprecated(
+    since = "0.1.0",
+    note = "multi-line attribute between the doc comment and the item"
+)]
+pub struct GoodBehindAttrs;
+
+#[doc(hidden)]
+pub fn good_hidden_is_waived() {}
+
+pub(crate) fn crate_visible_needs_no_docs() {}
+
+fn private_needs_no_docs() {}

@@ -55,10 +55,7 @@ impl ZipfVocabulary {
     /// Samples one keyword according to the Zipf distribution.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> KeywordId {
         let u: f64 = rng.gen();
-        let idx = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        let idx = match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.keywords.len() - 1),
         };

@@ -184,6 +184,12 @@ fn run_journaled(
         session.journal_io_error()
     );
     session.sync_journal().expect("journal syncs");
+    // Deep-check the detector state and re-read the whole segment chain
+    // (headers, CRCs, delta quantum ordering) before using it as the
+    // crash-matrix reference.
+    session
+        .validate_invariants()
+        .expect("reference session and journal must be structurally sound");
     Reference {
         summaries,
         final_checkpoint: session.checkpoint_bytes(WireFormat::Binary),
@@ -279,6 +285,9 @@ fn check_cut(
         resumed.checkpoint_bytes(WireFormat::Binary),
         "cut at {cut}: final checkpoint not bit-identical after resume"
     );
+    resumed
+        .validate_invariants()
+        .unwrap_or_else(|e| panic!("cut at {cut}: resumed state violates invariants: {e}"));
     let _ = trace; // interner lives in the restored checkpoint
 }
 

@@ -14,7 +14,13 @@ fn run(trace: &Trace, config: &DetectorConfig) -> Vec<QuantumSummary> {
         .interner(trace.interner.clone())
         .build()
         .expect("valid config");
-    detector.run(&trace.messages)
+    let summaries = detector.run(&trace.messages);
+    // Under `--features invariants` every quantum boundary already
+    // deep-checked; this end-state pass also covers default builds.
+    detector
+        .validate_invariants()
+        .expect("structural invariants must hold after the full trace");
+    summaries
 }
 
 /// Byte-level comparison of everything a summary reports.  `Debug` output
@@ -137,6 +143,9 @@ fn multi_component_cluster_maintenance_is_deterministic() {
                 .build()
                 .expect("valid config");
         let summaries = session.run(&messages);
+        session
+            .validate_invariants()
+            .expect("structural invariants must hold after multi-component maintenance");
         let mut clusters: Vec<String> = session
             .clusters()
             .clusters()
