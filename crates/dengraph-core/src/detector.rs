@@ -403,7 +403,7 @@ impl EventDetector {
 
         #[cfg(feature = "invariants")]
         if let Err(e) = self.validate_invariants() {
-            // lint: allow(L002, the invariants feature exists to fail loudly the moment state corrupts; it is never enabled in production builds)
+            // lint: allow(L002, the invariants feature exists to fail loudly the moment state corrupts; it is never enabled in production builds) allow(L007, reachable only with the opt-in invariants feature; crashing beats streaming corrupt clusters)
             panic!("invariant violated after quantum {quantum}: {e}");
         }
 

@@ -19,20 +19,35 @@
 //! | L003 | `partial_cmp(..).unwrap()` (or `unwrap_or`) as an f64 ordering | NaN-unsafe and panicky; `f64::total_cmp` is the project's canonical float order |
 //! | L004 | `unsafe` without a `// SAFETY:` comment | every unsafe block must state why it is sound |
 //! | L005 | undocumented `pub` items in `dengraph-core` / `dengraph-json` | the session/codec surface is the public API |
+//! | L006 | lock-order inversions, and guards held across pool submits | the worker pool plus `Arc<Mutex<…>>` sinks make ABBA deadlocks a real hazard |
+//! | L007 | panic-class sites reachable (interprocedurally) from pipeline entry points | L002 is syntactic; the hot path must not reach a panic through any call chain either |
+//! | L008 | wire-decoded lengths reaching `with_capacity`/`vec!`/`.reserve` unchecked | a corrupt or hostile checkpoint must not drive allocation size |
+//! | L009 | `f64` folds/sums over unordered sources in parallel-phase code | float addition is non-associative; reduction order must be deterministic |
+//!
+//! L001–L005 are line-oriented lexical rules; L006–L009 are semantic
+//! rules built on a recursive-descent parse ([`ast`]), a workspace
+//! module-graph resolver ([`resolve`]) and a call graph ([`callgraph`]).
 //!
 //! A site can be justified with an allow comment on the same line or the
-//! line above:
+//! line above; one `lint:` marker may stack several allows when a line
+//! violates more than one rule:
 //!
 //! ```text
 //! // lint: allow(L001, canonicalised by the sort two lines down)
+//! // lint: allow(L002, re-raised on the caller thread) allow(L007, propagates the job panic)
 //! ```
 //!
 //! The reason is **mandatory**; an allow without one is itself reported.
 //! L001 sites whose surrounding statement feeds an immediate sort (or an
 //! order-insensitive `all`/`any`/`count`) are exempt automatically.
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod resolve;
+pub mod semantic;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -53,10 +68,30 @@ pub enum Rule {
     L004,
     /// Undocumented `pub` item in a docs-required crate.
     L005,
+    /// Inconsistent lock acquisition order, or a guard held across a
+    /// pool submit.
+    L006,
+    /// Panic-class site reachable from a pipeline entry point.
+    L007,
+    /// Wire-decoded length reaching an allocation without a bounds
+    /// check.
+    L008,
+    /// Nondeterministic f64 reduction in parallel-phase code.
+    L009,
 }
 
 /// Every rule, in id order.
-pub const ALL_RULES: [Rule; 5] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005];
+pub const ALL_RULES: [Rule; 9] = [
+    Rule::L001,
+    Rule::L002,
+    Rule::L003,
+    Rule::L004,
+    Rule::L005,
+    Rule::L006,
+    Rule::L007,
+    Rule::L008,
+    Rule::L009,
+];
 
 impl Rule {
     /// The rule's stable id (`"L001"`…).
@@ -67,6 +102,10 @@ impl Rule {
             Rule::L003 => "L003",
             Rule::L004 => "L004",
             Rule::L005 => "L005",
+            Rule::L006 => "L006",
+            Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
         }
     }
 
@@ -78,18 +117,15 @@ impl Rule {
             Rule::L003 => "float ordering via partial_cmp().unwrap(); use total_cmp",
             Rule::L004 => "unsafe without a `// SAFETY:` comment",
             Rule::L005 => "undocumented public item",
+            Rule::L006 => "lock-order inversion or guard held across a pool submit",
+            Rule::L007 => "panic-class site reachable from a pipeline entry point",
+            Rule::L008 => "untrusted wire length reaches an allocation unchecked",
+            Rule::L009 => "f64 reduction over an unordered source in parallel code",
         }
     }
 
     fn parse(id: &str) -> Option<Rule> {
-        match id {
-            "L001" => Some(Rule::L001),
-            "L002" => Some(Rule::L002),
-            "L003" => Some(Rule::L003),
-            "L004" => Some(Rule::L004),
-            "L005" => Some(Rule::L005),
-            _ => None,
-        }
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
     }
 }
 
@@ -165,20 +201,27 @@ fn collect_allows(lines: &[lexer::Line]) -> Vec<Allow> {
         let Some(start) = comment.find("lint: allow(") else {
             continue;
         };
-        let body = &comment[start + "lint: allow(".len()..];
-        let Some(end) = body.find(')') else {
-            continue;
-        };
-        let inner = &body[..end];
-        let (id, reason) = match inner.split_once(',') {
-            Some((id, reason)) => (id.trim(), reason.trim()),
-            None => (inner.trim(), ""),
-        };
-        allows.push(Allow {
-            rule: Rule::parse(id),
-            reason: reason.to_string(),
-            line: i + 1,
-        });
+        // One `lint:` marker may carry several `allow(RULE, reason)`
+        // groups (a site can violate more than one rule, and stacking
+        // comment lines would mis-anchor the upper ones).
+        let mut rest = &comment[start + "lint: ".len()..];
+        while let Some(open) = rest.find("allow(") {
+            let body = &rest[open + "allow(".len()..];
+            let Some(end) = body.find(')') else {
+                break;
+            };
+            let inner = &body[..end];
+            let (id, reason) = match inner.split_once(',') {
+                Some((id, reason)) => (id.trim(), reason.trim()),
+                None => (inner.trim(), ""),
+            };
+            allows.push(Allow {
+                rule: Rule::parse(id),
+                reason: reason.to_string(),
+                line: i + 1,
+            });
+            rest = &body[end + 1..];
+        }
     }
     allows
 }
@@ -300,12 +343,12 @@ fn is_ident_char(c: char) -> bool {
 }
 
 /// One `name: Type` / `name = Type::new()` declaration found in a file.
-struct Decl {
-    name: String,
+pub(crate) struct Decl {
+    pub(crate) name: String,
     /// 0-based line of the declaration.
-    line: usize,
+    pub(crate) line: usize,
     /// True for hash-map/set types, false for order-preserving ones.
-    is_hash: bool,
+    pub(crate) is_hash: bool,
 }
 
 /// Scans a file for identifiers declared with a container type
@@ -316,7 +359,7 @@ struct Decl {
 /// name (falling back to the nearest following one), which lets a
 /// `users: Vec<…>` field coexist with a `users: FxHashSet<…>` local
 /// elsewhere in the file.
-fn container_decls(lines: &[lexer::Line]) -> Vec<Decl> {
+pub(crate) fn container_decls(lines: &[lexer::Line]) -> Vec<Decl> {
     let mut decls = Vec::new();
     for (line_idx, line) in lines.iter().enumerate() {
         let code = &line.code;
@@ -383,7 +426,7 @@ fn container_decls(lines: &[lexer::Line]) -> Vec<Decl> {
 
 /// Is `name` hash-typed at (0-based) `line`, under nearest-declaration
 /// resolution?
-fn is_hash_at(decls: &[Decl], name: &str, line: usize) -> bool {
+pub(crate) fn is_hash_at(decls: &[Decl], name: &str, line: usize) -> bool {
     let mut best_before: Option<&Decl> = None;
     let mut best_after: Option<&Decl> = None;
     for d in decls.iter().filter(|d| d.name == name) {
@@ -759,8 +802,78 @@ pub struct FileReport {
     pub path: PathBuf,
     /// Surviving violations.
     pub violations: Vec<Violation>,
+    /// Enclosing item symbol per violation (same order), for
+    /// fingerprinting.
+    pub symbols: Vec<String>,
     /// Justified sites per rule in this file.
     pub allows: Vec<(Rule, usize)>,
+}
+
+/// The innermost item symbol enclosing 1-based `line` (`Ty::method`,
+/// `function`, `Struct`), or `"<file>"` for file-level sites.  Symbols
+/// anchor violation fingerprints so baselines survive line drift.
+pub fn enclosing_symbol(file: &ast::File, line: usize) -> String {
+    fn visit(items: &[ast::Item], prefix: &str, line: usize, best: &mut Option<(usize, String)>) {
+        for item in items {
+            let qualify = |name: &str| {
+                if prefix.is_empty() {
+                    name.to_string()
+                } else {
+                    format!("{prefix}::{name}")
+                }
+            };
+            // Innermost wins: a later/deeper candidate starts no earlier.
+            let mut record = |start: usize, name: String| {
+                let better = match best {
+                    None => true,
+                    Some((l, _)) => *l <= start,
+                };
+                if better {
+                    *best = Some((start, name));
+                }
+            };
+            match &item.kind {
+                ast::ItemKind::Fn(def) => {
+                    let end = def.body.as_ref().map_or(def.line, |b| b.close_line);
+                    if def.line <= line && line <= end {
+                        record(def.line, qualify(&def.name));
+                    }
+                }
+                ast::ItemKind::Impl { self_ty, items, .. } => {
+                    visit(items, resolve::base_type_name(self_ty), line, best);
+                }
+                ast::ItemKind::Trait { name, items } => {
+                    visit(items, name, line, best);
+                }
+                ast::ItemKind::Mod {
+                    items: Some(inner), ..
+                } => {
+                    visit(inner, prefix, line, best);
+                }
+                ast::ItemKind::Struct { name, .. } if item.line == line => {
+                    record(item.line, qualify(name));
+                }
+                ast::ItemKind::Static { name, .. } if item.line == line => {
+                    record(item.line, qualify(name));
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut best = None;
+    visit(&file.items, "", line, &mut best);
+    best.map_or_else(|| "<file>".to_string(), |(_, name)| name)
+}
+
+/// The stable fingerprint of one violation: rule, `/`-normalized path,
+/// and enclosing symbol — deliberately no line number, so moving code
+/// within a function does not churn baselines.
+pub fn fingerprint(rule: Rule, path: &Path, symbol: &str) -> String {
+    let normalized: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    format!("{rule}:{}:{symbol}", normalized.join("/"))
 }
 
 /// The whole workspace's lint outcome.
@@ -779,14 +892,8 @@ impl WorkspaceReport {
     }
 
     /// `(violations, allows)` per rule, in rule order.
-    pub fn per_rule(&self) -> [(Rule, usize, usize); 5] {
-        let mut out = [
-            (Rule::L001, 0, 0),
-            (Rule::L002, 0, 0),
-            (Rule::L003, 0, 0),
-            (Rule::L004, 0, 0),
-            (Rule::L005, 0, 0),
-        ];
+    pub fn per_rule(&self) -> [(Rule, usize, usize); ALL_RULES.len()] {
+        let mut out = ALL_RULES.map(|r| (r, 0, 0));
         for file in &self.files {
             for v in &file.violations {
                 let slot = &mut out[ALL_RULES.iter().position(|&r| r == v.rule).unwrap_or(0)];
@@ -797,6 +904,45 @@ impl WorkspaceReport {
                 slot.2 += n;
             }
         }
+        out
+    }
+
+    /// Every violation's fingerprint, sorted (a multiset: duplicates
+    /// are kept so counts are comparable).
+    pub fn fingerprints(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .files
+            .iter()
+            .flat_map(|f| {
+                f.violations
+                    .iter()
+                    .zip(&f.symbols)
+                    .map(|(v, s)| fingerprint(v.rule, &f.path, s))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Fingerprints of violations *not* present in `baseline`
+    /// (count-aware: a third duplicate of a twice-baselined finding is
+    /// new), paired with their file and line for display.
+    pub fn new_since<'a>(&'a self, baseline: &[String]) -> Vec<(String, &'a Path, usize)> {
+        let mut budget: BTreeMap<&str, usize> = BTreeMap::new();
+        for fp in baseline {
+            *budget.entry(fp.as_str()).or_insert(0) += 1;
+        }
+        let mut out = Vec::new();
+        for file in &self.files {
+            for (v, symbol) in file.violations.iter().zip(&file.symbols) {
+                let fp = fingerprint(v.rule, &file.path, symbol);
+                match budget.get_mut(fp.as_str()) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => out.push((fp, file.path.as_path(), v.line)),
+                }
+            }
+        }
+        out.sort();
         out
     }
 
@@ -819,16 +965,18 @@ impl WorkspaceReport {
         s.push_str("\n  },\n  \"sites\": [");
         let mut first = true;
         for file in &self.files {
-            for v in &file.violations {
+            for (v, symbol) in file.violations.iter().zip(&file.symbols) {
                 if !first {
                     s.push(',');
                 }
                 first = false;
                 s.push_str(&format!(
-                    "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                    "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                     \"fingerprint\": \"{}\", \"message\": \"{}\"}}",
                     v.rule,
                     file.path.display(),
                     v.line,
+                    fingerprint(v.rule, &file.path, symbol),
                     v.message.replace('\\', "\\\\").replace('"', "\\\"")
                 ));
             }
@@ -889,11 +1037,16 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Resul
 }
 
 /// Lints every in-scope source file under the workspace `root`
-/// (`crates/*/src/**/*.rs`; the vendored crates are out of scope).
+/// (`crates/*/src/**/*.rs`; the vendored crates are out of scope):
+/// the lexical rules L001–L005 per file, then the semantic rules
+/// L006–L009 over the resolved module graph, merged per file with the
+/// same allow-comment filtering.
 pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
     let mut files = Vec::new();
     collect_rs(root, Path::new("crates"), &mut files)?;
     files.sort();
+    let ws = resolve::Workspace::load(root);
+    let mut semantic_map = semantic::analyze(&ws, semantic::Mode::Workspace);
     let mut report = WorkspaceReport::default();
     for rel in files {
         let Some(class) = classify(&rel) else {
@@ -901,18 +1054,83 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
         };
         let source = std::fs::read_to_string(root.join(&rel))?;
         report.files_scanned += 1;
-        let violations = lint_source(&source, class);
+        let mut violations = lint_source(&source, class);
+        if class.strict() {
+            if let Some(sem) = semantic_map.remove(&rel) {
+                let allows = collect_allows(&lexer::split(&source));
+                violations.extend(
+                    sem.into_iter()
+                        .filter(|v| !allowed(&allows, v.rule, v.line)),
+                );
+                violations.sort_by_key(|v| (v.line, v.rule));
+            }
+        }
         let allows: Vec<(Rule, usize)> = count_allows(&source)
             .into_iter()
             .filter(|&(_, n)| n > 0)
             .collect();
         if !violations.is_empty() || !allows.is_empty() {
+            let file_ast = ast::parse_file(&source);
+            let symbols = violations
+                .iter()
+                .map(|v| enclosing_symbol(&file_ast, v.line))
+                .collect();
             report.files.push(FileReport {
                 path: rel,
                 violations,
+                symbols,
                 allows,
             });
         }
     }
     Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+// ---------------------------------------------------------------------------
+
+/// Serializes fingerprints as the committed baseline
+/// (`lint_baseline.json`): a sorted JSON string array.
+pub fn baseline_json(fingerprints: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, fp) in fingerprints.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  \"");
+        s.push_str(&fp.replace('\\', "\\\\").replace('"', "\\\""));
+        s.push('"');
+    }
+    if !fingerprints.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Parses a baseline file: every JSON string literal in the text, in
+/// order.  Tolerant by design — the baseline is machine-written.
+pub fn parse_baseline(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        let mut lit = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => {
+                    if let Some(esc) = chars.next() {
+                        lit.push(esc);
+                    }
+                }
+                Some('"') | None => break,
+                Some(other) => lit.push(other),
+            }
+        }
+        out.push(lit);
+    }
+    out
 }

@@ -1,0 +1,45 @@
+//! L006 allowed fixture: the same locks acquired in one consistent
+//! order everywhere, guards scoped to release before the pool submit,
+//! and an explicit `drop` between dependent acquisitions.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub a: Mutex<Vec<u64>>,
+    pub b: Mutex<Vec<u64>>,
+}
+
+pub struct Pool;
+
+impl Pool {
+    pub fn submit(&self, _job: u64) {}
+}
+
+impl Shared {
+    pub fn forward(&self) -> usize {
+        let first = self.a.lock().unwrap();
+        let second = self.b.lock().unwrap();
+        first.len() + second.len()
+    }
+
+    pub fn also_forward(&self) -> usize {
+        let first = self.a.lock().unwrap();
+        let second = self.b.lock().unwrap();
+        second.len() - first.len()
+    }
+
+    pub fn sequential(&self) -> usize {
+        let first = self.b.lock().unwrap();
+        let b_len = first.len();
+        drop(first);
+        let second = self.a.lock().unwrap();
+        second.len() + b_len
+    }
+}
+
+pub fn submit_after_release(shared: &Shared, pool: &Pool) {
+    let len = {
+        let guard = shared.a.lock().unwrap();
+        guard.len()
+    };
+    pool.submit(len as u64);
+}

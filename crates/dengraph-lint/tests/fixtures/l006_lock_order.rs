@@ -1,0 +1,34 @@
+//! L006 failing fixture: an ABBA lock-order inversion plus a guard held
+//! across a pool submit.  Every `lock()` here is on a declared Mutex
+//! field, so lock identities resolve to `Shared::a` / `Shared::b`.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub a: Mutex<Vec<u64>>,
+    pub b: Mutex<Vec<u64>>,
+}
+
+pub struct Pool;
+
+impl Pool {
+    pub fn submit(&self, _job: u64) {}
+}
+
+impl Shared {
+    pub fn forward(&self) -> usize {
+        let first = self.a.lock().unwrap();
+        let second = self.b.lock().unwrap();
+        first.len() + second.len()
+    }
+
+    pub fn backward(&self) -> usize {
+        let first = self.b.lock().unwrap();
+        let second = self.a.lock().unwrap();
+        first.len() + second.len()
+    }
+}
+
+pub fn submit_under_guard(shared: &Shared, pool: &Pool) {
+    let guard = shared.a.lock().unwrap();
+    pool.submit(guard.len() as u64);
+}

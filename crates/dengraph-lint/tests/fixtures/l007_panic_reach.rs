@@ -1,0 +1,14 @@
+//! L007 failing fixture: a pipeline entry point reaches an `unwrap`
+//! two calls deep — the rule must walk the call graph, not just the
+//! entry's own body.
+pub fn process_quantum(values: &[u64]) -> u64 {
+    step(values)
+}
+
+fn step(values: &[u64]) -> u64 {
+    widest(values)
+}
+
+fn widest(values: &[u64]) -> u64 {
+    values.iter().copied().max().unwrap()
+}

@@ -1,0 +1,40 @@
+//! L008 allowed fixture: every decoded length is bounded against the
+//! remaining input before it sizes an allocation.
+pub struct Reader {
+    pos: usize,
+}
+
+impl Reader {
+    pub fn usize(&mut self) -> Option<usize> {
+        self.pos += 8;
+        Some(self.pos)
+    }
+
+    pub fn seq_len(&mut self) -> Option<usize> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return None;
+        }
+        Some(n)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.pos
+    }
+}
+
+pub fn decode(r: &mut Reader) -> Option<Vec<u8>> {
+    let len = r.usize()?;
+    if len > r.remaining() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    out.push(0);
+    Some(out)
+}
+
+pub fn decode_validated(r: &mut Reader) -> Option<Vec<u8>> {
+    let len = r.seq_len()?;
+    let out = vec![0u8; len];
+    Some(out)
+}

@@ -1,0 +1,35 @@
+//! L008 failing fixture: lengths decoded from wire bytes reach
+//! allocations with no bounds check against the remaining input.
+pub struct Reader {
+    pos: usize,
+}
+
+impl Reader {
+    pub fn usize(&mut self) -> Option<usize> {
+        self.pos += 8;
+        Some(self.pos)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.pos
+    }
+}
+
+pub fn decode(r: &mut Reader) -> Option<Vec<u8>> {
+    let len = r.usize()?;
+    let mut out = Vec::with_capacity(len);
+    out.push(0);
+    Some(out)
+}
+
+pub fn decode_fill(r: &mut Reader) -> Option<Vec<u8>> {
+    let len = r.usize()?;
+    let out = vec![0u8; len];
+    Some(out)
+}
+
+pub fn decode_reserve(r: &mut Reader, out: &mut Vec<u8>) -> Option<()> {
+    let extra = r.usize()?;
+    out.reserve(extra);
+    Some(())
+}

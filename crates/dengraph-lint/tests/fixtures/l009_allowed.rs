@@ -1,0 +1,17 @@
+//! L009 allowed fixture: the same reductions over provably ordered
+//! sources — a `BTreeMap` and a sequential `Vec` — stay quiet, parallel
+//! or not.
+use std::collections::BTreeMap;
+
+pub fn par_map(items: &[u64], f: impl Fn(&u64) -> f64) -> Vec<f64> {
+    items.iter().map(f).collect()
+}
+
+pub fn parallel_total(items: &[u64], weights: BTreeMap<u64, f64>) -> f64 {
+    let sums = par_map(items, |_item| weights.values().fold(0.0, |acc, w| acc + w));
+    sums.first().copied().unwrap_or(0.0)
+}
+
+pub fn sequential_total(values: Vec<f64>) -> f64 {
+    values.iter().copied().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,22 @@
+//! L009 failing fixture: an `f64` fold over a hash map's values inside
+//! a closure handed to a parallel entry point, plus a turbofished
+//! `.sum::<f64>()` over `.values()` in a helper the parallel region
+//! reaches.
+use std::collections::HashMap;
+
+pub fn par_map(items: &[u64], f: impl Fn(&u64) -> f64) -> Vec<f64> {
+    items.iter().map(f).collect()
+}
+
+pub fn parallel_total(items: &[u64], weights: HashMap<u64, f64>) -> f64 {
+    let sums = par_map(items, |_item| weights.values().fold(0.0, |acc, w| acc + w));
+    sums.first().copied().unwrap_or(0.0)
+}
+
+pub fn helper_total(weights: &HashMap<u64, f64>) -> f64 {
+    weights.values().copied().sum::<f64>()
+}
+
+pub fn parallel_helper(items: &[u64], weights: HashMap<u64, f64>) -> Vec<f64> {
+    par_map(items, move |_item| helper_total(&weights))
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the semantic rules L006–L009: each rule is
+//! proven by a failing fixture and an allowed fixture under
+//! `tests/fixtures/`, and the real workspace is held to the same bar
+//! (the `dengraph-parallel` pool must be lock-order-clean).
+
+use dengraph_lint::resolve::Workspace;
+use dengraph_lint::semantic::{analyze, analyze_single, Mode};
+use dengraph_lint::Rule;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Rules hit by a fixture, with their lines, in report order.
+fn hits(name: &str) -> Vec<(Rule, usize)> {
+    analyze_single(&fixture(name))
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn l006_failing_fixture_reports_cycle_and_submit() {
+    let hits = hits("l006_lock_order.rs");
+    let l006: Vec<usize> = hits
+        .iter()
+        .filter(|(r, _)| *r == Rule::L006)
+        .map(|&(_, line)| line)
+        .collect();
+    // One cycle edge in `forward` (line 20), one in `backward` (line
+    // 26), and the submit under a live guard (line 33).
+    assert_eq!(l006, vec![20, 26, 33], "hits: {hits:?}");
+    let messages: Vec<String> = analyze_single(&fixture("l006_lock_order.rs"))
+        .into_iter()
+        .map(|v| v.message)
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("lock-order cycle")),
+        "expected a cycle message in {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("pool submit")),
+        "expected a submit message in {messages:?}"
+    );
+}
+
+#[test]
+fn l006_allowed_fixture_is_clean() {
+    assert_eq!(hits("l006_allowed.rs"), vec![]);
+}
+
+#[test]
+fn l007_failing_fixture_reports_transitive_reach() {
+    let all = analyze_single(&fixture("l007_panic_reach.rs"));
+    assert_eq!(all.len(), 1, "hits: {all:?}");
+    assert_eq!(all[0].rule, Rule::L007);
+    assert_eq!(all[0].line, 13);
+    // The message reconstructs the whole call path for the report.
+    assert!(
+        all[0].message.contains("process_quantum -> step -> widest"),
+        "message: {}",
+        all[0].message
+    );
+}
+
+#[test]
+fn l007_allowed_fixture_is_clean() {
+    // `diagnostics_only` keeps an unwrap, but no entry point reaches it.
+    assert_eq!(hits("l007_allowed.rs"), vec![]);
+}
+
+#[test]
+fn l008_failing_fixture_reports_all_three_sinks() {
+    let l008: Vec<usize> = hits("l008_untrusted_len.rs")
+        .into_iter()
+        .filter(|(r, _)| *r == Rule::L008)
+        .map(|(_, line)| line)
+        .collect();
+    // `with_capacity` (line 20), `vec![0u8; len]` (line 27), and
+    // `.reserve` (line 33).
+    assert_eq!(l008, vec![20, 27, 33]);
+}
+
+#[test]
+fn l008_allowed_fixture_is_clean() {
+    assert_eq!(hits("l008_allowed.rs"), vec![]);
+}
+
+#[test]
+fn l009_failing_fixture_reports_fold_and_reached_sum() {
+    let l009: Vec<usize> = hits("l009_float_fold.rs")
+        .into_iter()
+        .filter(|(r, _)| *r == Rule::L009)
+        .map(|(_, line)| line)
+        .collect();
+    // The fold inside the parallel closure (line 12) and the
+    // turbofished sum in the helper the parallel region reaches
+    // (line 17).
+    assert_eq!(l009, vec![12, 17]);
+}
+
+#[test]
+fn l009_allowed_fixture_is_clean() {
+    assert_eq!(hits("l009_allowed.rs"), vec![]);
+}
+
+#[test]
+fn real_parallel_pool_is_lock_order_clean() {
+    let ws = Workspace::load(&workspace_root());
+    let findings = analyze(&ws, Mode::Workspace);
+    let l006: Vec<String> = findings
+        .iter()
+        .flat_map(|(file, vs)| {
+            vs.iter()
+                .filter(|v| v.rule == Rule::L006)
+                .map(move |v| format!("{}:{} {}", file.display(), v.line, v.message))
+        })
+        .collect();
+    assert_eq!(
+        l006,
+        Vec::<String>::new(),
+        "the pool/session locks must keep one consistent order"
+    );
+}
+
+#[test]
+fn real_workspace_has_no_unjustified_violations() {
+    let report = dengraph_lint::lint_workspace(&workspace_root()).expect("workspace walk failed");
+    let surviving: Vec<String> = report
+        .files
+        .iter()
+        .flat_map(|f| {
+            f.violations
+                .iter()
+                .map(|v| format!("{} {}:{}", v.rule, f.path.display(), v.line))
+        })
+        .collect();
+    assert_eq!(surviving, Vec::<String>::new());
+}
+
+#[test]
+fn fingerprints_are_line_stable_and_baseline_roundtrips() {
+    let report = dengraph_lint::lint_workspace(&workspace_root()).expect("workspace walk failed");
+    let fps = report.fingerprints();
+    let json = dengraph_lint::baseline_json(&fps);
+    assert_eq!(dengraph_lint::parse_baseline(&json), fps);
+    // A clean report diffs clean against its own baseline.
+    assert_eq!(report.new_since(&fps), vec![]);
+}
+
+#[test]
+fn enclosing_symbol_resolves_impl_methods() {
+    let source = fixture("l006_lock_order.rs");
+    let file = dengraph_lint::ast::parse_file(&source);
+    // Line 20 is inside `Shared::forward`.
+    assert_eq!(
+        dengraph_lint::enclosing_symbol(&file, 20),
+        "Shared::forward"
+    );
+    assert_eq!(
+        dengraph_lint::enclosing_symbol(&file, 32),
+        "submit_under_guard"
+    );
+    assert_eq!(dengraph_lint::enclosing_symbol(&file, 4), "<file>");
+}

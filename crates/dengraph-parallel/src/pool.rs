@@ -174,7 +174,7 @@ impl Pool {
         }
         latch.wait();
         if latch.panicked.load(Ordering::Acquire) {
-            // lint: allow(L002, deliberate panic propagation documented in `# Panics`; a swallowed job panic would silently corrupt the batch's outputs)
+            // lint: allow(L002, deliberate panic propagation documented in `# Panics`; a swallowed job panic would silently corrupt the batch's outputs) allow(L007, re-raises a worker panic on the submitting thread; the entry point is only reached after a job already panicked)
             panic!("dengraph-parallel pool job panicked");
         }
     }
