@@ -362,9 +362,10 @@ impl EventDetector {
             messages,
             self.config.parallelism,
             &mut self.scratch.pairs,
+            &mut self.scratch.pair_sort,
             storage,
         );
-        let evicted = self.window.push(record);
+        let evicted = self.window.push_with_lanes(record, &mut self.scratch.lanes);
         let evicted_quantum = evicted.as_ref().map(|r| r.index);
         if let Some(old) = evicted {
             self.scratch.record_storage = Some(old.into_storage());

@@ -45,7 +45,7 @@
 use std::collections::VecDeque;
 
 use dengraph_graph::fxhash::FxHashSet;
-use dengraph_minhash::{EpochSketchStore, MinHashSketch, UserHasher};
+use dengraph_minhash::{kernel, EpochSketchStore, MinHashSketch, SketchLanes, UserHasher};
 use dengraph_parallel::{par_chunks, par_map, Parallelism};
 use dengraph_stream::{Message, UserId};
 use dengraph_text::KeywordId;
@@ -119,6 +119,7 @@ impl QuantumRecord {
             messages,
             parallelism,
             &mut pairs,
+            &mut PairSortScratch::default(),
             (Vec::new(), Vec::new()),
         )
     }
@@ -132,6 +133,7 @@ impl QuantumRecord {
         messages: &[Message],
         parallelism: Parallelism,
         pairs: &mut Vec<(KeywordId, UserId)>,
+        sort: &mut PairSortScratch,
         storage: RecordStorage,
     ) -> Self {
         pairs.clear();
@@ -158,8 +160,7 @@ impl QuantumRecord {
                 }
             }
         }
-        pairs.sort_unstable();
-        pairs.dedup();
+        sort_dedup_pairs(pairs, sort);
         let (users, spans) = fold_pairs(pairs, storage);
         Self {
             index,
@@ -340,6 +341,52 @@ impl dengraph_json::Decode for QuantumRecord {
     }
 }
 
+/// Reusable scratch for [`sort_dedup_pairs`]: the packed `u64` key column
+/// and the radix sort's ping-pong buffer.  Lives in the detector's
+/// [`crate::scratch::ScratchArena`] so steady-state quanta sort without
+/// allocating.
+#[derive(Debug, Default)]
+pub(crate) struct PairSortScratch {
+    keys: Vec<u64>,
+    tmp: Vec<u64>,
+}
+
+/// Canonicalises a staged pair list: ascending `(keyword, user)` order with
+/// duplicates removed.
+///
+/// Keyword ids are `u32` and interned user ids are dense, so in the steady
+/// state every pair packs losslessly into one `u64`
+/// (`keyword << 32 | user`) whose natural order equals the tuple order; the
+/// packed column goes through the LSD radix sort, which beats the
+/// comparison sort on the large duplicate-heavy pair lists the window stage
+/// produces.  Any user id with high bits set (possible for synthetic raw
+/// ids) falls back to the comparison sort — both paths produce the same
+/// canonical list.
+fn sort_dedup_pairs(pairs: &mut Vec<(KeywordId, UserId)>, scratch: &mut PairSortScratch) {
+    let mut user_bits = 0u64;
+    for &(_, u) in pairs.iter() {
+        user_bits |= u.0;
+    }
+    if user_bits >> 32 != 0 {
+        pairs.sort_unstable();
+        pairs.dedup();
+        return;
+    }
+    scratch.keys.clear();
+    scratch
+        .keys
+        .extend(pairs.iter().map(|&(k, u)| (u64::from(k.0) << 32) | u.0));
+    kernel::radix_sort_u64(&mut scratch.keys, &mut scratch.tmp);
+    scratch.keys.dedup();
+    pairs.clear();
+    pairs.extend(
+        scratch
+            .keys
+            .iter()
+            .map(|&key| (KeywordId((key >> 32) as u32), UserId(key & 0xFFFF_FFFF))),
+    );
+}
+
 /// Folds a sorted, de-duplicated `(keyword, user)` pair list into the
 /// record's flat layout — the single owner of the span-construction
 /// invariant (contiguous `[start, end)` ranges in pair order) for both the
@@ -502,6 +549,7 @@ impl WindowIndex {
         record: &QuantumRecord,
         hasher: &UserHasher,
         past: &VecDeque<QuantumRecord>,
+        lanes: &mut SketchLanes,
     ) {
         let sketch_size = self.sketch_size;
         let threshold = self.materialize_threshold;
@@ -540,9 +588,7 @@ impl WindowIndex {
                         continue;
                     }
                     let mut sub = take_sub(sketch_pool);
-                    for &u in old_users {
-                        sub.insert(hasher, u.raw());
-                    }
+                    sub.insert_batch(hasher, old_users, |u| u.raw(), lanes);
                     merge_refcounts(&mut entry.users, old_users);
                     entry.sketches.push(old.index, sub);
                     entry.last_seen = old.index;
@@ -552,9 +598,7 @@ impl WindowIndex {
             }
             let entry = entries[idx].as_mut().expect("entry just ensured");
             let mut sub = take_sub(sketch_pool);
-            for &u in users {
-                sub.insert(hasher, u.raw());
-            }
+            sub.insert_batch(hasher, users, |u| u.raw(), lanes);
             merge_refcounts(&mut entry.users, users);
             entry.sketches.push(record.index, sub);
             entry.last_seen = record.index;
@@ -858,8 +902,20 @@ impl WindowState {
     /// out of the window, if the window was already full (callers can
     /// recycle its storage via `QuantumRecord::into_storage`).
     pub fn push(&mut self, record: QuantumRecord) -> Option<QuantumRecord> {
+        self.push_with_lanes(record, &mut SketchLanes::new())
+    }
+
+    /// Like [`Self::push`], but reuses caller-owned kernel lanes for the
+    /// sub-sketch builds — the detector's hot path threads its
+    /// [`crate::scratch::ScratchArena`] lanes through here so steady-state
+    /// quanta fold without allocating.
+    pub fn push_with_lanes(
+        &mut self,
+        record: QuantumRecord,
+        lanes: &mut SketchLanes,
+    ) -> Option<QuantumRecord> {
         if let Some(index) = &mut self.index {
-            index.insert_record(&record, &self.hasher, &self.window);
+            index.insert_record(&record, &self.hasher, &self.window, lanes);
         }
         self.window.push_back(record);
         let evicted = if self.window.len() > self.capacity {
@@ -976,11 +1032,9 @@ impl WindowState {
             self.sketch_size,
             &self.hasher,
             keywords,
-            |&keyword, hasher, sketch| {
+            |&keyword, hasher, sketch, lanes| {
                 for record in &self.window {
-                    for u in record.users_of(keyword) {
-                        sketch.insert(hasher, u.raw());
-                    }
+                    sketch.insert_batch(hasher, record.users_of(keyword), |u| u.raw(), lanes);
                 }
             },
         )
@@ -1641,6 +1695,7 @@ mod tests {
             &messages,
             Parallelism::Serial,
             &mut pairs,
+            &mut PairSortScratch::default(),
             storage,
         );
         assert_eq!(fresh, recycled);

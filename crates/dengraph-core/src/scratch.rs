@@ -15,17 +15,24 @@
 //! reason.
 
 use dengraph_graph::NodeId;
+use dengraph_minhash::SketchLanes;
 use dengraph_stream::UserId;
 use dengraph_text::KeywordId;
 
 use crate::akg::GraphDelta;
-use crate::keyword_state::RecordStorage;
+use crate::keyword_state::{PairSortScratch, RecordStorage};
 
 /// Reusable buffers for one detector's per-quantum pipeline.
 #[derive(Debug, Default)]
 pub(crate) struct ScratchArena {
     /// `(keyword, user)` staging for quantum aggregation (stage 1).
     pub pairs: Vec<(KeywordId, UserId)>,
+    /// Packed key column + ping-pong buffer for the radix pair sort
+    /// (stage 1).
+    pub pair_sort: PairSortScratch,
+    /// Batch-kernel hash/survivor lanes for the window sub-sketch builds
+    /// (stage 1).
+    pub lanes: SketchLanes,
     /// Backing storage recycled from the most recently evicted
     /// [`QuantumRecord`](crate::keyword_state::QuantumRecord).
     pub record_storage: Option<RecordStorage>,

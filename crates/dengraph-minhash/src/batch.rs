@@ -3,17 +3,27 @@
 //! The detector needs one window sketch per candidate keyword every
 //! quantum.  Each sketch only reads shared immutable state (the sliding
 //! window), so the batch fans out over keyword shards via
-//! [`dengraph_parallel::par_map`]; results come back in key order, which
-//! keeps the parallel pipeline bit-identical to the serial one.
+//! [`dengraph_parallel::par_chunks`]; results come back in key order,
+//! which keeps the parallel pipeline bit-identical to the serial one.
+//!
+//! Each shard owns one set of [`SketchLanes`], so the per-key `fill`
+//! callback can feed whole id runs through the batch kernels
+//! ([`MinHashSketch::insert_batch`]) instead of one id at a time.
 
-use dengraph_parallel::{par_map, Parallelism};
+use dengraph_parallel::{par_chunks, Parallelism};
 
 use crate::hasher::UserHasher;
+use crate::kernel::SketchLanes;
 use crate::sketch::MinHashSketch;
 
+/// Minimum keys per shard before the fan-out splits the batch (matches
+/// the pair-collection sharding in the window stage).
+const MIN_KEYS_PER_SHARD: usize = 16;
+
 /// Builds one sketch per key.  `fill` feeds the user ids of one key into
-/// its sketch (typically by walking a sliding window); it must be a pure
-/// function of the key and the shared state it captures.
+/// its sketch (typically by walking a sliding window, batching each
+/// record's id run through the lanes); it must be a pure function of the
+/// key and the shared state it captures.
 ///
 /// Returns the sketches in the same order as `keys`.
 pub fn build_sketches<K, F>(
@@ -25,13 +35,24 @@ pub fn build_sketches<K, F>(
 ) -> Vec<MinHashSketch>
 where
     K: Sync,
-    F: Fn(&K, &UserHasher, &mut MinHashSketch) + Sync,
+    F: Fn(&K, &UserHasher, &mut MinHashSketch, &mut SketchLanes) + Sync,
 {
-    par_map(parallelism, keys, |key| {
-        let mut sketch = MinHashSketch::new(p);
-        fill(key, hasher, &mut sketch);
-        sketch
-    })
+    let shards = par_chunks(parallelism, keys, MIN_KEYS_PER_SHARD, |shard| {
+        let mut lanes = SketchLanes::new();
+        shard
+            .iter()
+            .map(|key| {
+                let mut sketch = MinHashSketch::new(p);
+                fill(key, hasher, &mut sketch, &mut lanes);
+                sketch
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut out = Vec::with_capacity(keys.len());
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -43,10 +64,12 @@ mod tests {
         let hasher = UserHasher::new(0xFEED);
         // Key k owns user ids k*100 .. k*100+k+1.
         let keys: Vec<u64> = (0..200).collect();
-        let fill = |key: &u64, hasher: &UserHasher, sketch: &mut MinHashSketch| {
-            for id in 0..=*key {
-                sketch.insert(hasher, key * 100 + id);
-            }
+        let fill = |key: &u64,
+                    hasher: &UserHasher,
+                    sketch: &mut MinHashSketch,
+                    lanes: &mut SketchLanes| {
+            let ids: Vec<u64> = (0..=*key).map(|id| key * 100 + id).collect();
+            sketch.insert_batch(hasher, &ids, |id| id, lanes);
         };
         let serial = build_sketches(Parallelism::Serial, 4, &hasher, &keys, fill);
         let parallel = build_sketches(Parallelism::Threads(4), 4, &hasher, &keys, fill);
@@ -61,7 +84,7 @@ mod tests {
     fn empty_key_list_is_fine() {
         let hasher = UserHasher::new(1);
         let keys: Vec<u32> = vec![];
-        let sketches = build_sketches(Parallelism::Threads(8), 4, &hasher, &keys, |_, _, _| {});
+        let sketches = build_sketches(Parallelism::Threads(8), 4, &hasher, &keys, |_, _, _, _| {});
         assert!(sketches.is_empty());
     }
 }

@@ -20,16 +20,22 @@
 //!   via `dengraph-parallel` with deterministic (input-order) results.
 //! * [`store`] — [`EpochSketchStore`], a mergeable per-epoch sub-sketch
 //!   store for incremental sliding-window sketch maintenance.
+//! * [`kernel`] — the batch struct-of-arrays kernels behind all of the
+//!   above: 8-lane splitmix64 hashing, branch-free minima folding, O(p)
+//!   sorted-minima merging and an LSD radix sort for packed pair columns,
+//!   each bit-identical to its scalar reference.
 
 pub mod batch;
 pub mod hasher;
 pub mod jaccard;
+pub mod kernel;
 pub mod sketch;
 pub mod store;
 
 pub use batch::build_sketches;
 pub use hasher::{HashFamily, UserHasher};
 pub use jaccard::{exact_jaccard, exact_jaccard_sorted, overlap_coefficient_sorted};
+pub use kernel::SketchLanes;
 pub use sketch::MinHashSketch;
 pub use store::EpochSketchStore;
 

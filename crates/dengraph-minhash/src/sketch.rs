@@ -7,6 +7,7 @@
 //! unbiased estimator of the Jaccard coefficient.
 
 use crate::hasher::UserHasher;
+use crate::kernel::{self, SketchLanes};
 
 /// Bounded sketch holding the `p` smallest hash values seen so far.
 ///
@@ -74,6 +75,27 @@ impl MinHashSketch {
         }
     }
 
+    /// Observes a batch of raw ids through the struct-of-arrays kernels:
+    /// all ids are hashed eight per iteration into `lanes`, filtered
+    /// branch-free against the current `p`-th minimum, and the few
+    /// survivors merged into the minima column once — bit-identical to
+    /// calling [`Self::insert`] per id, without the per-id
+    /// `binary_search` + memmove.
+    ///
+    /// `id_of` projects the caller's id type to its raw `u64` (use the
+    /// identity for plain `u64` ids); `lanes` is caller-owned scratch so
+    /// steady-state batches allocate nothing.
+    pub fn insert_batch<T: Copy>(
+        &mut self,
+        hasher: &UserHasher,
+        ids: &[T],
+        id_of: impl Fn(T) -> u64,
+        lanes: &mut SketchLanes,
+    ) {
+        kernel::hash_batch(hasher, ids, id_of, &mut lanes.hashes);
+        kernel::fold_lanes_into(&mut self.minima, self.p, lanes);
+    }
+
     /// Builds a sketch directly from an id iterator.
     pub fn from_ids<I: IntoIterator<Item = u64>>(p: usize, hasher: &UserHasher, ids: I) -> Self {
         let mut s = Self::new(p);
@@ -82,9 +104,28 @@ impl MinHashSketch {
     }
 
     /// Merges another sketch into this one (union of the underlying sets).
+    ///
+    /// One O(p) two-pointer walk over the two sorted minima columns
+    /// ([`kernel::merge_sorted_minima`]); the epoch-store union
+    /// maintenance pays this on every push and eviction re-merge, so the
+    /// quadratic repeated-`insert_hash` formulation was the window
+    /// stage's hottest scalar loop.  Allocation-free for `p ≤ 128` (a
+    /// stack buffer); larger sketches only occur in tests/ablations and
+    /// fall back to the per-value path.
     pub fn merge(&mut self, other: &MinHashSketch) {
-        for &h in &other.minima {
-            self.insert_hash(h);
+        if other.minima.is_empty() {
+            return;
+        }
+        const STACK_P: usize = 128;
+        if self.p <= STACK_P {
+            let mut buf = [0u64; STACK_P];
+            let n = kernel::merge_sorted_minima(&self.minima, &other.minima, self.p, &mut buf);
+            self.minima.clear();
+            self.minima.extend_from_slice(&buf[..n]);
+        } else {
+            for &h in &other.minima {
+                self.insert_hash(h);
+            }
         }
     }
 
@@ -93,21 +134,7 @@ impl MinHashSketch {
     /// Both sketches must have been built with the same hasher for the
     /// result to be meaningful.
     pub fn overlap(&self, other: &MinHashSketch) -> usize {
-        let mut i = 0;
-        let mut j = 0;
-        let mut count = 0;
-        while i < self.minima.len() && j < other.minima.len() {
-            match self.minima[i].cmp(&other.minima[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
+        kernel::merge_walk(&self.minima, &other.minima, usize::MAX).1
     }
 
     /// The paper's edge-admission test: do the two sketches share at least
@@ -123,33 +150,14 @@ impl MinHashSketch {
     /// those sampled values appear in both sets.
     ///
     /// Implemented as an allocation-free merge walk over the two sorted
-    /// minima lists — this runs once per candidate keyword pair per
+    /// minima lists ([`kernel::merge_walk`], shared with
+    /// [`Self::overlap`]) — this runs once per candidate keyword pair per
     /// quantum, which makes it one of the hottest spots of the detector.
     pub fn estimate_jaccard(&self, other: &MinHashSketch) -> f64 {
-        if self.is_empty() && other.is_empty() {
-            return 0.0;
-        }
         // Walk the union's distinct values in ascending order, keeping the
         // `max(p_a, p_b)` smallest, and count those present in both.
         let cap = self.p.max(other.p);
-        let mut taken = 0usize;
-        let mut in_both = 0usize;
-        let mut i = 0;
-        let mut j = 0;
-        while taken < cap && (i < self.minima.len() || j < other.minima.len()) {
-            match (self.minima.get(i), other.minima.get(j)) {
-                (Some(&a), Some(&b)) if a == b => {
-                    in_both += 1;
-                    i += 1;
-                    j += 1;
-                }
-                (Some(&a), Some(&b)) if a < b => i += 1,
-                (Some(_), Some(_)) => j += 1,
-                (Some(_), None) => i += 1,
-                (None, _) => j += 1,
-            }
-            taken += 1;
-        }
+        let (taken, in_both) = kernel::merge_walk(&self.minima, &other.minima, cap);
         if taken == 0 {
             return 0.0;
         }

@@ -120,15 +120,21 @@ fn steady_state_quanta_allocate_a_small_constant() {
         assert!(!summary.events.is_empty());
     }
 
+    eprintln!("worst steady-state quantum: {worst} allocations");
     // Budget: the per-quantum constant — the returned summary's vectors,
     // the reported events (3 × keyword list), the correlation cache's
     // per-quantum columns, the scoring fan-out's result vector and the
-    // tracker's (amortised) history growth.  Measured ≈ 30 on the current
-    // implementation; 64 leaves headroom for allocator jitter while any
-    // O(Δ) regression (Δ = 48 here, so ≥ ~100 extra allocations) fails.
+    // tracker's (amortised) history growth.  Measured ≈ 30 in release and
+    // ≈ 57 in debug on the current implementation (the gap predates the
+    // batch sketch kernels, which keep their lane buffers in the
+    // `ScratchArena` and merge through a stack buffer — zero steady-state
+    // allocations in either profile).  The budget leaves headroom for
+    // allocator jitter while any O(Δ) regression (Δ = 48 here, so
+    // ≥ ~100 extra allocations) fails.
+    let budget = if cfg!(debug_assertions) { 64 } else { 48 };
     assert!(
-        worst <= 64,
-        "steady-state quantum performed {worst} heap allocations (budget 64) — \
-         scratch/pool reuse has regressed"
+        worst <= budget,
+        "steady-state quantum performed {worst} heap allocations \
+         (budget {budget}) — scratch/pool reuse has regressed"
     );
 }
