@@ -30,7 +30,7 @@
 //! parallel path is bit-identical to the serial one.
 
 use dengraph_graph::fxhash::FxHashSet;
-use dengraph_graph::{DynamicGraph, NodeId};
+use dengraph_graph::{ComponentIndex, DynamicGraph, NodeId};
 use dengraph_minhash::MinHashSketch;
 use dengraph_parallel::par_map;
 use dengraph_stream::UserId;
@@ -377,6 +377,10 @@ impl<'a> CorrelationCache<'a> {
 pub struct AkgMaintainer {
     config: DetectorConfig,
     graph: DynamicGraph,
+    /// Persistent connected-component index over `graph`, maintained in
+    /// lock step with every mutation below so the stage-3 shard partition
+    /// never re-walks the AKG's edges.
+    components: ComponentIndex,
     states: KeywordStateMachine,
     last_stats: AkgQuantumStats,
     /// Cumulative wall-clock of the read-only score phase (candidate
@@ -384,8 +388,12 @@ pub struct AkgMaintainer {
     /// only — never serialised.
     score_ns: u64,
     /// Cumulative wall-clock of the mutation phases (stale removal,
-    /// admission, edge apply, lazy demotion), diagnostics only.
+    /// admission, edge apply, lazy demotion), diagnostics only.  Excludes
+    /// component-index maintenance, which is attributed to `component_ns`.
     apply_ns: u64,
+    /// Cumulative wall-clock of component-index maintenance, diagnostics
+    /// only.
+    component_ns: u64,
 }
 
 impl AkgMaintainer {
@@ -394,10 +402,12 @@ impl AkgMaintainer {
         Self {
             config,
             graph: DynamicGraph::new(),
+            components: ComponentIndex::new(),
             states: KeywordStateMachine::new(),
             last_stats: AkgQuantumStats::default(),
             score_ns: 0,
             apply_ns: 0,
+            component_ns: 0,
         }
     }
 
@@ -406,16 +416,23 @@ impl AkgMaintainer {
         &self.graph
     }
 
+    /// The persistent connected-component index over the AKG, always in
+    /// lock step with [`Self::graph`].
+    pub fn components(&self) -> &ComponentIndex {
+        &self.components
+    }
+
     /// Statistics of the most recently processed quantum.
     pub fn last_stats(&self) -> AkgQuantumStats {
         self.last_stats
     }
 
-    /// Cumulative `(score_ns, apply_ns)` wall-clock split of the
-    /// per-quantum maintenance: the read-only scoring phase vs the serial
-    /// graph-mutation phases.
-    pub fn stage_ns(&self) -> (u64, u64) {
-        (self.score_ns, self.apply_ns)
+    /// Cumulative `(score_ns, apply_ns, component_ns)` wall-clock split of
+    /// the per-quantum maintenance: the read-only scoring phase, the
+    /// serial graph-mutation phases, and the component-index maintenance
+    /// carved out of the latter.
+    pub fn stage_ns(&self) -> (u64, u64, u64) {
+        (self.score_ns, self.apply_ns, self.component_ns)
     }
 
     /// Current state of a keyword.
@@ -423,12 +440,16 @@ impl AkgMaintainer {
         self.states.state(keyword)
     }
 
-    /// Serialises the maintainer's state (graph, keyword automaton, last
-    /// stats).  The configuration is *not* included — it is shared detector
-    /// state and travels once at the checkpoint's top level.
+    /// Serialises the maintainer's state (graph, component index, keyword
+    /// automaton, last stats).  The configuration is *not* included — it
+    /// is shared detector state and travels once at the checkpoint's top
+    /// level.  The component index travels in its canonical encoding, so
+    /// an incrementally maintained index and its restored twin serialise
+    /// byte-identically.
     pub fn to_json(&self) -> dengraph_json::Value {
         dengraph_json::Value::obj([
             ("graph", self.graph.to_json()),
+            ("components", self.components.to_json()),
             ("states", self.states.to_json()),
             ("last_stats", self.last_stats.to_json()),
         ])
@@ -443,10 +464,12 @@ impl AkgMaintainer {
         Ok(Self {
             config,
             graph: DynamicGraph::from_json(value.get("graph")?)?,
+            components: ComponentIndex::from_json(value.get("components")?)?,
             states: KeywordStateMachine::from_json(value.get("states")?)?,
             last_stats: AkgQuantumStats::from_json(value.get("last_stats")?)?,
             score_ns: 0,
             apply_ns: 0,
+            component_ns: 0,
         })
     }
 
@@ -454,6 +477,7 @@ impl AkgMaintainer {
     /// last stats) — the binary twin of [`Self::to_json`].
     pub fn to_bin(&self, w: &mut dengraph_json::BinWriter) {
         self.graph.to_bin(w);
+        self.components.to_bin(w);
         self.states.to_bin(w);
         self.last_stats.to_bin(w);
     }
@@ -467,10 +491,12 @@ impl AkgMaintainer {
         Ok(Self {
             config,
             graph: DynamicGraph::from_bin(r)?,
+            components: ComponentIndex::from_bin(r)?,
             states: KeywordStateMachine::from_bin(r)?,
             last_stats: AkgQuantumStats::from_bin(r)?,
             score_ns: 0,
             apply_ns: 0,
+            component_ns: 0,
         })
     }
 
@@ -486,19 +512,25 @@ impl AkgMaintainer {
             match *delta {
                 GraphDelta::NodeAdded { node } => {
                     self.graph.add_node(node);
+                    self.components.add_node(node);
                     // Saturated observe is exactly "force High".
                     self.states.observe(keyword_of(node), 1, 1);
                 }
                 GraphDelta::NodeRemoved { node } => {
                     self.graph.remove_node(node);
+                    self.components.remove_node(&self.graph, node);
                     self.states.demote(keyword_of(node));
                 }
-                GraphDelta::EdgeAdded { a, b, weight }
-                | GraphDelta::EdgeWeightUpdated { a, b, weight } => {
+                GraphDelta::EdgeAdded { a, b, weight } => {
+                    self.graph.add_edge(a, b, weight);
+                    self.components.add_edge(a, b);
+                }
+                GraphDelta::EdgeWeightUpdated { a, b, weight } => {
                     self.graph.add_edge(a, b, weight);
                 }
                 GraphDelta::EdgeRemoved { a, b } => {
                     self.graph.remove_edge(a, b);
+                    self.components.remove_edge(&self.graph, a, b);
                 }
             }
         }
@@ -551,6 +583,10 @@ impl AkgMaintainer {
         let sigma = self.config.high_state_threshold;
         let tau = self.config.edge_correlation_threshold;
         let parallelism = self.config.parallelism;
+        // Index maintenance runs inside the apply-timed segments below;
+        // its growth is carved back out at the end so `apply_ns` and
+        // `component_ns` stay disjoint attributions.
+        let component_ns_at_entry = self.component_ns;
         let apply_start = std::time::Instant::now();
 
         // --- 1. stale removal -------------------------------------------------
@@ -585,6 +621,9 @@ impl AkgMaintainer {
                 set1.push(keyword);
                 if !already_in_akg {
                     self.graph.add_node(node_of(keyword));
+                    let t = std::time::Instant::now();
+                    self.components.add_node(node_of(keyword));
+                    self.component_ns += t.elapsed().as_nanos() as u64;
                     deltas.push(GraphDelta::NodeAdded {
                         node: node_of(keyword),
                     });
@@ -664,6 +703,9 @@ impl AkgMaintainer {
                     });
                 } else {
                     self.graph.add_edge(na, nb, ec);
+                    let t = std::time::Instant::now();
+                    self.components.add_edge(na, nb);
+                    self.component_ns += t.elapsed().as_nanos() as u64;
                     deltas.push(GraphDelta::EdgeAdded {
                         a: na,
                         b: nb,
@@ -684,6 +726,9 @@ impl AkgMaintainer {
                 });
             } else {
                 self.graph.remove_edge(na, nb);
+                let t = std::time::Instant::now();
+                self.components.remove_edge(&self.graph, na, nb);
+                self.component_ns += t.elapsed().as_nanos() as u64;
                 deltas.push(GraphDelta::EdgeRemoved { a: na, b: nb });
                 stats.edges_removed += 1;
             }
@@ -707,11 +752,14 @@ impl AkgMaintainer {
         }
 
         self.apply_ns += apply_start.elapsed().as_nanos() as u64;
+        self.apply_ns = self
+            .apply_ns
+            .saturating_sub(self.component_ns - component_ns_at_entry);
         self.last_stats = stats;
     }
 
     /// Removes a node (and its incident edges) from the AKG, recording the
-    /// corresponding deltas.
+    /// corresponding deltas and re-fragmenting the component index.
     fn remove_node(
         &mut self,
         node: NodeId,
@@ -719,6 +767,9 @@ impl AkgMaintainer {
         stats: &mut AkgQuantumStats,
     ) {
         let removed_edges = self.graph.remove_node(node);
+        let t = std::time::Instant::now();
+        self.components.remove_node(&self.graph, node);
+        self.component_ns += t.elapsed().as_nanos() as u64;
         for (edge, _) in removed_edges {
             deltas.push(GraphDelta::EdgeRemoved {
                 a: edge.0,

@@ -10,19 +10,36 @@
 //! The paper's locality argument — dense clusters evolve inside connected
 //! components of the AKG — means deltas touching different components are
 //! fully independent: they read disjoint neighbourhoods and mutate
-//! disjoint clusters.  [`ClusterMaintainer::apply_deltas_with`] exploits
-//! this by partitioning the quantum's deltas by connected component (of
-//! the post-delta graph *unioned with* the delta edges and the existing
-//! cluster edges, so removed structure still connects), processing each
-//! shard on the worker pool against its own sub-registry, and merging
-//! serially.  Fresh cluster ids are allocated in a placeholder space per
-//! shard and renumbered during the merge in `(delta index, allocation
-//! order)` — exactly the order the serial loop allocates in — so the
-//! sharded path is **bit-identical** to the serial one, cluster ids
-//! included (`tests/parallel_determinism.rs` gates it).
+//! disjoint clusters.  The sharded paths exploit this by partitioning the
+//! quantum's deltas by connected component, processing each shard on the
+//! worker pool against its own sub-registry, and merging serially.  Fresh
+//! cluster ids are allocated in a placeholder space per shard and
+//! renumbered during the merge in `(delta index, allocation order)` —
+//! exactly the order the serial loop allocates in — so every sharded path
+//! is **bit-identical** to the serial one, cluster ids included
+//! (`tests/parallel_determinism.rs` gates it).
+//!
+//! Two paths derive the partition:
+//!
+//! * [`ClusterMaintainer::apply_deltas_indexed`] (the hot path) reads the
+//!   persistent [`ComponentIndex`] the AKG maintainer keeps in lock step
+//!   with the graph, layering a **transient overlay union-find over this
+//!   quantum's delta endpoints** on top.  The overlay is what keeps a
+//!   deletion repair co-sharded with the cluster it repairs: a live
+//!   cluster's edges are a subset of the *pre-quantum* graph, and every
+//!   pre-quantum edge is either still in the post-quantum graph (so its
+//!   endpoints share a persistent component) or was removed this quantum
+//!   (so its endpoints are unioned by its `EdgeRemoved` delta) — hence
+//!   every cluster stays inside a single overlay component and no walk
+//!   over cluster edges is needed.  Partitioning cost: O(deltas), not
+//!   O(AKG edges).
+//! * [`ClusterMaintainer::apply_deltas_with`] recomputes the partition
+//!   from scratch by unioning every AKG edge plus the delta endpoints and
+//!   the live cluster edges — kept as the `ComponentIndexMode::Rebuild`
+//!   ablation baseline the bench compares against.
 
 use dengraph_graph::fxhash::FxHashMap;
-use dengraph_graph::{DynamicGraph, NodeId};
+use dengraph_graph::{ComponentIndex, DynamicGraph, NodeId};
 use dengraph_parallel::{par_map_indexed, Parallelism};
 
 use crate::akg::GraphDelta;
@@ -205,6 +222,61 @@ impl ClusterMaintainer {
         } else {
             None
         };
+        self.finish_quantum(graph, deltas, quantum, stats);
+    }
+
+    /// The stage-3 hot path: like [`Self::apply_deltas_with`], but derives
+    /// the shard partition from the persistent [`ComponentIndex`] the AKG
+    /// maintainer keeps in lock step with `graph`, instead of re-walking
+    /// every AKG edge.  A transient union-find over this quantum's delta
+    /// endpoints is layered on top of the persistent components so deletion
+    /// repairs stay co-sharded with the clusters they repair (see the module
+    /// docs for why delta unions alone suffice).  Partitioning is O(deltas);
+    /// the result is bit-identical to the serial and from-scratch paths —
+    /// same clusters, same cluster ids, same statistics.
+    ///
+    /// `index` must be the component index of `graph` (i.e. of the
+    /// *post-delta* AKG, which is how [`crate::akg::AkgMaintainer`] hands
+    /// both over).
+    pub fn apply_deltas_indexed(
+        &mut self,
+        graph: &DynamicGraph,
+        index: &ComponentIndex,
+        deltas: &[GraphDelta],
+        quantum: u64,
+        parallelism: Parallelism,
+    ) {
+        let stats = if parallelism.is_parallel() && deltas.len() >= 2 {
+            let mut overlay = DeltaOverlay::new(index);
+            for delta in deltas {
+                match *delta {
+                    GraphDelta::NodeAdded { .. } | GraphDelta::NodeRemoved { .. } => {
+                        // Pure node deltas carry no connectivity; their
+                        // shard key resolves through the overlay on demand.
+                    }
+                    GraphDelta::EdgeAdded { a, b, .. }
+                    | GraphDelta::EdgeWeightUpdated { a, b, .. }
+                    | GraphDelta::EdgeRemoved { a, b } => {
+                        overlay.union(a, b);
+                    }
+                }
+            }
+            self.partition_and_run(graph, deltas, quantum, parallelism, |n| overlay.root_of(n))
+        } else {
+            None
+        };
+        self.finish_quantum(graph, deltas, quantum, stats);
+    }
+
+    /// Installs a sharded outcome, or falls back to the serial per-delta
+    /// loop when no fan-out happened, then checks registry invariants.
+    fn finish_quantum(
+        &mut self,
+        graph: &DynamicGraph,
+        deltas: &[GraphDelta],
+        quantum: u64,
+        stats: Option<MaintenanceStats>,
+    ) {
         let stats = stats.unwrap_or_else(|| {
             let mut stats = MaintenanceStats::default();
             for delta in deltas {
@@ -220,9 +292,10 @@ impl ClusterMaintainer {
         );
     }
 
-    /// The sharded stage-3 path.  Returns `None` when the quantum's deltas
-    /// all live in one connected component (nothing to fan out); the
-    /// caller then runs the serial loop.
+    /// The from-scratch sharded path (`ComponentIndexMode::Rebuild`).
+    /// Returns `None` when the quantum's deltas all live in one connected
+    /// component (nothing to fan out); the caller then runs the serial
+    /// loop.
     fn apply_deltas_sharded(
         &mut self,
         graph: &DynamicGraph,
@@ -234,16 +307,14 @@ impl ClusterMaintainer {
         // edges and the live cluster edges: removed structure must still
         // connect, so a deletion repair lands in the same shard as the
         // cluster it repairs.  This walks the whole AKG once per parallel
-        // quantum — acceptable because the AKG is small by design (the
-        // paper's locality argument keeps it at a few percent of the CKG);
-        // an incremental component index would remove even that and is
-        // noted on the roadmap.
+        // quantum — the cost [`Self::apply_deltas_indexed`] exists to
+        // avoid; it is kept as the ablation baseline the bench's dense
+        // profile measures the index against.  (Isolated nodes need no
+        // eager `ensure` here: the union-find interns any node the shard
+        // grouping or cluster-move loop asks about on demand.)
         let mut components = NodeComponents::default();
         for (key, _) in graph.edges() {
             components.union(key.0, key.1);
-        }
-        for n in graph.nodes() {
-            components.ensure(n);
         }
         for delta in deltas {
             match *delta {
@@ -262,10 +333,27 @@ impl ClusterMaintainer {
                 components.union(e.0, e.1);
             }
         }
+        self.partition_and_run(graph, deltas, quantum, parallelism, |n| {
+            components.root(n) as u64
+        })
+    }
 
+    /// Shared tail of both sharded paths: group the deltas into shards by
+    /// the component root `root_of` reports, move affected clusters in,
+    /// fan the shards out over the worker pool and merge canonically.
+    /// `root_of` must map two nodes to the same key exactly when a single
+    /// delta's processing may touch both of their neighbourhoods.
+    fn partition_and_run(
+        &mut self,
+        graph: &DynamicGraph,
+        deltas: &[GraphDelta],
+        quantum: u64,
+        parallelism: Parallelism,
+        mut root_of: impl FnMut(NodeId) -> u64,
+    ) -> Option<MaintenanceStats> {
         // One shard per component that receives at least one delta,
         // keeping each shard's deltas in stream order.
-        let mut shard_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut shard_of_root: FxHashMap<u64, usize> = FxHashMap::default();
         let mut shards: Vec<Shard> = Vec::new();
         for (idx, delta) in deltas.iter().enumerate() {
             let node = match *delta {
@@ -274,7 +362,7 @@ impl ClusterMaintainer {
                 | GraphDelta::EdgeWeightUpdated { a, .. }
                 | GraphDelta::EdgeRemoved { a, .. } => a,
             };
-            let root = components.root(node);
+            let root = root_of(node);
             let shard = *shard_of_root.entry(root).or_insert_with(|| {
                 shards.push(Shard::default());
                 shards.len() - 1
@@ -284,7 +372,6 @@ impl ClusterMaintainer {
         if shards.len() < 2 {
             return None;
         }
-
         // Move every cluster whose component receives deltas into its
         // shard; clusters in untouched components stay in place.
         let cluster_ids: Vec<ClusterId> = {
@@ -301,7 +388,7 @@ impl ClusterMaintainer {
                 .iter()
                 .next()
                 .expect("clusters are non-empty");
-            let root = components.root(node);
+            let root = root_of(node);
             if let Some(&shard) = shard_of_root.get(&root) {
                 let cluster = self.registry.remove(id).expect("live cluster");
                 shards[shard].seeds.push(cluster);
@@ -472,6 +559,66 @@ impl NodeComponents {
     }
 }
 
+/// Key-space tag for overlay nodes that are absent from the persistent
+/// index (i.e. removed from the graph this quantum).  Persistent root
+/// slots are dense `u32` indices, so every untagged key stays below it.
+const OVERLAY_REMOVED_TAG: u64 = 1 << 32;
+
+/// Transient per-quantum union-find layered on top of the persistent
+/// [`ComponentIndex`]: each key is either a persistent component's root
+/// slot (for nodes still in the graph) or a tagged raw node id (for nodes
+/// removed this quantum, which the index no longer tracks).  Only this
+/// quantum's delta endpoints are ever unioned, so its size — and the whole
+/// partitioning step — is O(deltas) regardless of AKG size.
+struct DeltaOverlay<'a> {
+    index: &'a ComponentIndex,
+    /// Sparse parent map: a key absent from the map is its own root.
+    parent: FxHashMap<u64, u64>,
+}
+
+impl<'a> DeltaOverlay<'a> {
+    fn new(index: &'a ComponentIndex) -> Self {
+        Self {
+            index,
+            parent: FxHashMap::default(),
+        }
+    }
+
+    fn key(&self, n: NodeId) -> u64 {
+        match self.index.root_slot(n) {
+            Some(slot) => u64::from(slot),
+            None => OVERLAY_REMOVED_TAG | u64::from(n.0),
+        }
+    }
+
+    fn find(&mut self, start: u64) -> u64 {
+        let mut root = start;
+        while let Some(&p) = self.parent.get(&root) {
+            root = p;
+        }
+        // Full path compression: repoint every key on the walked chain.
+        let mut cur = start;
+        while cur != root {
+            let next = self.parent.insert(cur, root).unwrap_or(root);
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: NodeId, b: NodeId) {
+        let (ka, kb) = (self.key(a), self.key(b));
+        let (ra, rb) = (self.find(ka), self.find(kb));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn root_of(&mut self, n: NodeId) -> u64 {
+        let key = self.key(n);
+        self.find(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,9 +751,11 @@ mod tests {
     }
 
     /// Builds a multi-component delta stream (several disjoint triangle /
-    /// square families growing, merging and dissolving) and checks the
-    /// sharded path is bit-identical to the serial one — clusters, ids,
-    /// indexes and stats.
+    /// square families growing, merging and dissolving) and checks both
+    /// sharded paths — from-scratch partition and persistent-index
+    /// partition — are bit-identical to the serial one: clusters, ids,
+    /// indexes and stats.  The schedule includes node removals, so
+    /// deletion-split quanta (components falling apart) are exercised.
     #[test]
     fn sharded_maintenance_is_bit_identical_to_serial() {
         // Deterministic pseudo-random edge schedule over 6 disjoint node
@@ -620,14 +769,18 @@ mod tests {
             state >> 33
         };
         let mut graph = DynamicGraph::new();
+        let mut index = ComponentIndex::new();
         let mut serial = ClusterMaintainer::new();
         let mut sharded = ClusterMaintainer::new();
+        let mut indexed = ClusterMaintainer::new();
         for quantum in 0..30u64 {
             let mut deltas: Vec<GraphDelta> = Vec::new();
             // `apply_deltas` is specified against the *post-quantum* graph,
             // so each edge may change at most once per quantum (exactly how
             // the AKG emits deltas).  Node removal goes first; later edge
-            // ops skip anything already touched.
+            // ops skip anything already touched.  The component index is
+            // maintained in lock step with the graph, as the AKG
+            // maintainer does.
             let mut touched: dengraph_graph::fxhash::FxHashSet<
                 dengraph_graph::dynamic_graph::EdgeKey,
             > = Default::default();
@@ -637,6 +790,7 @@ mod tests {
                     touched.insert(e);
                     deltas.push(GraphDelta::EdgeRemoved { a: e.0, b: e.1 });
                 }
+                index.remove_node(&graph, node);
                 deltas.push(GraphDelta::NodeRemoved { node });
             }
             for _ in 0..6 {
@@ -649,20 +803,30 @@ mod tests {
                 }
                 if choice == 0 && graph.contains_edge(a, b) {
                     graph.remove_edge(a, b);
+                    index.remove_edge(&graph, a, b);
                     deltas.push(GraphDelta::EdgeRemoved { a, b });
                 } else if !graph.contains_edge(a, b) {
                     graph.add_edge(a, b, 1.0);
+                    index.add_edge(a, b);
                     deltas.push(GraphDelta::EdgeAdded { a, b, weight: 1.0 });
                 } else {
                     graph.set_edge_weight(a, b, 0.5);
                     deltas.push(GraphDelta::EdgeWeightUpdated { a, b, weight: 0.5 });
                 }
             }
+            index
+                .validate_against(&graph)
+                .expect("lock-step index matches graph");
             serial.apply_deltas(&graph, &deltas, quantum);
             sharded.apply_deltas_with(&graph, &deltas, quantum, Parallelism::Threads(4));
+            indexed.apply_deltas_indexed(&graph, &index, &deltas, quantum, Parallelism::Threads(4));
             assert_eq!(
                 serial, sharded,
                 "sharded registry diverged from serial at quantum {quantum}"
+            );
+            assert_eq!(
+                serial, indexed,
+                "index-partitioned registry diverged from serial at quantum {quantum}"
             );
             assert!(serial.registry().check_invariants().is_ok());
         }

@@ -7,6 +7,27 @@ pub use dengraph_parallel::Parallelism;
 
 pub use crate::keyword_state::WindowIndexMode;
 
+/// How stage 3 (sharded cluster maintenance) derives its per-quantum
+/// shard partition from the AKG's connected components.
+///
+/// Both modes produce **bit-identical** output, cluster ids included —
+/// the partition only decides which shard processes which cluster, and
+/// placeholder renumbering erases shard numbering from the result.  The
+/// knob trades partitioning cost: `Incremental` reads the persistent
+/// [`ComponentIndex`](dengraph_graph::ComponentIndex) maintained in lock
+/// step with the AKG (O(deltas) per quantum), `Rebuild` recomputes the
+/// components from every AKG edge per quantum (O(AKG edges), the
+/// ablation baseline the bench compares against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentIndexMode {
+    /// Recompute the component partition from scratch each parallel
+    /// quantum — the ablation baseline.
+    Rebuild,
+    /// Partition from the persistent incrementally maintained component
+    /// index (the default).
+    Incremental,
+}
+
 /// A typed description of what is wrong with a [`DetectorConfig`].
 ///
 /// Returned by [`DetectorConfig::validate`] and
@@ -110,6 +131,12 @@ pub struct DetectorConfig {
     /// Both modes are bit-identical in output and compose with
     /// [`Self::parallelism`].
     pub window_index_mode: WindowIndexMode,
+    /// How the stage-3 shard partition is derived: from the persistent
+    /// incrementally maintained component index (`Incremental`, the
+    /// default, O(deltas) per quantum) or recomputed from every AKG edge
+    /// (`Rebuild`, the ablation baseline).  Both modes are bit-identical
+    /// in output, cluster ids included.
+    pub component_index_mode: ComponentIndexMode,
 }
 
 impl Default for DetectorConfig {
@@ -126,6 +153,7 @@ impl Default for DetectorConfig {
             require_noun: true,
             parallelism: Parallelism::Serial,
             window_index_mode: WindowIndexMode::Incremental,
+            component_index_mode: ComponentIndexMode::Incremental,
         }
     }
 }
@@ -179,6 +207,12 @@ impl DetectorConfig {
     /// Sets the window index mode (builder style).
     pub fn with_window_index_mode(mut self, mode: WindowIndexMode) -> Self {
         self.window_index_mode = mode;
+        self
+    }
+
+    /// Sets the stage-3 component index mode (builder style).
+    pub fn with_component_index_mode(mut self, mode: ComponentIndexMode) -> Self {
+        self.component_index_mode = mode;
         self
     }
 
@@ -282,6 +316,13 @@ impl DetectorConfig {
                     WindowIndexMode::Incremental => Value::str("incremental"),
                 },
             ),
+            (
+                "component_index_mode",
+                match self.component_index_mode {
+                    ComponentIndexMode::Rebuild => Value::str("rebuild"),
+                    ComponentIndexMode::Incremental => Value::str("incremental"),
+                },
+            ),
         ])
     }
 
@@ -311,6 +352,16 @@ impl DetectorConfig {
                 })
             }
         };
+        let component_index_mode = match value.get("component_index_mode")?.as_str()? {
+            "rebuild" => ComponentIndexMode::Rebuild,
+            "incremental" => ComponentIndexMode::Incremental,
+            other => {
+                return Err(dengraph_json::JsonError {
+                    message: format!("unknown component_index_mode '{other}'"),
+                    offset: 0,
+                })
+            }
+        };
         Ok(Self {
             quantum_size: value.get("quantum_size")?.as_usize()?,
             high_state_threshold: value.get("high_state_threshold")?.as_u32()?,
@@ -323,6 +374,7 @@ impl DetectorConfig {
             require_noun: value.get("require_noun")?.as_bool()?,
             parallelism,
             window_index_mode,
+            component_index_mode,
         })
     }
 
@@ -349,6 +401,10 @@ impl DetectorConfig {
             WindowIndexMode::Rebuild => 0,
             WindowIndexMode::Incremental => 1,
         });
+        w.byte(match self.component_index_mode {
+            ComponentIndexMode::Rebuild => 0,
+            ComponentIndexMode::Incremental => 1,
+        });
     }
 
     /// Reconstructs a configuration encoded by [`Self::to_bin`].
@@ -373,6 +429,16 @@ impl DetectorConfig {
                 other => {
                     return Err(dengraph_json::JsonError {
                         message: format!("unknown window_index_mode byte {other}"),
+                        offset: r.pos(),
+                    })
+                }
+            },
+            component_index_mode: match r.byte()? {
+                0 => ComponentIndexMode::Rebuild,
+                1 => ComponentIndexMode::Incremental,
+                other => {
+                    return Err(dengraph_json::JsonError {
+                        message: format!("unknown component_index_mode byte {other}"),
                         offset: r.pos(),
                     })
                 }
@@ -441,6 +507,16 @@ mod tests {
             DetectorConfig::nominal().window_index_mode,
             WindowIndexMode::Incremental
         );
+    }
+
+    #[test]
+    fn incremental_component_index_is_the_default() {
+        assert_eq!(
+            DetectorConfig::nominal().component_index_mode,
+            ComponentIndexMode::Incremental
+        );
+        let c = DetectorConfig::nominal().with_component_index_mode(ComponentIndexMode::Rebuild);
+        assert_eq!(c.component_index_mode, ComponentIndexMode::Rebuild);
     }
 
     #[test]
@@ -583,6 +659,7 @@ mod tests {
                 rank_threshold_factor: 1.25,
                 parallelism: Parallelism::Threads(4),
                 window_index_mode: WindowIndexMode::Rebuild,
+                component_index_mode: ComponentIndexMode::Rebuild,
                 ..DetectorConfig::nominal()
             },
         ] {

@@ -109,11 +109,13 @@ impl QuantumSummary {
 /// since the detector was created (or restored — timings are diagnostics,
 /// not state, so they are never serialised).
 ///
-/// The six stages mirror the pipeline described on [`EventDetector`]:
+/// The seven buckets mirror the pipeline described on [`EventDetector`]:
 /// window aggregation, the AKG's read-only score phase, the AKG's serial
-/// apply phase, cluster maintenance, the ranking-support pass, and the
-/// rank-filter-report loop.  `bench_smoke` publishes these as `stage_ms`
-/// so perf PRs can attribute their wins.
+/// apply phase, the incremental component-index maintenance folded into
+/// that apply phase (attributed separately, and subtracted from
+/// `akg_apply_ns` so the buckets stay disjoint), cluster maintenance, the
+/// ranking-support pass, and the rank-filter-report loop.  `bench_smoke`
+/// publishes these as `stage_ms` so perf PRs can attribute their wins.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
     /// Stage 1: quantum aggregation + window slide, in nanoseconds.
@@ -122,6 +124,9 @@ pub struct StageTimes {
     pub akg_score_ns: u64,
     /// Stage 2b: AKG mutation (stale removal, admission, edge apply, demotion).
     pub akg_apply_ns: u64,
+    /// Stage 2c: incremental component-index maintenance (union/splits)
+    /// performed in lock step with the AKG mutations of stage 2b.
+    pub component_ns: u64,
     /// Stage 3: cluster maintenance from AKG deltas.
     pub cluster_ns: u64,
     /// Stage 4: the sharded ranking-support (window user count) pass.
@@ -136,18 +141,20 @@ impl StageTimes {
         self.window_ns
             + self.akg_score_ns
             + self.akg_apply_ns
+            + self.component_ns
             + self.cluster_ns
             + self.ranking_ns
             + self.report_ns
     }
 
     /// The stages as `(name, milliseconds)` pairs, pipeline order.
-    pub fn as_millis(&self) -> [(&'static str, f64); 6] {
+    pub fn as_millis(&self) -> [(&'static str, f64); 7] {
         let ms = |ns: u64| ns as f64 / 1e6;
         [
             ("window", ms(self.window_ns)),
             ("akg_score", ms(self.akg_score_ns)),
             ("akg_apply", ms(self.akg_apply_ns)),
+            ("component", ms(self.component_ns)),
             ("cluster", ms(self.cluster_ns)),
             ("ranking", ms(self.ranking_ns)),
             ("report", ms(self.report_ns)),
@@ -252,6 +259,12 @@ impl EventDetector {
         self.akg.graph()
     }
 
+    /// The persistent connected-component index the AKG maintainer keeps
+    /// in lock step with [`Self::akg`] (read access).
+    pub fn component_index(&self) -> &dengraph_graph::ComponentIndex {
+        self.akg.components()
+    }
+
     /// The cluster maintainer (read access).
     pub fn clusters(&self) -> &ClusterMaintainer {
         &self.clusters
@@ -294,10 +307,11 @@ impl EventDetector {
     /// Diagnostics only — never serialised, and identical configurations
     /// produce identical *outputs* regardless of what this reports.
     pub fn stage_times(&self) -> StageTimes {
-        let (score_ns, apply_ns) = self.akg.stage_ns();
+        let (score_ns, apply_ns, component_ns) = self.akg.stage_ns();
         StageTimes {
             akg_score_ns: score_ns,
             akg_apply_ns: apply_ns,
+            component_ns,
             ..self.stage_times
         }
     }
@@ -383,14 +397,26 @@ impl EventDetector {
             &mut self.scratch,
         );
 
-        // 3. Cluster maintenance, sharded by AKG connected component.
+        // 3. Cluster maintenance, sharded by AKG connected component.  The
+        //    partition comes from the persistent component index the AKG
+        //    maintainer keeps in lock step (O(deltas)); Rebuild mode is the
+        //    from-scratch ablation the bench measures the index against.
         let stage_start = std::time::Instant::now();
-        self.clusters.apply_deltas_with(
-            self.akg.graph(),
-            &self.scratch.deltas,
-            quantum,
-            self.config.parallelism,
-        );
+        match self.config.component_index_mode {
+            crate::config::ComponentIndexMode::Incremental => self.clusters.apply_deltas_indexed(
+                self.akg.graph(),
+                self.akg.components(),
+                &self.scratch.deltas,
+                quantum,
+                self.config.parallelism,
+            ),
+            crate::config::ComponentIndexMode::Rebuild => self.clusters.apply_deltas_with(
+                self.akg.graph(),
+                &self.scratch.deltas,
+                quantum,
+                self.config.parallelism,
+            ),
+        }
         self.stage_times.cluster_ns += stage_start.elapsed().as_nanos() as u64;
 
         // 4 + 5. Rank, filter and report.
@@ -426,6 +452,9 @@ impl EventDetector {
     /// ([`dengraph_graph::DynamicGraph::validate_invariants`]), the sliding
     /// window and its incremental index against a raw record walk
     /// ([`WindowState::validate_invariants`](crate::keyword_state::WindowState::validate_invariants)),
+    /// the persistent component index against a from-scratch recompute of
+    /// the AKG's connected components
+    /// ([`ComponentIndex::validate_against`](dengraph_graph::ComponentIndex::validate_against)),
     /// and the cluster registry's index/SCP/id-allocation contract
     /// ([`ClusterRegistry::check_invariants`](crate::cluster::ClusterRegistry::check_invariants)).
     ///
@@ -441,6 +470,10 @@ impl EventDetector {
         self.window
             .validate_invariants()
             .map_err(|e| format!("window: {e}"))?;
+        self.akg
+            .components()
+            .validate_against(self.akg.graph())
+            .map_err(|e| format!("component index: {e}"))?;
         self.clusters
             .registry()
             .check_invariants()

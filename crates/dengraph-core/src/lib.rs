@@ -77,7 +77,7 @@ pub mod wal;
 pub use akg::{AkgMaintainer, GraphDelta};
 pub use checkpoint::{CheckpointJournal, CheckpointMode, DeltaRecord};
 pub use cluster::{Cluster, ClusterId, ClusterMaintainer, ClusterRegistry};
-pub use config::{ConfigError, DetectorConfig, Parallelism};
+pub use config::{ComponentIndexMode, ConfigError, DetectorConfig, Parallelism};
 pub use dengraph_json::WireFormat;
 pub use detector::{EventDetector, QuantumSummary, StageTimes};
 pub use event::{DetectedEvent, EventRecord, EventTracker};

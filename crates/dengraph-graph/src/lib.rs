@@ -11,6 +11,10 @@
 //! * [`traversal`] — bounded-length alternate-path searches (the "is there
 //!   another path of length ≤ 3?" short-cycle checks) and restricted
 //!   reachability used when splitting clusters at articulation points.
+//! * [`components`] — a persistent, incrementally maintained
+//!   connected-component index (union-find with per-component counts and
+//!   member cycles; deletions via rebuild-on-split scoped to the affected
+//!   component) that keeps the stage-3 shard partition O(deltas).
 //! * [`biconnected`] — Hopcroft–Tarjan articulation points and biconnected
 //!   components; used by the offline baseline of Section 7.3 and by the
 //!   correctness oracle for the incremental maintenance.
@@ -24,6 +28,7 @@
 //!   7.4 AKG-reduction measurements.
 
 pub mod biconnected;
+pub mod components;
 pub mod dynamic_graph;
 pub mod fxhash;
 pub mod metrics;
@@ -33,6 +38,7 @@ pub mod scp;
 pub mod traversal;
 
 pub use biconnected::{articulation_points, biconnected_components};
+pub use components::ComponentIndex;
 pub use dynamic_graph::{DynamicGraph, EdgeKey};
 pub use node::NodeId;
 pub use quasi_clique::{density, diameter, is_gamma_quasi_clique, is_mqc};

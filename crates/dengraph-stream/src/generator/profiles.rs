@@ -301,6 +301,98 @@ pub fn es_profile(seed: u64, scale: ProfileScale) -> StreamProfile {
     )
 }
 
+/// A dense-AKG stress profile (not one of the paper's traces): many small
+/// *pulsing* keyword families that keep re-bursting inside the detector's
+/// window, so the AKG accumulates far more live edges than any one
+/// quantum's delta log touches.  This is the workload where stage 3's
+/// partitioning cost separates from its maintenance cost: a from-scratch
+/// partition walks every AKG edge each parallel quantum, an incremental
+/// component index only the deltas.
+///
+/// Structure (all draws from one seeded ChaCha8 stream):
+///
+/// * `FAMILIES` disjoint families of [`DENSE_FAMILY_KEYWORDS`] keywords
+///   each; every family's messages co-mention most of its keywords, so
+///   each family settles into a near-clique AKG component of
+///   ~`k·(k-1)/2` edges and its own cluster.
+/// * Each family re-bursts every [`DENSE_PULSE_PERIOD`] rounds (staggered
+///   phase, 1–2-round pulses) — shorter than the benchmark window, so
+///   dormant families stay resident and the AKG stays dense while only
+///   the currently pulsing families produce deltas.
+/// * Every fifth family is *mortal*: it stops pulsing halfway through the
+///   trace, goes stale once the window slides past, and is torn out of
+///   the AKG — exercising the component index's deletion/split path under
+///   load.
+/// * Background chatter is the same Zipf vocabulary as the paper traces.
+pub fn dense_profile(seed: u64, scale: ProfileScale) -> StreamProfile {
+    let rounds = scale.rounds();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDE45_E000);
+    let mut events = Vec::new();
+    for family in 0..DENSE_FAMILIES {
+        let keywords: Vec<String> = (0..DENSE_FAMILY_KEYWORDS)
+            .map(|j| format!("dn{family:03}k{j}"))
+            .collect();
+        let mortal = family % 20 == 19;
+        let phase = family as u64 % DENSE_PULSE_PERIOD;
+        let last_start = if mortal {
+            rounds / 2
+        } else {
+            rounds.saturating_sub(2)
+        };
+        let mut start = 2 + phase;
+        let mut pulse = 0usize;
+        while start < last_start {
+            let duration = 1;
+            let peak = rng.gen_range(5..=7);
+            events.push(EventScenario {
+                name: format!("dense family {family} pulse {pulse}"),
+                keyword_names: keywords.clone(),
+                evolving_keyword_names: Vec::new(),
+                start_round: start,
+                duration_rounds: duration,
+                peak_messages_per_round: peak,
+                kind: GroundTruthEventKind::LocalOnly,
+            });
+            start += DENSE_PULSE_PERIOD;
+            pulse += 1;
+        }
+    }
+    StreamProfile {
+        name: "dense".to_string(),
+        rounds,
+        round_size: ROUND_SIZE,
+        // A uniformly sampled background vocabulary: every filler word
+        // recurs at a rate far below the burstiness threshold, so the AKG
+        // holds *only* the pulsing families (a Zipf head word would hover
+        // right at the threshold and flicker in and out of the graph).
+        // Filler messages carry a single keyword so they can never
+        // contribute a co-occurrence pair of their own.  This keeps the
+        // per-quantum delta log small relative to the resident AKG, which
+        // is exactly the regime the incremental component index targets.
+        background_vocab_size: 400,
+        zipf_exponent: 0.0,
+        background_users: 50_000,
+        keywords_per_background_msg: (1, 1),
+        event_keyword_prob: 0.85,
+        events,
+        seed,
+    }
+}
+
+/// Number of pulsing keyword families in [`dense_profile`].
+pub const DENSE_FAMILIES: usize = 250;
+
+/// Keywords per dense family (each family tends to a `k`-clique).
+pub const DENSE_FAMILY_KEYWORDS: usize = 6;
+
+/// Rounds between two bursts of the same dense family.  Must stay below
+/// the benchmark's window length so dormant families remain resident in
+/// the AKG instead of being removed as stale, and must divide the round
+/// count of every [`ProfileScale`] so that replaying the trace through an
+/// already-warm session (the bench's steady-state pass) continues every
+/// family's pulse schedule seamlessly.
+pub const DENSE_PULSE_PERIOD: u64 = 10;
+
 /// The ground-truth study analogue (Section 7.1 / Table 1): 60 "headline"
 /// events of which 27 are too weak to ever detect, plus many local-only
 /// events and a few spurious bursts.
@@ -413,6 +505,48 @@ mod tests {
                     assert!(seen.insert(k.clone()), "duplicate synthetic keyword {k}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn dense_profile_pulses_and_retires_families() {
+        let p = dense_profile(7, ProfileScale::Small);
+        assert_eq!(p.name, "dense");
+        // Every family re-bursts: at least two pulses share the exact same
+        // keyword set (the interner will dedup them into the same AKG nodes).
+        let family0: Vec<&EventScenario> = p
+            .events
+            .iter()
+            .filter(|e| e.keyword_names[0] == "dn000k0")
+            .collect();
+        assert!(family0.len() >= 2, "families must pulse repeatedly");
+        assert!(family0
+            .windows(2)
+            .all(|w| w[0].keyword_names == w[1].keyword_names));
+        // Mortal families stop pulsing in the first half of the trace so
+        // the window can slide past them and the AKG tears them down.
+        let mortal_last_start = p
+            .events
+            .iter()
+            .filter(|e| e.keyword_names[0] == "dn019k0")
+            .map(|e| e.start_round)
+            .max()
+            .expect("mortal family pulses at least once");
+        assert!(mortal_last_start < p.rounds / 2);
+        // An immortal family keeps pulsing into the final window.
+        let immortal_last_start = p
+            .events
+            .iter()
+            .filter(|e| e.keyword_names[0] == "dn000k0")
+            .map(|e| e.start_round)
+            .max()
+            .unwrap();
+        assert!(immortal_last_start + DENSE_PULSE_PERIOD >= p.rounds);
+        // Determinism in the seed, like every other profile.
+        assert_eq!(p, dense_profile(7, ProfileScale::Small));
+        assert_ne!(p, dense_profile(8, ProfileScale::Small));
+        for e in &p.events {
+            assert!(e.start_round + e.duration_rounds <= p.rounds);
         }
     }
 

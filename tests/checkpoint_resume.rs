@@ -188,6 +188,32 @@ fn canonical(summaries: &[QuantumSummary]) -> String {
     format!("{summaries:#?}")
 }
 
+/// Deep-checks a restored session's persistent component index: it must
+/// validate against the restored AKG, equal a from-scratch recompute of
+/// that graph (canonical component form), and — since both wire formats
+/// serialize the index verbatim — be bit-identical to the index of the
+/// uninterrupted reference session.
+fn assert_component_index_restored(
+    uninterrupted: &DetectorSession,
+    resumed: &DetectorSession,
+    label: &str,
+) {
+    use dengraph_graph::ComponentIndex;
+    let graph = resumed.detector().akg();
+    let index = resumed.detector().component_index();
+    index
+        .validate_against(graph)
+        .unwrap_or_else(|e| panic!("{label}: restored component index invalid: {e}"));
+    assert!(
+        *index == ComponentIndex::from_graph(graph),
+        "{label}: restored component index differs from a from-scratch recompute"
+    );
+    assert!(
+        index == uninterrupted.detector().component_index(),
+        "{label}: restored component index differs from the uninterrupted session's"
+    );
+}
+
 fn build(trace: &Trace, config: &DetectorConfig) -> DetectorSession {
     DetectorBuilder::from_config(config.clone())
         .interner(trace.interner.clone())
@@ -304,6 +330,7 @@ fn mid_stream_restore_is_bit_identical_across_profiles() {
                     );
                     assert_eq!(uninterrupted.total_messages(), resumed.total_messages());
                     assert_eq!(uninterrupted.quanta_processed(), resumed.quanta_processed());
+                    assert_component_index_restored(&uninterrupted, &resumed, &label);
                 }
             }
         }
@@ -335,6 +362,11 @@ fn mid_stream_restore_is_bit_identical_on_event_dense_streams() {
                 format!("{:#?}", uninterrupted.event_records()),
                 format!("{:#?}", resumed.event_records()),
                 "split at {split} via {cut:?}: event records diverged"
+            );
+            assert_component_index_restored(
+                &uninterrupted,
+                &resumed,
+                &format!("split at {split} via {cut:?}"),
             );
         }
     }
